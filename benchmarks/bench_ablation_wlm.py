@@ -1,0 +1,59 @@
+"""Ablation -- pre-layout wire load models vs placed reality.
+
+Section 6.2's premise for post-layout resizing: synthesis-time wire
+estimates "will differ from that in the final layout".  This bench
+quantifies how much: per-net WLM estimates against placed lengths, and
+the timing error of signing off on WLM numbers.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.datapath import alu
+from repro.physical import (
+    WLM_SMALL,
+    compare_to_placement,
+    estimate_parasitics,
+    place,
+)
+from repro.sta import analyze, asic_clock
+from repro.tech import CMOS250_ASIC
+
+
+def _measure():
+    library = rich_asic_library(CMOS250_ASIC)
+    module = alu(8, library, fast_adder=False)
+    clock = asic_clock(60.0 * CMOS250_ASIC.fo4_delay_ps)
+    placement = place(module, library, quality="careful", seed=11)
+    accuracy = compare_to_placement(module, placement, WLM_SMALL)
+    wlm_period = analyze(
+        module, library, clock,
+        wire=estimate_parasitics(module, CMOS250_ASIC, WLM_SMALL),
+    ).min_period_ps
+    placed_period = analyze(
+        module, library, clock, wire=placement.parasitics(library)
+    ).min_period_ps
+    return accuracy, wlm_period, placed_period
+
+
+def test_ablation_wlm(benchmark):
+    accuracy, wlm_period, placed_period = run_once(benchmark, _measure)
+    rows = [
+        row("per-net estimate spread (max/min ratio)", "order of magnitude",
+            accuracy.worst_overestimate / accuracy.worst_underestimate,
+            3.0, 1e4, fmt="{:.0f}x"),
+        row("mean estimate/placed ratio", "biased but bounded",
+            accuracy.mean_ratio, 0.2, 20.0),
+        row("timing signed off on WLM vs placed", "differs",
+            wlm_period / placed_period, 0.5, 2.0),
+    ]
+    print()
+    print(f"nets compared: {accuracy.nets_compared}")
+    report("Ablation: wire load models vs placed wire lengths", rows)
+    for entry in rows:
+        assert entry.ok, entry

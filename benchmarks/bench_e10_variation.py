@@ -1,0 +1,125 @@
+"""E10 -- Section 8: process variation and accessibility.
+
+Claims measured from the Monte Carlo die populations:
+
+* typical silicon 60-70% faster than worst-case quotes;
+* fastest bins 20-40% faster than typical, at unsellable yield;
+* overall fastest custom silicon ~90% faster than the ASIC quote;
+* at-speed testing worth 30-40% over worst case (Section 8.3);
+* new-process bin spread 30-40% (the Intel 533-733 MHz footnote);
+* fab-to-fab spread 20-25% (Section 8.1.2);
+* which variance component dominates (the DESIGN.md ablation).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.variation import (
+    MATURE_PROCESS,
+    NEW_PROCESS,
+    VariationComponents,
+    access_gap,
+    custom_flagship_frequency,
+    default_foundry_set,
+    fab_spread,
+    maturity_trend,
+    sample_chip_speeds,
+)
+
+NOMINAL = 400.0
+
+
+def _measure():
+    dist = sample_chip_speeds(NOMINAL, NEW_PROCESS, count=30000, seed=17)
+    gap = access_gap(dist)
+    fabs = default_foundry_set(MATURE_PROCESS)
+    trend = maturity_trend(NOMINAL, NEW_PROCESS, quarters=8, count=6000)
+    return dist, gap, fabs, trend
+
+
+def test_e10_variation(benchmark):
+    dist, gap, fabs, trend = run_once(benchmark, _measure)
+    flagship_yield = dist.yield_at(custom_flagship_frequency(dist))
+
+    rows = [
+        row("typical vs worst-case quote", "60-70% faster",
+            100 * (gap.typical_over_quote - 1.0), 45.0, 75.0, fmt="{:.0f}%"),
+        row("fastest bins vs typical", "20-40% faster",
+            100 * (gap.flagship_over_typical - 1.0), 15.0, 40.0,
+            fmt="{:.0f}%"),
+        row("fastest custom vs ASIC quote", "~90% faster",
+            100 * (gap.flagship_over_quote - 1.0), 70.0, 110.0,
+            fmt="{:.0f}%"),
+        row("at-speed testing vs worst case", "30-40%",
+            100 * (gap.tested_over_quote - 1.0), 25.0, 45.0, fmt="{:.0f}%"),
+        row("new-process bin spread (p99/p1)", "30-40% (Intel 533-733)",
+            100 * (dist.spread - 1.0), 28.0, 50.0, fmt="{:.0f}%"),
+        row("flagship bin yield", "insufficient for ASICs",
+            100 * flagship_yield, 0.5, 6.0, fmt="{:.1f}%"),
+        row("fab-to-fab spread", "20-25%",
+            100 * (fab_spread(fabs) - 1.0), 18.0, 27.0, fmt="{:.0f}%"),
+        row("maturity: spread shrinks over 8 quarters", "decreases",
+            trend[0].spread / trend[-1].spread, 1.02, 2.0),
+    ]
+
+    print()
+    print("ablation: which variance component drives the bin spread")
+    base = NEW_PROCESS
+    fields = ("line_to_line", "wafer_to_wafer", "die_to_die", "intra_die")
+    for name in fields:
+        zeroed = {f: (0.0 if f == name else getattr(base, f)) for f in fields}
+        comp = VariationComponents(**zeroed)
+        spread = sample_chip_speeds(NOMINAL, comp, count=8000, seed=5).spread
+        print(f"  without {name:<15s}: spread {spread:.3f}x")
+
+    report("E10 Process variation and accessibility (Section 8)", rows)
+    for entry in rows:
+        assert entry.ok, entry
+
+
+def test_e10b_intra_die_ssta(benchmark):
+    """Intra-die variation on the real netlist (statistical STA).
+
+    Section 8.1.1's intra-die component, computed on an actual timing
+    graph instead of the abstract max-of-N model: the statistical max
+    over paths shifts the mean period above nominal, and the analytical
+    (Clark) propagation agrees with brute-force Monte Carlo.
+    """
+    from paperbench import report as _report, row as _row
+
+    from repro.cells import rich_asic_library
+    from repro.datapath import kogge_stone_adder
+    from repro.sta import (
+        Clock,
+        analyze_statistical,
+        monte_carlo_min_period,
+        register_boundaries,
+    )
+    from repro.tech import CMOS250_ASIC
+
+    def _measure_ssta():
+        library = rich_asic_library(CMOS250_ASIC)
+        module = register_boundaries(kogge_stone_adder(12, library), library)
+        clk = Clock("c", 30000.0)
+        ssta = analyze_statistical(module, library, clk, sigma_fraction=0.08)
+        mc = monte_carlo_min_period(
+            module, library, clk, sigma_fraction=0.08, samples=300, seed=5
+        )
+        return ssta, mc
+
+    ssta, mc = benchmark.pedantic(_measure_ssta, rounds=1, iterations=1)
+    rows = [
+        _row("intra-die mean shift over nominal", "slows every chip",
+             100 * ssta.mean_shift_fraction, 0.2, 10.0, fmt="{:.2f}%"),
+        _row("Clark mean vs Monte Carlo mean", "agree",
+             ssta.mean_period_ps / mc.mean(), 0.97, 1.03),
+        _row("p99-yield period over mean", "binning tail",
+             ssta.period_at_yield(0.99) / ssta.mean_period_ps, 1.0, 1.2),
+    ]
+    _report("E10b Intra-die variation on the timing graph (SSTA)", rows)
+    for entry in rows:
+        assert entry.ok, entry

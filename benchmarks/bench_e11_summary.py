@@ -1,0 +1,88 @@
+"""E11 -- Section 9: the summary decomposition.
+
+"From our analysis the two most significant factors are pipelining and
+process variation ... these two factors alone account for all except a
+factor of about 2 to 3x.  The use of dynamic-logic families is a third
+significant influence resulting in about 1.5x.  Adding this factor to
+pipelining and process variation accounts for all but a factor of about
+1.6x."
+
+Checked both on the paper's own numbers and on the measured end-to-end
+gap decomposition from the flows.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.core import FactorModel, analyze_gap, overstatement_test, tornado_table
+from repro.flows import (
+    AsicFlowOptions,
+    CustomFlowOptions,
+    run_asic_flow,
+    run_custom_flow,
+)
+
+BITS = 8
+
+
+def _measure():
+    asic = run_asic_flow(
+        AsicFlowOptions(workload="cpu", bits=BITS, sizing_moves=20)
+    )
+    custom = run_custom_flow(
+        CustomFlowOptions(
+            workload="cpu_macro", bits=BITS, target_cycle_fo4=14.0,
+            sizing_moves=30,
+        )
+    )
+    return analyze_gap(asic, custom)
+
+
+def test_e11_summary(benchmark):
+    measured = run_once(benchmark, _measure)
+    model = FactorModel()
+
+    top_two = model.residual_after(["microarchitecture", "process_variation"])
+    top_three = model.residual_after(
+        ["microarchitecture", "process_variation", "dynamic_logic"]
+    )
+
+    # Measured: remove the depth factor (pipelining/logic) and the
+    # silicon factors (quoting x technology access) from the total.
+    silicon = measured.quoting_factor * measured.technology_factor
+    measured_residual = measured.total_ratio / (
+        measured.cycle_depth_factor * silicon
+    )
+
+    rows = [
+        row("pipelining+variation residual (paper)", "2-3x", top_two,
+            2.0, 3.0),
+        row("+ dynamic logic residual (paper)", "~1.6x", top_three,
+            1.5, 1.7),
+        row("ranked #1 factor", "pipelining (4.0x)",
+            model.ranked()[0].max_contribution, 4.0, 4.0),
+        row("ranked #2 factor", "variation (1.9x)",
+            model.ranked()[1].max_contribution, 1.9, 1.9),
+        row("measured total gap (naive ASIC)", "6-18x",
+            measured.total_ratio, 5.0, 18.0),
+        row("measured: depth x silicon explain it", "residual ~1x",
+            measured_residual, 0.95, 1.05),
+        row("measured silicon factor", "<= 1.9x x access", silicon,
+            1.6, 2.4),
+        row("floorplanning+sizing log share", "'probably overstated'",
+            100 * overstatement_test(), 5.0, 25.0, fmt="{:.1f}%"),
+    ]
+    print()
+    print("measured decomposition:")
+    print(measured.table())
+    print()
+    print("factor sensitivity (Section 9's ranking):")
+    print(tornado_table())
+
+    report("E11 Summary decomposition (Section 9)", rows)
+    for entry in rows:
+        assert entry.ok, entry

@@ -1,0 +1,89 @@
+"""E12 -- Sections 4.2 / 7.2: predefined datapath macro cells.
+
+"Fast datapath designs, such as carry-lookahead and carry-select adders
+... do exist in pre-designed libraries, but are not automatically invoked
+in register-transfer level logic synthesis ... Use of these predefined
+macro cells for an ASIC can significantly improve the resulting design,
+by reducing the number of logic levels for implementing complex logic
+functions and reducing the area taken up by logic."
+
+Measured: naive RTL-shaped structures vs every macro in the registry, at
+the netlist level and through the full ASIC flow.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.flows import AsicFlowOptions, run_asic_flow
+from repro.netlist import logic_depth
+from repro.sta import analyze, asic_clock
+from repro.synth import expand_macro, list_macros
+from repro.tech import CMOS250_ASIC
+
+BITS = 16
+
+
+def _measure():
+    library = rich_asic_library(CMOS250_ASIC)
+    clock = asic_clock(60.0 * CMOS250_ASIC.fo4_delay_ps)
+    adders = {}
+    for name in ("adder_ripple", "adder_cla", "adder_carry_select",
+                 "adder_kogge_stone"):
+        module = expand_macro(name, BITS, library)
+        timing = analyze(module, library, clock)
+        adders[name] = (
+            logic_depth(module),
+            timing.min_period_ps / CMOS250_ASIC.fo4_delay_ps,
+        )
+    mult_ratio = None
+    array = expand_macro("multiplier_array", 6, library)
+    wallace = expand_macro("multiplier_wallace", 6, library)
+    t_array = analyze(array, library, clock).min_period_ps
+    t_wallace = analyze(wallace, library, clock).min_period_ps
+    mult_ratio = t_array / t_wallace
+
+    naive_flow = run_asic_flow(
+        AsicFlowOptions(bits=8, workload="alu", sizing_moves=15)
+    )
+    macro_flow = run_asic_flow(
+        AsicFlowOptions(bits=8, workload="alu_macro", sizing_moves=15)
+    )
+    return adders, mult_ratio, naive_flow, macro_flow
+
+
+def test_e12_macros(benchmark):
+    adders, mult_ratio, naive_flow, macro_flow = run_once(benchmark, _measure)
+
+    print()
+    print(f"{'adder':<22s} {'depth':>6s} {'FO4':>7s}")
+    for name, (depth, fo4) in adders.items():
+        print(f"{name:<22s} {depth:>6d} {fo4:>7.1f}")
+
+    ripple_fo4 = adders["adder_ripple"][1]
+    ks_fo4 = adders["adder_kogge_stone"][1]
+    flow_gain = (
+        macro_flow.typical_frequency_mhz / naive_flow.typical_frequency_mhz
+    )
+
+    rows = [
+        row("Kogge-Stone vs ripple (16b, FO4)", "significantly fewer levels",
+            ripple_fo4 / ks_fo4, 1.8, 8.0),
+        row("CLA vs ripple (16b, FO4)", "fewer levels",
+            ripple_fo4 / adders["adder_cla"][1], 1.3, 8.0),
+        row("carry-select vs ripple (16b, FO4)", "fewer levels",
+            ripple_fo4 / adders["adder_carry_select"][1], 1.2, 8.0),
+        row("Wallace vs array multiplier (6b)", "fewer levels",
+            mult_ratio, 1.1, 5.0),
+        row("macro ALU through full ASIC flow", "significant improvement",
+            flow_gain, 1.2, 5.0),
+        row("macro registry size", ">= 11 macros",
+            float(len(list_macros())), 11.0, 100.0, fmt="{:.0f}"),
+    ]
+    report("E12 Predefined datapath macros (Sections 4.2/7.2)", rows)
+    for entry in rows:
+        assert entry.ok, entry

@@ -1,0 +1,73 @@
+"""E1 -- Section 2: the 6-8x ASIC-custom speed gap.
+
+Reproduces the survey comparison by *running the flows*: a naive ASIC, a
+best-practice (Xtensa-class) ASIC, and the all-levers custom flow on the
+same ALU workload, then checks that the measured gaps bracket the paper's
+6-8x and that its generation-equivalence arithmetic holds.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.core import analyze_gap, headline_gap
+from repro.flows import (
+    AsicFlowOptions,
+    CustomFlowOptions,
+    run_asic_flow,
+    run_custom_flow,
+)
+from repro.tech import generations_equivalent, years_equivalent
+
+BITS = 8
+
+
+def _run_all():
+    naive = run_asic_flow(
+        AsicFlowOptions(workload="cpu", bits=BITS, sizing_moves=20)
+    )
+    best_asic = run_asic_flow(
+        AsicFlowOptions(
+            bits=BITS, workload="cpu_macro", pipeline_stages=5,
+            sizing_moves=20,
+        )
+    )
+    custom = run_custom_flow(
+        CustomFlowOptions(
+            workload="cpu_macro", bits=BITS, target_cycle_fo4=14.0,
+            sizing_moves=30,
+        )
+    )
+    return naive, best_asic, custom
+
+
+def test_e1_survey_gap(benchmark):
+    naive, best_asic, custom = run_once(benchmark, _run_all)
+
+    naive_gap = analyze_gap(naive, custom).total_ratio
+    best_gap = analyze_gap(best_asic, custom).total_ratio
+    survey_low, survey_high = headline_gap()
+
+    rows = [
+        row("survey: fastest custom / typical ASIC", "6x-8x",
+            (survey_low + survey_high) / 2, 6.0, 8.5),
+        row("measured: custom vs naive ASIC", "6x-18x", naive_gap,
+            5.0, 18.0),
+        row("measured: custom vs best-practice ASIC", "2x-8x", best_gap,
+            1.5, 8.5),
+        row("gap in process generations (at 8x)", "~5",
+            generations_equivalent(8.0), 4.5, 5.6, fmt="{:.1f}"),
+        row("gap in years of process improvement", "~10",
+            years_equivalent(8.0), 9.0, 11.0, fmt="{:.0f}"),
+        row("ASIC quoted frequency (8b exec stage)", "120-150 MHz class",
+            naive.quoted_frequency_mhz, 60.0, 350.0, fmt="{:.0f} MHz"),
+        row("custom cycle depth", "13-15 FO4", custom.fo4_depth,
+            8.0, 20.0, fmt="{:.1f} FO4"),
+    ]
+    report("E1  Section 2 survey: the headline gap", rows)
+    for entry in rows:
+        assert entry.ok, entry
+    assert best_gap < naive_gap

@@ -1,0 +1,70 @@
+"""E2 -- Section 3: the factor table (x4.0, x1.25, x1.25, x1.5, x1.9).
+
+Checks the paper's own arithmetic (product ~18x) and then *measures* each
+factor by toggling exactly one methodology lever in the flows, comparing
+the measured contribution against the paper's maximum.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.core import FactorModel
+from repro.flows import AsicFlowOptions, run_asic_flow
+from repro.circuit import DOMINO_PROFILE, sequential_speedup_from_combinational
+from repro.variation import NEW_PROCESS, access_gap, sample_chip_speeds
+
+BITS = 8
+
+
+def _measure_levers():
+    base = AsicFlowOptions(bits=BITS, sizing_moves=15)
+    baseline = run_asic_flow(base)
+
+    import dataclasses
+
+    def freq(**changes):
+        return run_asic_flow(
+            dataclasses.replace(base, **changes)
+        ).typical_frequency_mhz
+
+    f0 = baseline.typical_frequency_mhz
+    pipelining = run_asic_flow(
+        dataclasses.replace(base, workload="alu_macro", pipeline_stages=5)
+    ).typical_frequency_mhz / f0
+    floorplanning = f0 / freq(careful_placement=False)
+    sizing = f0 / freq(sizing_moves=0)
+    return baseline, pipelining, floorplanning, sizing
+
+
+def test_e2_factor_table(benchmark):
+    baseline, pipelining, floorplanning, sizing = run_once(
+        benchmark, _measure_levers
+    )
+    model = FactorModel()
+
+    domino_seq = sequential_speedup_from_combinational(
+        DOMINO_PROFILE.combinational_speedup, logic_fraction=0.75
+    )
+    dist = sample_chip_speeds(400.0, NEW_PROCESS, count=20000, seed=1)
+    variation = access_gap(dist).flagship_over_quote
+
+    rows = [
+        row("factor product (paper arithmetic)", "~18x",
+            model.total_product(), 17.5, 18.1),
+        row("microarchitecture factor (measured)", "<= 4.0x",
+            pipelining, 1.5, 4.6),
+        row("floorplanning/placement factor", "<= 1.25x",
+            floorplanning, 1.00, 1.40),
+        row("sizing factor (measured)", "<= 1.25x", sizing, 1.00, 1.40),
+        row("dynamic logic factor (sequential)", "~1.5x", domino_seq,
+            1.3, 1.7),
+        row("process variation+access factor", "<= 1.9x", variation,
+            1.6, 2.1),
+    ]
+    report("E2  Section 3 factor decomposition", rows)
+    for entry in rows:
+        assert entry.ok, entry

@@ -1,0 +1,56 @@
+"""E3 -- Section 4: FO4 depths of the reference designs.
+
+The paper's calibration points: FO4 = 0.5*Leff ns (footnote 1), 13 FO4
+per cycle for the 1 GHz PowerPC, 15 for the Alpha, ~44 for the Xtensa
+(footnote 2), and 55 ps FO4 for IBM's 0.18 um CMOS7S (Section 8.3).
+Measured here both from the rule and from mapped netlists through the
+STA engine.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.datapath import alu
+from repro.sta import asic_clock, fo4_depth, register_boundaries, solve_min_period
+from repro.tech import CMOS180_CUSTOM, CMOS250_ASIC, CMOS250_CUSTOM
+
+
+def _measure():
+    library = rich_asic_library(CMOS250_ASIC)
+    module = register_boundaries(alu(16, library, fast_adder=False), library)
+    clock = asic_clock(60.0 * CMOS250_ASIC.fo4_delay_ps)
+    timing = solve_min_period(module, library, clock)
+    return fo4_depth(timing, CMOS250_ASIC)
+
+
+def test_e3_fo4_calibration(benchmark):
+    asic_alu_fo4 = run_once(benchmark, _measure)
+
+    ppc_fo4 = CMOS250_CUSTOM.fo4_from_period(1000.0)  # 1 GHz
+    alpha_fo4_at_its_leff = 1e6 / 750.0 / (500.0 * 0.178)
+    xtensa_fo4 = CMOS250_ASIC.fo4_from_period(1e6 / 250.0)
+
+    rows = [
+        row("FO4 rule: Leff 0.15um -> FO4", "75 ps",
+            CMOS250_CUSTOM.fo4_delay_ps, 74.9, 75.1, fmt="{:.0f} ps"),
+        row("FO4 rule: Leff 0.18um -> FO4", "90 ps",
+            CMOS250_ASIC.fo4_delay_ps, 89.9, 90.1, fmt="{:.0f} ps"),
+        row("IBM PowerPC cycle at 1 GHz", "13 FO4", ppc_fo4,
+            12.8, 13.8, fmt="{:.1f} FO4"),
+        row("Alpha 21264A cycle at 750 MHz", "15 FO4",
+            alpha_fo4_at_its_leff, 14.3, 15.7, fmt="{:.1f} FO4"),
+        row("Xtensa cycle at 250 MHz", "~44 FO4", xtensa_fo4,
+            42.0, 46.0, fmt="{:.1f} FO4"),
+        row("IBM CMOS7S (Leff 0.12um) FO4 vs rule", "55 ps",
+            CMOS180_CUSTOM.fo4_delay_ps, 54.0, 66.0, fmt="{:.0f} ps"),
+        row("measured: naive 16b ALU through our STA", "40-80 FO4 class",
+            asic_alu_fo4, 40.0, 90.0, fmt="{:.1f} FO4"),
+    ]
+    report("E3  FO4 depth calibration (Section 4 + 8.3)", rows)
+    for entry in rows:
+        assert entry.ok, entry

@@ -1,0 +1,71 @@
+"""E4 -- Section 4: pipelining speedups (3.8x Xtensa, 3.4x PowerPC).
+
+Three measurements: the paper's own N*(1-v) arithmetic, the FO4-budget
+model, and a *netlist-level* pipelining sweep through the real pipeliner
+and STA engine.  Includes the overhead-fraction ablation (10-40%) called
+out in DESIGN.md.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.datapath import ripple_carry_adder
+from repro.pipeline import (
+    ideal_pipeline_speedup,
+    pipeline_module,
+    pipeline_speedup_fo4,
+)
+from repro.sta import asic_clock, solve_min_period
+from repro.tech import CMOS250_ASIC
+
+BITS = 12
+
+
+def _netlist_sweep():
+    library = rich_asic_library(CMOS250_ASIC)
+    clock = asic_clock(50.0 * CMOS250_ASIC.fo4_delay_ps)
+    periods = {}
+    for stages in (1, 2, 4, 5, 8):
+        piped = pipeline_module(
+            ripple_carry_adder(BITS, library), library, stages
+        )
+        timing = solve_min_period(piped.module, library, clock)
+        periods[stages] = timing.min_period_ps
+    return periods
+
+
+def test_e4_pipelining(benchmark):
+    periods = run_once(benchmark, _netlist_sweep)
+    measured_5 = periods[1] / periods[5]
+    measured_8 = periods[1] / periods[8]
+
+    rows = [
+        row("paper arithmetic: 5 stages @ 24% ovh", "~3.8x",
+            ideal_pipeline_speedup(5, 0.24), 3.7, 3.9),
+        row("paper arithmetic: 4 stages @ 15% ovh", "~3.4x",
+            ideal_pipeline_speedup(4, 0.15), 3.3, 3.5),
+        row("FO4 budget: Xtensa class (5 st)", "~3.8x",
+            pipeline_speedup_fo4(154.0, 5, 13.2), 3.6, 4.0),
+        row("FO4 budget: PowerPC class (4 st)", "~3.4x",
+            pipeline_speedup_fo4(41.6, 4, 2.6), 3.2, 3.6),
+        row("netlist: 12b adder, 5 stages", "3-4x class",
+            measured_5, 2.2, 4.6),
+        row("netlist: diminishing returns at 8", "< linear",
+            measured_8 / 8.0, 0.2, 0.9, fmt="{:.2f} of linear"),
+    ]
+
+    # Ablation: overhead fraction sweep around the paper's 20/30%.
+    print()
+    print("ablation: ideal 5-stage speedup vs overhead fraction")
+    for overhead in (0.10, 0.20, 0.30, 0.40):
+        print(f"  v = {overhead:.2f}: {ideal_pipeline_speedup(5, overhead):.2f}x")
+
+    report("E4  Pipelining speedups (Section 4)", rows)
+    for entry in rows:
+        assert entry.ok, entry
+    assert periods[5] < periods[4] < periods[2] < periods[1]

@@ -1,0 +1,102 @@
+"""E5 -- Section 4.1: clock skew and latch overheads.
+
+Claims measured: ASIC trees carry ~10% skew vs ~5% for custom trees (the
+Alpha's 75 ps at 600 MHz); custom-quality skew alone is worth ~10% in
+speed (we measure both the direct period ratio and the full flow effect
+through the STA engine with latch borrowing); latches consume ~15% of the
+Alpha's cycle.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import custom_library, rich_asic_library
+from repro.core import ALPHA_CYCLE
+from repro.datapath import kogge_stone_adder
+from repro.physical import asic_clock_tree, custom_clock_tree
+from repro.sta import (
+    Clock,
+    asic_clock,
+    custom_clock,
+    register_boundaries,
+    skew_speedup,
+    solve_min_period,
+)
+from repro.tech import CMOS250_ASIC, CMOS250_CUSTOM
+
+
+def _measure():
+    # Clock-tree synthesis: each tree judged against its design class's
+    # cycle (Xtensa-class 44 FO4 for the ASIC, Alpha-class 15 FO4 in the
+    # faster custom process for the custom tree).
+    cycle_ps = 44.0 * CMOS250_ASIC.fo4_delay_ps
+    asic_tree = asic_clock_tree(CMOS250_ASIC, 10000.0, 4096)
+    custom_tree = custom_clock_tree(CMOS250_CUSTOM, 10000.0, 4096)
+
+    # Flow-level: same netlist, 10% vs 5% skew budgets.
+    library = rich_asic_library(CMOS250_ASIC)
+    module = register_boundaries(kogge_stone_adder(16, library), library)
+    base = 30.0 * CMOS250_ASIC.fo4_delay_ps
+    ten = solve_min_period(
+        module, library,
+        Clock("clk10", base, skew_ps=0.10 * base),
+    ).min_period_ps
+    five = solve_min_period(
+        module, library,
+        Clock("clk5", base, skew_ps=0.05 * base),
+    ).min_period_ps
+    return asic_tree, custom_tree, cycle_ps, ten / five
+
+
+def test_e5_skew_and_latches(benchmark):
+    asic_tree, custom_tree, cycle_ps, flow_gain = run_once(benchmark, _measure)
+
+    alpha_period = 1e6 / 600.0
+    rows = [
+        row("ASIC clock-tree skew fraction", "~10% of cycle",
+            100 * asic_tree.skew_fraction(cycle_ps), 6.0, 14.0,
+            fmt="{:.1f}%"),
+        row("custom clock-tree skew fraction", "~5% of cycle",
+            100 * custom_tree.skew_fraction(
+                15.0 * CMOS250_CUSTOM.fo4_delay_ps
+            ), 2.0, 7.0, fmt="{:.1f}%"),
+        row("Alpha 21264 skew: 75 ps at 600 MHz", "~5%",
+            100 * 75.0 / alpha_period, 4.0, 5.5, fmt="{:.1f}%"),
+        row("speed from custom-quality skew (period)", "~10% (5-10%)",
+            100 * (skew_speedup() - 1.0), 4.0, 11.0, fmt="{:.1f}%"),
+        row("measured flow gain, 10% -> 5% skew", "5-10%",
+            100 * (flow_gain - 1.0), 3.0, 11.0, fmt="{:.1f}%"),
+        row("Alpha latch share of cycle", "15%",
+            100 * ALPHA_CYCLE.latch_fo4 / ALPHA_CYCLE.cycle_fo4,
+            13.0, 17.0, fmt="{:.1f}%"),
+    ]
+    report("E5  Clock skew and latch overheads (Section 4.1)", rows)
+    for entry in rows:
+        assert entry.ok, entry
+    assert custom_tree.skew_ps < asic_tree.skew_ps
+
+
+def test_e5_latch_borrowing(benchmark):
+    """Multi-phase latch clocking (the time-borrowing half of 4.1)."""
+
+    def _measure_borrowing():
+        library = custom_library(CMOS250_CUSTOM)
+        comb = kogge_stone_adder(16, library)
+        flops = register_boundaries(comb, library, use_latches=False)
+        latches = register_boundaries(comb, library, use_latches=True)
+        clk = custom_clock(30.0 * CMOS250_CUSTOM.fo4_delay_ps)
+        p_flop = solve_min_period(flops, library, clk).min_period_ps
+        p_latch = solve_min_period(latches, library, clk).min_period_ps
+        return p_flop / p_latch
+
+    gain = run_once(benchmark, _measure_borrowing)
+    rows = [
+        row("latch + borrowing vs flops", "faster (enables time stealing)",
+            gain, 1.01, 2.0),
+    ]
+    report("E5b Time borrowing with transparent latches", rows)
+    assert rows[0].ok

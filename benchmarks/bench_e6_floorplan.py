@@ -1,0 +1,79 @@
+"""E6 -- Section 5: floorplanning and placement, up to 25%.
+
+Two measurements of the same claim:
+
+* the BACPAC-style analytical comparison the paper ran (critical path
+  localised in a module vs crossing a 100 mm^2 die);
+* a netlist-level comparison through our placer: careful vs scattered
+  placement of the same design, timed with wire parasitics.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.datapath import kogge_stone_adder
+from repro.physical import ChipWireModel, place
+from repro.sta import asic_clock, solve_min_period
+from repro.tech import CMOS250_ASIC
+
+BITS = 16
+
+
+def _measure():
+    chip = ChipWireModel(100.0, CMOS250_ASIC)
+    logic_44 = 44.0 * CMOS250_ASIC.fo4_delay_ps
+    analytic = chip.floorplanning_speedup(logic_44, module_area_mm2=1.0)
+    analytic_tight = chip.floorplanning_speedup(
+        logic_44, module_area_mm2=0.25
+    )
+
+    library = rich_asic_library(CMOS250_ASIC)
+    module = kogge_stone_adder(BITS, library)
+    clock = asic_clock(40.0 * CMOS250_ASIC.fo4_delay_ps)
+    results = {}
+    for quality in ("careful", "sloppy"):
+        placement = place(module, library, quality=quality, seed=7)
+        timing = solve_min_period(
+            module, library, clock, wire=placement.parasitics(library)
+        )
+        results[quality] = (
+            timing.min_period_ps, placement.total_wirelength_um()
+        )
+    return chip, analytic, analytic_tight, results
+
+
+def test_e6_floorplanning(benchmark):
+    chip, analytic, analytic_tight, results = run_once(benchmark, _measure)
+    placement_gain = results["sloppy"][0] / results["careful"][0]
+    wl_gain = results["sloppy"][1] / results["careful"][1]
+
+    rows = [
+        row("cross-chip wire on 100mm2 die", "dominant: ~10-20 FO4",
+            chip.cross_chip_delay_ps() / CMOS250_ASIC.fo4_delay_ps,
+            8.0, 25.0, fmt="{:.1f} FO4"),
+        row("localise 44-FO4 path vs chip-crossing", "up to 25%",
+            100 * (analytic - 1.0), 10.0, 35.0, fmt="{:.1f}%"),
+        row("  ... with tighter (0.25mm2) module", "up to 25%",
+            100 * (analytic_tight - 1.0), 12.0, 40.0, fmt="{:.1f}%"),
+        row("placer: careful vs scattered (period)", "same direction",
+            100 * (placement_gain - 1.0), 1.0, 60.0, fmt="{:.1f}%"),
+        row("placer: wirelength reduction", ">1x", wl_gain, 1.1, 10.0),
+    ]
+
+    print()
+    print("ablation: analytic speedup vs die area (44-FO4 path, 1 hop)")
+    for area in (25.0, 50.0, 100.0, 200.0):
+        model = ChipWireModel(area, CMOS250_ASIC)
+        speedup = model.floorplanning_speedup(
+            44.0 * CMOS250_ASIC.fo4_delay_ps, module_area_mm2=1.0
+        )
+        print(f"  {area:6.0f} mm2: {100 * (speedup - 1):.1f}%")
+
+    report("E6  Floorplanning and placement (Section 5)", rows)
+    for entry in rows:
+        assert entry.ok, entry

@@ -1,0 +1,94 @@
+"""E7 -- Section 6.1: library richness and discrete sizing.
+
+Claims measured on real mapped netlists:
+
+* "a cell library with only two drive strengths may be 25% slower than an
+  ASIC library with a rich selection of drive strengths ... as well as
+  dual polarities" -- poor vs rich mapping + sizing;
+* "with a rich library of sizes the performance impact of discrete sizes
+  may be 2% to 7% or less" -- continuous sizing snapped to a rich ladder;
+* the drive-count sweep ablation from DESIGN.md.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import (
+    LibrarySpec,
+    build_library,
+    custom_library,
+    poor_asic_library,
+    rich_asic_library,
+)
+from repro.datapath import alu
+from repro.sizing import (
+    discretization_penalty,
+    geometric_drive_ladder,
+    size_for_speed,
+    snap_to_library,
+    worst_case_snap_penalty,
+)
+from repro.sta import asic_clock, register_boundaries, solve_min_period
+from repro.tech import CMOS250_ASIC, CMOS250_CUSTOM
+
+BITS = 8
+
+
+def _implement(library, moves=25):
+    module = register_boundaries(
+        alu(BITS, library, fast_adder=False), library
+    )
+    clock = asic_clock(60.0 * library.technology.fo4_delay_ps)
+    size_for_speed(module, library, clock, max_moves=moves)
+    timing = solve_min_period(module, library, clock)
+    return timing.min_period_ps / library.technology.fo4_delay_ps
+
+
+def _measure():
+    poor_fo4 = _implement(poor_asic_library(CMOS250_ASIC))
+    rich_fo4 = _implement(rich_asic_library(CMOS250_ASIC))
+
+    # Discrete-vs-continuous on the same (custom) technology.
+    custom = custom_library(CMOS250_CUSTOM)
+    module = register_boundaries(alu(BITS, custom, fast_adder=True), custom)
+    clock = asic_clock(30.0 * CMOS250_CUSTOM.fo4_delay_ps)
+    size_for_speed(module, custom, clock, max_moves=40)
+    rich_same_tech = rich_asic_library(CMOS250_CUSTOM)
+    penalty = discretization_penalty(module, custom, rich_same_tech, clock)
+    return poor_fo4, rich_fo4, penalty
+
+
+def test_e7_library_richness(benchmark):
+    poor_fo4, rich_fo4, penalty = run_once(benchmark, _measure)
+    poor_penalty = poor_fo4 / rich_fo4 - 1.0
+
+    rows = [
+        row("two-drive single-polarity library", "~25% slower",
+            100 * poor_penalty, 8.0, 38.0, fmt="{:.1f}%"),
+        row("discrete snap on rich ladder", "2-7% or less",
+            100 * max(penalty.penalty_fraction, 0.0), 0.0, 15.0,
+            fmt="{:.1f}%"),
+        row("analytic worst-case snap, r=1.5 ladder", "2-7% class",
+            100 * worst_case_snap_penalty(1.5) / 2, 2.0, 12.0,
+            fmt="{:.1f}%"),
+    ]
+
+    print()
+    print("ablation: drive-count sweep (same ALU, sized, FO4 per cycle)")
+    for count in (2, 3, 4, 6, 8, 12):
+        ladder = geometric_drive_ladder(count, 1.0, 16.0)
+        library = build_library(
+            CMOS250_ASIC,
+            LibrarySpec(name=f"sweep{count}", drives=ladder, guard_band=1.05),
+        )
+        fo4 = _implement(library, moves=15)
+        print(f"  {count:>2d} drives/function: {fo4:6.1f} FO4")
+
+    report("E7  Library richness and discrete sizing (Section 6.1)", rows)
+    for entry in rows:
+        assert entry.ok, entry
+    assert poor_fo4 > rich_fo4

@@ -1,0 +1,112 @@
+"""E9 -- Section 7: dynamic (domino) logic on critical paths.
+
+Claims measured on real gate-level mappings (static CMOS vs dual-rail
+domino of the same functions):
+
+* "dynamic logic functions ... are 50% to 100% faster than static CMOS
+  combinational logic with the same functionality";
+* "this implies that sequential circuitry using dynamic logic will be
+  about 50% faster";
+* domino's costs: higher power, thinner noise margins (the reasons
+  "dynamic logic libraries are not available for ASIC design").
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import (
+    domino_library,
+    estimate_power,
+    rich_asic_library,
+)
+from repro.circuit import (
+    NoiseEnvironment,
+    audit_noise,
+    domino_map,
+    sequential_speedup_from_combinational,
+)
+from repro.sta import analyze, asic_clock
+from repro.synth import map_design, parse_expression
+from repro.tech import CMOS250_ASIC, CMOS250_CUSTOM
+
+#: Representative critical-path functions (wide AND-OR cones, carry
+#: logic, a selector) -- the structures domino excels at.
+FUNCTIONS = {
+    "wide_and_or": "(a & b & c & d) | (e & f & g & h)",
+    "carry": "(a & b) | (c & (a | b))",
+    "selector": "(a & b & ~s) | (c & d & s)",
+    "sum_of_products": "(a & b) | (c & d) | (e & f) | (g & h)",
+}
+
+
+def _measure():
+    static_lib = rich_asic_library(CMOS250_ASIC)
+    dyn_lib = domino_library(CMOS250_CUSTOM)
+    clock = asic_clock(10000.0)
+    ratios = {}
+    power_ratio = None
+    for name, text in FUNCTIONS.items():
+        expr = parse_expression(text)
+        static_mod = map_design({"y": expr}, static_lib)
+        domino_mod = domino_map({"y": expr}, dyn_lib)
+        r_static = analyze(static_mod, static_lib, clock)
+        r_domino = analyze(domino_mod, dyn_lib, clock)
+        # Compare in FO4 of each family's own technology so the process
+        # difference doesn't contaminate the circuit-family factor.
+        static_fo4 = r_static.min_period_ps / CMOS250_ASIC.fo4_delay_ps
+        domino_fo4 = r_domino.min_period_ps / CMOS250_CUSTOM.fo4_delay_ps
+        ratios[name] = static_fo4 / domino_fo4
+        if name == "wide_and_or":
+            p_static = estimate_power(static_mod, static_lib, 250.0)
+            p_domino = estimate_power(domino_mod, dyn_lib, 250.0)
+            power_ratio = p_domino.total_uw / p_static.total_uw
+    return ratios, power_ratio, static_lib, dyn_lib
+
+
+def test_e9_domino(benchmark):
+    ratios, power_ratio, static_lib, dyn_lib = run_once(benchmark, _measure)
+    mean_ratio = sum(ratios.values()) / len(ratios)
+
+    print()
+    print("per-function combinational speedups (static FO4 / domino FO4):")
+    for name, ratio in sorted(ratios.items()):
+        print(f"  {name:<18s} {ratio:5.2f}x")
+
+    seq = sequential_speedup_from_combinational(mean_ratio, 0.75)
+    env = NoiseEnvironment(coupling_fraction=0.15)
+    static_violations = len(
+        audit_noise(
+            map_design(
+                {"y": parse_expression(FUNCTIONS["carry"])}, static_lib
+            ),
+            static_lib, env,
+        )
+    )
+    domino_violations = len(
+        audit_noise(
+            domino_map(
+                {"y": parse_expression(FUNCTIONS["carry"])}, dyn_lib
+            ),
+            dyn_lib, env,
+        )
+    )
+
+    rows = [
+        row("domino combinational speedup (mean)", "1.5x-2.0x",
+            mean_ratio, 1.4, 2.6),
+        row("implied sequential speedup", "~1.5x", seq, 1.3, 1.9),
+        row("domino power penalty (same function)", "higher power",
+            power_ratio, 1.3, 6.0),
+        row("noise violations at 15% coupling (domino)", "susceptible",
+            float(domino_violations), 1.0, 100.0, fmt="{:.0f} gates"),
+        row("noise violations at 15% coupling (static)", "robust",
+            float(static_violations), 0.0, 0.0, fmt="{:.0f} gates"),
+    ]
+    report("E9  Dynamic logic on critical paths (Section 7)", rows)
+    for entry in rows:
+        assert entry.ok, entry
+    assert all(r > 1.2 for r in ratios.values())

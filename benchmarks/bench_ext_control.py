@@ -1,0 +1,88 @@
+"""Extension bench -- Section 4.1's "What's the problem?" for control logic.
+
+"Many designs, such as bus interfaces, have a tight interaction with
+their environment in which each execution cycle depends on new primary
+inputs ... it is not clear how an ASIC may be reorganized to allow
+pipelining.  Simply increasing the clock speed by adding latches would
+only increase latency."
+
+Measured: a synthesised bus-interface FSM's cycle time is pinned by its
+state-feedback cone (retiming cannot beat the cycle bound and the
+pipeliner rightly refuses), while the same-size parallel datapath
+pipelines to a multiple of its base speed.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.datapath import ripple_carry_adder
+from repro.pipeline import (
+    PipelineError,
+    make_retiming_graph,
+    opt_period,
+    pipeline_module,
+)
+from repro.sta import asic_clock, fo4_depth, solve_min_period
+from repro.synth.fsm import bus_interface_spec, synthesize_fsm
+from repro.tech import CMOS250_ASIC
+
+
+def _measure():
+    library = rich_asic_library(CMOS250_ASIC)
+    clock = asic_clock(40.0 * CMOS250_ASIC.fo4_delay_ps)
+
+    fsm = synthesize_fsm(bus_interface_spec(), library)
+    fsm_timing = solve_min_period(fsm, library, clock)
+
+    pipeliner_refused = False
+    try:
+        pipeline_module(fsm, library, stages=2)
+    except PipelineError:
+        pipeliner_refused = True
+
+    # Retiming abstraction of the FSM: one register on the feedback loop.
+    ns_delay = fsm_timing.logic_delay_ps
+    graph = make_retiming_graph(
+        {"ns": ns_delay, "reg": 0.0},
+        [("reg", "ns", 0), ("ns", "reg", 1)],
+    )
+    retimed = opt_period(graph)
+
+    # The contrast: a parallel datapath of comparable size pipelines.
+    adder = ripple_carry_adder(10, library)
+    base = solve_min_period(
+        pipeline_module(ripple_carry_adder(10, library), library, 1).module,
+        library, clock,
+    ).min_period_ps
+    piped = solve_min_period(
+        pipeline_module(adder, library, 4).module, library, clock
+    ).min_period_ps
+    return fsm, fsm_timing, pipeliner_refused, retimed, ns_delay, base / piped
+
+
+def test_ext_control_logic(benchmark):
+    (fsm, fsm_timing, refused, retimed, ns_delay,
+     datapath_speedup) = run_once(benchmark, _measure)
+
+    rows = [
+        row("bus FSM synthesised cycle", "control-logic class",
+            fo4_depth(fsm_timing, CMOS250_ASIC), 5.0, 30.0,
+            fmt="{:.1f} FO4"),
+        row("pipeliner refuses sequential feedback", "cannot reorganize",
+            1.0 if refused else 0.0, 1.0, 1.0, fmt="{:.0f}"),
+        row("retiming gain on the feedback loop", "none (cycle bound)",
+            retimed.original_period / retimed.period, 1.0, 1.001),
+        row("same-size parallel datapath, 4 stages", "pipelines fine",
+            datapath_speedup, 2.0, 4.6),
+    ]
+    print()
+    print(f"FSM gates: {fsm.instance_count()}, next-state cone "
+          f"{ns_delay:.0f} ps; retiming bound {retimed.period:.0f} ps")
+    report("EXT  Control logic cannot pipeline (Section 4.1)", rows)
+    for entry in rows:
+        assert entry.ok, entry

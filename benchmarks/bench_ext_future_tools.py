@@ -1,0 +1,111 @@
+"""Extension bench -- the paper's "what can we do about it" program.
+
+Each section of the paper closes with remedies; this bench measures the
+ones implemented as extensions:
+
+* resynthesis passes (Section 6.2, refs [17]/[8]);
+* delay-balanced pipeline cuts (Section 4.1's custom stage balancing);
+* skew-tolerant domino clocking (reference [15]);
+* simultaneous gate+wire sizing (Section 6.2's "future" tools, ref [6]);
+* down-binning / over-clocking headroom (Section 8.1.1);
+* the gap roadmap (Section 9's optimist-vs-pessimist reading).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.circuit import skew_tolerance_speedup
+from repro.core import asymptotic_gap, project_gap
+from repro.datapath import alu
+from repro.pipeline import pipeline_module, pipeline_module_balanced
+from repro.sizing import joint_size, sequential_size
+from repro.sta import analyze, asic_clock, solve_min_period
+from repro.synth import resynthesize
+from repro.tech import CMOS250_ASIC
+from repro.variation import (
+    NEW_PROCESS,
+    overclocking_headroom,
+    sample_chip_speeds,
+    ship_against_demand,
+)
+
+BITS = 8
+
+
+def _measure():
+    library = rich_asic_library(CMOS250_ASIC)
+    clock = asic_clock(60.0 * CMOS250_ASIC.fo4_delay_ps)
+
+    # Resynthesis on a mapped ALU.
+    module = alu(BITS, library, fast_adder=False)
+    before = analyze(module, library, clock)
+    arrivals = {
+        s.instance: s.arrival_ps for s in before.critical_path
+    }
+    net_arrivals = {}
+    for inst in module.iter_instances():
+        for net in inst.outputs.values():
+            net_arrivals[net] = arrivals.get(inst.name, 0.0)
+    resyn_report = resynthesize(module, library, arrivals=net_arrivals)
+    after = analyze(module, library, clock)
+
+    # Balanced vs unit-level pipeline cuts.
+    unit = pipeline_module(alu(BITS, library, fast_adder=False), library, 4)
+    balanced = pipeline_module_balanced(
+        alu(BITS, library, fast_adder=False), library, 4
+    )
+    p_unit = solve_min_period(unit.module, library, clock).min_period_ps
+    p_balanced = solve_min_period(
+        balanced.module, library, clock
+    ).min_period_ps
+
+    # Joint gate+wire sizing.
+    joint = joint_size(CMOS250_ASIC, 5000.0, 20.0)
+    seq = sequential_size(CMOS250_ASIC, 5000.0, 20.0)
+
+    # Down-binning.
+    dist = sample_chip_speeds(400.0, NEW_PROCESS, count=12000, seed=23)
+    edges = [dist.percentile(5), dist.percentile(40), dist.percentile(80)]
+    binned = ship_against_demand(dist, edges, [0.6, 0.25, 0.1])
+    headroom = overclocking_headroom(dist, dist.percentile(5))
+
+    return (
+        resyn_report, before.min_period_ps, after.min_period_ps,
+        p_unit, p_balanced, joint, seq, binned, headroom,
+    )
+
+
+def test_ext_future_tools(benchmark):
+    (resyn, before_ps, after_ps, p_unit, p_balanced, joint, seq,
+     binned, headroom) = run_once(benchmark, _measure)
+
+    points = project_gap(generations=4, initial_gap=8.0)
+
+    rows = [
+        row("resynthesis structural changes", "netlist restructuring",
+            float(resyn.total_changes), 1.0, 1e4, fmt="{:.0f} edits"),
+        row("resynthesis never slows the design", "speed-neutral or better",
+            before_ps / after_ps, 0.999, 2.0),
+        row("balanced vs unit pipeline cuts", "custom balancing wins",
+            p_unit / p_balanced, 0.98, 1.6),
+        row("joint gate+wire vs sequential sizing", "joint wins (ref [6])",
+            seq.delay_ps / joint.delay_ps, 1.0, 2.0),
+        row("skew-tolerant domino recovers overhead", "hides latch+skew",
+            skew_tolerance_speedup(10.0), 1.25, 1.55),
+        row("down-binned share under slow demand", "down-binning happens",
+            100 * binned.down_binned_fraction, 3.0, 60.0, fmt="{:.1f}%"),
+        row("median over-clocking headroom", "'ease of over-clocking'",
+            100 * (headroom - 1.0), 5.0, 40.0, fmt="{:.1f}%"),
+        row("gap after 4 generations of better tools", "remains large",
+            points[-1].gap, 3.0, 8.0),
+        row("asymptotic gap (custom-only factors)", "pipelining+domino",
+            asymptotic_gap(8.0), 3.0, 5.0),
+    ]
+    report("EXT  'What can we do about it': the paper's remedies", rows)
+    for entry in rows:
+        assert entry.ok, entry

@@ -1,0 +1,65 @@
+"""Shared reporting helpers for the paper-reproduction benchmarks.
+
+Every benchmark prints a table of (claim, paper value, measured value)
+rows through :func:`report`, so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the paper's quantitative statements side by side with this
+reproduction's measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Row:
+    """One claim-vs-measurement row.
+
+    Attributes:
+        claim: short description of the paper's statement.
+        paper: the paper's number, as text (may be a range).
+        measured: this reproduction's number, as text.
+        ok: whether the measured value lands in (or adjacent to) the
+            paper's band.
+    """
+
+    claim: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+def row(claim: str, paper: str, value: float, lo: float, hi: float,
+        fmt: str = "{:.2f}x") -> Row:
+    """Build a row whose measured value must land within [lo, hi]."""
+    return Row(
+        claim=claim,
+        paper=paper,
+        measured=fmt.format(value),
+        ok=lo <= value <= hi,
+    )
+
+
+def report(title: str, rows: list[Row]) -> None:
+    """Print a claim-vs-measured table."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    print(f"{'claim':<44s} {'paper':>12s} {'measured':>10s} {'band':>6s}")
+    for entry in rows:
+        mark = "in" if entry.ok else "OUT"
+        print(
+            f"{entry.claim:<44.44s} {entry.paper:>12s} "
+            f"{entry.measured:>10s} {mark:>6s}"
+        )
+
+
+def run_once(benchmark, func):
+    """Run a workload exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations, not microbenchmarks;
+    one round records the wall time without re-running multi-second
+    flows dozens of times.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""Future tools: the paper's "what can we do about it" program, running.
+
+Each section of the paper ends with remedies for ASIC designers; this
+example demonstrates the ones implemented as extensions of the core
+reproduction:
+
+* resynthesis of a mapped netlist (Section 6.2);
+* delay-balanced pipeline cuts (Section 4.1);
+* simultaneous gate and wire sizing (Section 6.2, "future" tools);
+* skew-tolerant domino clocking (reference [15]);
+* down-binning and over-clocking headroom (Section 8.1.1);
+* the gap roadmap (Section 9's two readings).
+
+Run with::
+
+    python examples/future_tools.py
+"""
+
+from repro.cells import rich_asic_library
+from repro.circuit import SkewTolerantClocking, skew_tolerance_speedup
+from repro.core import asymptotic_gap, project_gap, roadmap_table
+from repro.datapath import alu
+from repro.pipeline import pipeline_module, pipeline_module_balanced
+from repro.sizing import joint_size, sequential_size
+from repro.sta import analyze, asic_clock, solve_min_period
+from repro.synth import resynthesize
+from repro.tech import CMOS250_ASIC
+from repro.variation import (
+    NEW_PROCESS,
+    overclocking_headroom,
+    sample_chip_speeds,
+    ship_against_demand,
+)
+
+
+def main() -> None:
+    library = rich_asic_library(CMOS250_ASIC)
+    clock = asic_clock(60.0 * CMOS250_ASIC.fo4_delay_ps)
+
+    print("1. Resynthesis of a mapped 8-bit ALU (Section 6.2):")
+    module = alu(8, library, fast_adder=False)
+    before = analyze(module, library, clock).min_period_ps
+    report = resynthesize(module, library)
+    after = analyze(module, library, clock).min_period_ps
+    print(f"   {report.inverter_pairs_removed} inverter pairs removed, "
+          f"{report.complex_gates_formed} complex gates formed")
+    print(f"   period {before:.0f} ps -> {after:.0f} ps")
+    print()
+
+    print("2. Delay-balanced vs unit-level pipeline cuts (Section 4.1):")
+    unit = pipeline_module(alu(8, library, fast_adder=False), library, 4)
+    balanced = pipeline_module_balanced(
+        alu(8, library, fast_adder=False), library, 4
+    )
+    p_unit = solve_min_period(unit.module, library, clock).min_period_ps
+    p_bal = solve_min_period(balanced.module, library, clock).min_period_ps
+    print(f"   unit-level cuts:   {p_unit:7.0f} ps")
+    print(f"   delay-balanced:    {p_bal:7.0f} ps "
+          f"({100 * (p_unit / p_bal - 1):+.1f}%)")
+    print()
+
+    print("3. Joint gate+wire sizing on a 5 mm net (Section 6.2, ref [6]):")
+    joint = joint_size(CMOS250_ASIC, 5000.0, 20.0)
+    seq = sequential_size(CMOS250_ASIC, 5000.0, 20.0)
+    print(f"   sequential (gate then wire): {seq.delay_ps:6.1f} ps")
+    print(f"   joint optimisation:          {joint.delay_ps:6.1f} ps "
+          f"(gate {joint.gate_size:.0f}x, wire "
+          f"{joint.wire_width_um / CMOS250_ASIC.interconnect.min_width_um:.1f}x"
+          " width)")
+    print()
+
+    print("4. Skew-tolerant domino clocking (reference [15]):")
+    plan = SkewTolerantClocking()
+    print(f"   conventional 10-FO4 stage + 3 FO4 flop + 10% skew: "
+          f"{(10 + 3) / 0.9:.1f} FO4 cycle")
+    print(f"   skew-tolerant domino: {plan.cycle_fo4(10.0, 0.10):.1f} FO4 "
+          f"({skew_tolerance_speedup(10.0):.2f}x)")
+    print()
+
+    print("5. Down-binning and over-clocking (Section 8.1.1):")
+    dist = sample_chip_speeds(400.0, NEW_PROCESS, count=12000, seed=23)
+    edges = [dist.percentile(5), dist.percentile(40), dist.percentile(80)]
+    outcome = ship_against_demand(dist, edges, [0.6, 0.25, 0.1])
+    print(f"   {100 * outcome.down_binned_fraction:.1f}% of parts "
+          "down-binned to satisfy slow-grade demand")
+    print(f"   mean over-clocking headroom {outcome.mean_headroom:.2f}x, "
+          f"p90 {outcome.p90_headroom:.2f}x")
+    print(f"   headroom if everything ships at the p5 grade: "
+          f"{overclocking_headroom(dist, dist.percentile(5)):.2f}x")
+    print()
+
+    print("6. Does the gap close? (Section 9):")
+    print(roadmap_table(project_gap(generations=4, initial_gap=8.0)))
+    print(f"   asymptote with perfect ASIC tools: "
+          f"{asymptotic_gap(8.0):.2f}x "
+          "(the custom-only pipelining + domino share)")
+
+
+if __name__ == "__main__":
+    main()

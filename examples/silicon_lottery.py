@@ -1,0 +1,101 @@
+"""The silicon lottery: Section 8's variation and accessibility story.
+
+Samples a die population for one design, shows the bin structure, and
+contrasts what an ASIC customer (worst-case quote), a speed-testing ASIC
+team, and a custom vendor (flagship bins) each get to ship -- then tracks
+the process maturing and the fab landscape.
+
+Run with::
+
+    python examples/silicon_lottery.py
+"""
+
+from repro.variation import (
+    MATURE_PROCESS,
+    NEW_PROCESS,
+    access_gap,
+    accessibility_penalty,
+    bin_population,
+    default_foundry_set,
+    fab_distributions,
+    fab_spread,
+    maturity_trend,
+    sample_chip_speeds,
+)
+
+NOMINAL_MHZ = 400.0
+
+
+def ascii_histogram(dist, buckets: int = 12, width: int = 44) -> str:
+    lo = dist.percentile(0.5)
+    hi = dist.percentile(99.5)
+    step = (hi - lo) / buckets
+    lines = []
+    freqs = dist.frequencies_mhz
+    for i in range(buckets):
+        left = lo + i * step
+        right = left + step
+        count = int(((freqs >= left) & (freqs < right)).sum())
+        bar = "#" * max(1, int(width * count / max(1, len(freqs) / buckets * 2)))
+        lines.append(f"{left:7.0f}-{right:<7.0f} {bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    dist = sample_chip_speeds(NOMINAL_MHZ, NEW_PROCESS, count=20000, seed=42)
+    print(f"die population for a {NOMINAL_MHZ:.0f} MHz design on a new "
+          "process:")
+    print(ascii_histogram(dist))
+    print()
+
+    gap = access_gap(dist)
+    print(f"{'who ships what':<34s} {'MHz':>8s}")
+    print(f"{'ASIC worst-case quote':<34s} {gap.asic_quote_mhz:>8.1f}")
+    print(f"{'ASIC with at-speed testing':<34s} {gap.tested_mhz:>8.1f}")
+    print(f"{'typical (median) silicon':<34s} {gap.typical_mhz:>8.1f}")
+    print(f"{'custom flagship bin':<34s} {gap.flagship_mhz:>8.1f}")
+    print()
+    print(f"typical / quote    = {gap.typical_over_quote:.2f}x "
+          "(paper: 1.6-1.7x)")
+    print(f"tested / quote     = {gap.tested_over_quote:.2f}x "
+          "(paper: 1.3-1.4x)")
+    print(f"flagship / typical = {gap.flagship_over_typical:.2f}x "
+          "(paper: 1.2-1.4x)")
+    print(f"flagship / quote   = {gap.flagship_over_quote:.2f}x "
+          "(paper: ~1.9x)")
+    print()
+
+    edges = [dist.percentile(p) for p in (5, 35, 65, 90)]
+    print("custom vendor bin structure:")
+    for speed_bin in bin_population(dist, edges):
+        grade = (f"{speed_bin.frequency_mhz:6.0f} MHz"
+                 if speed_bin.frequency_mhz else "  scrap  ")
+        print(f"  {grade}: {100 * speed_bin.fraction:5.1f}% of dies")
+    print()
+
+    print("process maturity (8 quarters):")
+    trend = maturity_trend(NOMINAL_MHZ, NEW_PROCESS, quarters=8, count=4000)
+    for quarter, snapshot in enumerate(trend):
+        print(
+            f"  Q{quarter}: median {snapshot.median_mhz:6.1f} MHz, "
+            f"bin spread {snapshot.spread:.2f}x"
+        )
+    print()
+
+    fabs = default_foundry_set(MATURE_PROCESS)
+    dists = fab_distributions(NOMINAL_MHZ, fabs, count=4000)
+    print("foundry landscape (same design, different fabs):")
+    for fab in fabs:
+        access = "custom only" if not fab.asic_accessible else "open"
+        print(
+            f"  {fab.name:<16s} median {dists[fab.name].median_mhz:6.1f} MHz"
+            f"  ({access})"
+        )
+    print(f"fab-to-fab spread: {fab_spread(fabs):.2f}x "
+          "(paper: 1.20-1.25x)")
+    print(f"best-fab access penalty for ASICs: "
+          f"{accessibility_penalty(fabs):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+"""Minimal Liberty-style library writer and reader.
+
+Real ASIC methodology revolves around ``.lib`` files (Section 6's "fixed
+library"); we serialise our libraries in a small Liberty-like dialect so
+examples can hand libraries between tools on disk and users can inspect
+what the generators produced.
+
+Only :class:`~repro.cells.delay.LinearDelayArc` timing is serialised;
+libraries built with NLDM tables should be regenerated from their spec
+rather than round-tripped through text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cells.cell import (
+    Cell,
+    CellError,
+    CellKind,
+    InputPin,
+    LogicFamily,
+    SequentialTiming,
+)
+from repro.cells.delay import LinearDelayArc
+from repro.cells.library import CellLibrary
+from repro.tech.process import get_technology
+
+
+class LibertyError(ValueError):
+    """Raised for serialisation problems or malformed library text."""
+
+
+def to_liberty(library: CellLibrary) -> str:
+    """Serialise a library to Liberty-like text."""
+    lines = [f"library ({library.name}) {{"]
+    lines.append(f"  technology : {library.technology.name};")
+    for cell in sorted(library, key=lambda c: c.name):
+        lines.extend(_cell_block(cell))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _cell_block(cell: Cell) -> list[str]:
+    lines = [f"  cell ({cell.name}) {{"]
+    lines.append(f"    base : {cell.base_name};")
+    lines.append(f"    drive : {cell.drive:.6g};")
+    lines.append(f"    family : {cell.family.value};")
+    lines.append(f"    kind : {cell.kind.value};")
+    lines.append(f"    area : {cell.area_um2:.6g};")
+    lines.append(f"    max_load : {cell.max_load_ff:.6g};")
+    lines.append(f"    inverting : {str(cell.inverting).lower()};")
+    if cell.function:
+        lines.append(f'    function : "{cell.function}";')
+    lines.append(f"    output : {cell.output};")
+    for pin in sorted(cell.inputs.values(), key=lambda p: p.name):
+        lines.append(
+            f"    pin ({pin.name}) {{ cap : {pin.cap_ff:.6g}; "
+            f"effort : {pin.logical_effort:.6g}; }}"
+        )
+    for pin_name in sorted(cell.arcs):
+        arc = cell.arcs[pin_name]
+        if not isinstance(arc, LinearDelayArc):
+            raise LibertyError(
+                f"cell {cell.name}: only linear arcs are serialisable, "
+                f"got {type(arc).__name__}"
+            )
+        lines.append(
+            f"    arc ({pin_name}) {{ parasitic : {arc.parasitic_ps:.6g}; "
+            f"effort_res : {arc.effort_ps_per_ff:.6g}; "
+            f"slew_sens : {arc.slew_sensitivity:.6g}; "
+            f"slew_ratio : {arc.slew_ratio:.6g}; }}"
+        )
+    if cell.sequential is not None:
+        seq = cell.sequential
+        lines.append(
+            f"    ff {{ setup : {seq.setup_ps:.6g}; hold : {seq.hold_ps:.6g}; "
+            f"clk_to_q : {seq.clk_to_q_ps:.6g}; clock_pin : {seq.clock_pin}; "
+            f"transparent : {str(seq.transparent).lower()}; }}"
+        )
+    lines.append("  }")
+    return lines
+
+
+_LIB_RE = re.compile(r"library\s*\(\s*([\w$.]+)\s*\)")
+_ATTR_RE = re.compile(r"([\w]+)\s*:\s*(\"[^\"]*\"|[^;{}]+)\s*;")
+_CELL_RE = re.compile(r"cell\s*\(\s*([\w$.]+)\s*\)\s*\{")
+_PIN_RE = re.compile(r"pin\s*\(\s*([\w$.]+)\s*\)\s*\{([^}]*)\}")
+_ARC_RE = re.compile(r"arc\s*\(\s*([\w$.]+)\s*\)\s*\{([^}]*)\}")
+_FF_RE = re.compile(r"ff\s*\{([^}]*)\}")
+
+
+def from_liberty(text: str) -> CellLibrary:
+    """Parse Liberty-like text back into a :class:`CellLibrary`.
+
+    The referenced technology must be one of the registered
+    :data:`repro.tech.process.TECHNOLOGIES`.
+    """
+    lib_match = _LIB_RE.search(text)
+    if lib_match is None:
+        raise LibertyError("no library header found")
+    header_attrs = _attrs(text[: _first_cell_start(text)])
+    tech_name = header_attrs.get("technology")
+    if tech_name is None:
+        raise LibertyError("library text has no technology attribute")
+    tech = get_technology(tech_name)
+
+    cells = []
+    for name, body in _cell_bodies(text):
+        cells.append(_parse_cell(name, body))
+    library = CellLibrary(name=lib_match.group(1), technology=tech)
+    for cell in cells:
+        library.add(cell)
+    return library
+
+
+def _first_cell_start(text: str) -> int:
+    m = _CELL_RE.search(text)
+    return m.start() if m else len(text)
+
+
+def _cell_bodies(text: str):
+    """Yield (cell_name, body_text) by brace matching from each header."""
+    for m in _CELL_RE.finditer(text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        yield m.group(1), text[m.end(): i - 1]
+
+
+def _attrs(body: str) -> dict[str, str]:
+    out = {}
+    for key, value in _ATTR_RE.findall(body):
+        out[key] = value.strip().strip('"')
+    return out
+
+
+def _parse_cell(name: str, body: str) -> Cell:
+    scalar_body = _PIN_RE.sub("", _ARC_RE.sub("", _FF_RE.sub("", body)))
+    attrs = _attrs(scalar_body)
+    inputs = {}
+    for pin_name, pin_body in _PIN_RE.findall(body):
+        pin_attrs = _attrs(pin_body)
+        inputs[pin_name] = InputPin(
+            name=pin_name,
+            cap_ff=float(pin_attrs["cap"]),
+            logical_effort=float(pin_attrs.get("effort", 1.0)),
+        )
+    arcs = {}
+    for pin_name, arc_body in _ARC_RE.findall(body):
+        arc_attrs = _attrs(arc_body)
+        arcs[pin_name] = LinearDelayArc(
+            parasitic_ps=float(arc_attrs["parasitic"]),
+            effort_ps_per_ff=float(arc_attrs["effort_res"]),
+            slew_sensitivity=float(arc_attrs.get("slew_sens", 0.15)),
+            slew_ratio=float(arc_attrs.get("slew_ratio", 0.9)),
+        )
+    sequential = None
+    ff_match = _FF_RE.search(body)
+    if ff_match:
+        ff_attrs = _attrs(ff_match.group(1))
+        sequential = SequentialTiming(
+            setup_ps=float(ff_attrs["setup"]),
+            hold_ps=float(ff_attrs["hold"]),
+            clk_to_q_ps=float(ff_attrs["clk_to_q"]),
+            clock_pin=ff_attrs.get("clock_pin", "CK"),
+            transparent=ff_attrs.get("transparent", "false") == "true",
+        )
+    try:
+        kind = CellKind(attrs.get("kind", "combinational"))
+        family = LogicFamily(attrs.get("family", "static"))
+    except ValueError as exc:
+        raise LibertyError(f"cell {name}: {exc}") from None
+    return Cell(
+        name=name,
+        base_name=attrs.get("base", name.split("_")[0]),
+        drive=float(attrs.get("drive", 1.0)),
+        function=attrs.get("function", ""),
+        inputs=inputs,
+        output=attrs.get("output", "Y"),
+        max_load_ff=float(attrs.get("max_load", 100.0)),
+        area_um2=float(attrs.get("area", 10.0)),
+        arcs=arcs,
+        family=family,
+        kind=kind,
+        sequential=sequential,
+        inverting=attrs.get("inverting", "false") == "true",
+    )

@@ -1,0 +1,137 @@
+"""Cell and netlist power models.
+
+The paper's Section 7 trade-off needs power to be measurable: "dynamic
+logic has higher power consumption, requiring careful design of power
+distribution, and clock distribution as well; the clock determines when
+precharging occurs".  We model:
+
+* switching (dynamic) power: ``P = alpha * C * Vdd^2 * f``;
+* domino's activity penalty: the dynamic node precharges every cycle, so
+  its effective activity factor is ~1 regardless of data statistics, and
+  the clock network toggles at every gate;
+* leakage as an area-proportional static term.
+
+Units: capacitance fF, voltage V, frequency MHz, power microwatts
+(fF * V^2 * MHz = 1e-15 * 1e6 W = 1e-9 W; we scale to uW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import Cell, LogicFamily
+from repro.cells.library import CellLibrary
+from repro.netlist.module import Module
+
+#: Default signal activity factor for static logic: fraction of cycles a
+#: node switches.  0.15 is a common RTL-average assumption.
+DEFAULT_ACTIVITY = 0.15
+
+#: Domino nodes precharge and (on average half the time) evaluate every
+#: cycle: activity is data-independent and close to 1.
+DOMINO_ACTIVITY = 1.0
+
+#: Leakage per um^2 of cell area, in uW (late-0.25um-era magnitude).
+LEAKAGE_UW_PER_UM2 = 0.002
+
+
+def switching_energy_fj(cap_ff: float, vdd: float) -> float:
+    """Energy in fJ for one full charge/discharge of a capacitance."""
+    if cap_ff < 0 or vdd <= 0:
+        raise ValueError("capacitance must be >= 0 and vdd > 0")
+    return cap_ff * vdd * vdd
+
+
+def switching_power_uw(
+    cap_ff: float, vdd: float, freq_mhz: float, activity: float = DEFAULT_ACTIVITY
+) -> float:
+    """Average dynamic power of one net in microwatts."""
+    if freq_mhz < 0 or activity < 0:
+        raise ValueError("frequency and activity must be non-negative")
+    return 1e-3 * activity * cap_ff * vdd * vdd * freq_mhz
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power breakdown for a netlist at a given clock frequency.
+
+    Attributes:
+        dynamic_uw: data-switching power.
+        clock_uw: clock-network power (flop clock pins, domino precharge).
+        leakage_uw: static power.
+    """
+
+    dynamic_uw: float
+    clock_uw: float
+    leakage_uw: float
+
+    @property
+    def total_uw(self) -> float:
+        return self.dynamic_uw + self.clock_uw + self.leakage_uw
+
+    @property
+    def total_mw(self) -> float:
+        return self.total_uw / 1000.0
+
+
+def estimate_power(
+    module: Module,
+    library: CellLibrary,
+    freq_mhz: float,
+    activity: float = DEFAULT_ACTIVITY,
+    wire_cap_ff_per_net: float = 2.0,
+) -> PowerReport:
+    """Estimate the power of a mapped netlist.
+
+    Every net's switched capacitance is the sum of its sink pin caps plus
+    a lumped wire allowance; domino gates switch at :data:`DOMINO_ACTIVITY`
+    and additionally load the clock network every cycle.
+
+    Args:
+        module: mapped netlist.
+        library: library its cells come from.
+        freq_mhz: operating clock frequency.
+        activity: static-logic signal activity factor.
+        wire_cap_ff_per_net: lumped wire capacitance per net.
+    """
+    vdd = library.technology.vdd
+    dynamic = 0.0
+    clock = 0.0
+    leakage = 0.0
+    for inst in module.iter_instances():
+        cell = library.get(inst.cell_name)
+        leakage += LEAKAGE_UW_PER_UM2 * cell.area_um2
+        out_net = next(iter(inst.outputs.values()), None)
+        if out_net is None:
+            continue
+        load = wire_cap_ff_per_net
+        for sink in module.sinks_of(out_net):
+            if isinstance(sink, tuple):
+                sink_inst, pin = sink
+                sink_cell = library.get(module.instance(sink_inst).cell_name)
+                load += sink_cell.input_cap_ff(pin)
+        if cell.is_sequential:
+            # Output switches with data activity; clock pin switches every
+            # cycle (2 edges -> activity 1 on the clock net contribution).
+            dynamic += switching_power_uw(load, vdd, freq_mhz, activity)
+            clock += switching_power_uw(
+                cell.input_cap_ff(cell.sequential.clock_pin), vdd, freq_mhz, 1.0
+            )
+        elif cell.family is LogicFamily.DOMINO:
+            dynamic += switching_power_uw(load, vdd, freq_mhz, DOMINO_ACTIVITY)
+            # Precharge clock load approximated by one unit of input cap.
+            clock += switching_power_uw(
+                library.technology.unit_input_cap_ff, vdd, freq_mhz, 1.0
+            )
+        else:
+            dynamic += switching_power_uw(load, vdd, freq_mhz, activity)
+    return PowerReport(dynamic_uw=dynamic, clock_uw=clock, leakage_uw=leakage)
+
+
+def power_ratio_domino_vs_static(
+    static_report: PowerReport, domino_report: PowerReport
+) -> float:
+    """Total-power ratio of a domino implementation over a static one."""
+    if static_report.total_uw <= 0:
+        raise ValueError("static power must be positive")
+    return domino_report.total_uw / static_report.total_uw

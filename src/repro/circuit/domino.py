@@ -1,0 +1,169 @@
+"""Domino mapping: monotone (dual-rail) synthesis onto a dynamic library.
+
+Domino gates cannot invert (the output falls only at precharge), so a
+network must be *monotone*.  The standard construction: rewrite the logic
+into negation-normal form (inversions pushed to the literals), provide
+both polarities of every input (dual-rail), and map the now-inversion-free
+network onto AND/OR domino gates.  This is why "dynamic logic circuit
+synthesis ... is used as an aid to in-house custom design" rather than as
+a push-button ASIC flow (Section 7.2) -- and why our custom flow can use
+it while the ASIC flow cannot.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.datapath.emitter import Emitter
+from repro.netlist.module import Module
+from repro.synth.ast import And, Const, Expr, Not, Or, SynthesisError, Var, Xor
+from repro.synth.optimize import optimize
+
+
+def to_negation_normal_form(expr: Expr) -> Expr:
+    """Push all inversions down to the variables.
+
+    XOR/XNOR are expanded into their AND/OR forms first (a domino network
+    has no non-monotone operators).
+    """
+    return _nnf(expr, negate=False)
+
+
+def _nnf(expr: Expr, negate: bool) -> Expr:
+    if isinstance(expr, Const):
+        return Const(expr.value != negate)
+    if isinstance(expr, Var):
+        return Not(expr) if negate else expr
+    if isinstance(expr, Not):
+        return _nnf(expr.child, not negate)
+    if isinstance(expr, And):
+        children = tuple(_nnf(c, negate) for c in expr.children)
+        return Or(children) if negate else And(children)
+    if isinstance(expr, Or):
+        children = tuple(_nnf(c, negate) for c in expr.children)
+        return And(children) if negate else Or(children)
+    if isinstance(expr, Xor):
+        # a ^ b = (a & ~b) | (~a & b); ~(a ^ b) = (a & b) | (~a & ~b).
+        a, b = expr.left, expr.right
+        if negate:
+            expanded = Or((And((a, b)), And((Not(a), Not(b)))))
+        else:
+            expanded = Or((And((a, Not(b))), And((Not(a), b))))
+        return _nnf(expanded, negate=False)
+    raise SynthesisError(f"unknown expression node {type(expr).__name__}")
+
+
+def is_monotone(expr: Expr) -> bool:
+    """True if the expression inverts nothing but input literals."""
+    if isinstance(expr, (Const, Var)):
+        return True
+    if isinstance(expr, Not):
+        return isinstance(expr.child, Var)
+    if isinstance(expr, (And, Or)):
+        return all(is_monotone(c) for c in expr.children)
+    if isinstance(expr, Xor):
+        return False
+    raise SynthesisError(f"unknown expression node {type(expr).__name__}")
+
+
+def domino_map(
+    design: dict[str, Expr],
+    domino_library: CellLibrary,
+    name: str = "domino",
+    drive: float = 2.0,
+) -> Module:
+    """Map a design onto a domino library with dual-rail inputs.
+
+    For every input variable ``x`` the module exposes ``x`` and ``x_n``
+    (its complement); upstream logic -- in a real chip, the preceding
+    pipeline latches -- supplies both rails.  Outputs are the true rail
+    only.
+
+    Raises:
+        SynthesisError: for constant outputs, or a library without
+            AND/OR domino gates.
+    """
+    for base in ("DAND2", "DOR2"):
+        if not domino_library.has_base(base):
+            raise SynthesisError(
+                f"library {domino_library.name} is not a domino library "
+                f"(missing {base})"
+            )
+    module = Module(name)
+    emit = Emitter(module, domino_library, drive=drive)
+    nnf_design: dict[str, Expr] = {}
+    variables: set[str] = set()
+    for out, expr in design.items():
+        nnf = to_negation_normal_form(optimize(expr, max_arity=4))
+        if isinstance(nnf, Const):
+            raise SynthesisError(f"output {out!r} reduces to a constant")
+        if not is_monotone(nnf):
+            raise SynthesisError(f"output {out!r} failed NNF monotonisation")
+        nnf_design[out] = nnf
+        variables |= nnf.variables()
+    rails: dict[tuple[str, bool], str] = {}
+    for var in sorted(variables):
+        rails[(var, False)] = module.add_input(var)
+        rails[(var, True)] = module.add_input(f"{var}_n")
+    for out in design:
+        module.add_output(out)
+    memo: dict[Expr, str] = {}
+    for out, expr in nnf_design.items():
+        net = _map_monotone(emit, memo, rails, expr)
+        emit.gate("DBUF", net, out=out)
+    return module
+
+
+def _map_monotone(
+    emit: Emitter,
+    memo: dict[Expr, str],
+    rails: dict[tuple[str, bool], str],
+    expr: Expr,
+) -> str:
+    if expr in memo:
+        return memo[expr]
+    if isinstance(expr, Var):
+        return rails[(expr.name, False)]
+    if isinstance(expr, Not):
+        assert isinstance(expr.child, Var)
+        return rails[(expr.child.name, True)]
+    if isinstance(expr, (And, Or)):
+        nets = [_map_monotone(emit, memo, rails, c) for c in expr.children]
+        prefix = "DAND" if isinstance(expr, And) else "DOR"
+        net = _reduce_domino(emit, prefix, nets)
+        memo[expr] = net
+        return net
+    raise SynthesisError(f"non-monotone node {type(expr).__name__} in domino map")
+
+
+def _reduce_domino(emit: Emitter, prefix: str, nets: list[str]) -> str:
+    """Reduce with the widest stocked domino gate of a kind."""
+    widths = [
+        w for w in (8, 4, 3, 2)
+        if emit.library.has_base(f"{prefix}{w}")
+    ]
+    if not widths:
+        raise SynthesisError(f"no {prefix} gates stocked")
+    level = list(nets)
+    while len(level) > 1:
+        nxt = []
+        i = 0
+        while i < len(level):
+            remaining = len(level) - i
+            width = next((w for w in widths if w <= remaining), None)
+            if width is None:
+                nxt.append(level[i])
+                i += 1
+                continue
+            group = level[i: i + width]
+            nxt.append(emit.gate(f"{prefix}{width}", *group))
+            i += width
+        level = nxt
+    return level[0]
+
+
+def dual_rail_stimulus(inputs: dict[str, bool]) -> dict[str, bool]:
+    """Extend a single-rail input assignment with complement rails."""
+    out = dict(inputs)
+    for name, value in inputs.items():
+        out[f"{name}_n"] = not value
+    return out

@@ -1,0 +1,126 @@
+"""Logic-family models: static CMOS versus domino dynamic logic.
+
+Section 7: "Dynamic logic can be used to speed up critical paths within
+the circuit, by reducing gate delays.  It is significantly faster than
+static CMOS logic and smaller area, but requires careful design to ensure
+no glitching of input signals.  Static CMOS logic has far less
+sensitivity to noise and consumes less power."
+
+The quantitative anchors (Section 7.1): "Dynamic logic functions used in
+the IBM 1.0 GHz design are 50% to 100% faster than static CMOS
+combinational logic with the same functionality ... This implies that
+sequential circuitry using dynamic logic will be about 50% faster."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import LogicFamily
+
+
+class FamilyError(ValueError):
+    """Raised for invalid family-model queries."""
+
+
+@dataclass(frozen=True)
+class FamilyProfile:
+    """Engineering profile of a logic family.
+
+    Attributes:
+        family: which family this profiles.
+        combinational_speedup: speed of same-function combinational logic
+            relative to static CMOS (1.0 for static itself).
+        sequential_speedup: achievable whole-pipeline speedup once
+            registers/skew are included.
+        relative_noise_margin: noise margin relative to static CMOS.
+        relative_power: power for the same function and frequency.
+        relative_area: layout area for the same function.
+        requires_monotone: True if only monotone (non-inverting) logic is
+            realisable (the domino constraint).
+        requires_precharge_clock: True if gates need clocking.
+        synthesizable: True if commercial ASIC flows can target it
+            (Section 7.2: domino synthesis "has yet to produce
+            commercially available libraries").
+    """
+
+    family: LogicFamily
+    combinational_speedup: float
+    sequential_speedup: float
+    relative_noise_margin: float
+    relative_power: float
+    relative_area: float
+    requires_monotone: bool
+    requires_precharge_clock: bool
+    synthesizable: bool
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.combinational_speedup,
+            self.sequential_speedup,
+            self.relative_noise_margin,
+            self.relative_power,
+            self.relative_area,
+        ):
+            if value <= 0:
+                raise FamilyError("profile ratios must be positive")
+
+
+#: Static CMOS: the reference point.
+STATIC_PROFILE = FamilyProfile(
+    family=LogicFamily.STATIC,
+    combinational_speedup=1.0,
+    sequential_speedup=1.0,
+    relative_noise_margin=1.0,
+    relative_power=1.0,
+    relative_area=1.0,
+    requires_monotone=False,
+    requires_precharge_clock=False,
+    synthesizable=True,
+)
+
+#: Domino, calibrated to Section 7.1: combinational 1.5-2x (midpoint
+#: 1.75), sequential ~1.5x; noisier, hungrier, denser.
+DOMINO_PROFILE = FamilyProfile(
+    family=LogicFamily.DOMINO,
+    combinational_speedup=1.75,
+    sequential_speedup=1.5,
+    relative_noise_margin=0.4,
+    relative_power=1.8,
+    relative_area=0.7,
+    requires_monotone=True,
+    requires_precharge_clock=True,
+    synthesizable=False,
+)
+
+PROFILES: dict[LogicFamily, FamilyProfile] = {
+    LogicFamily.STATIC: STATIC_PROFILE,
+    LogicFamily.DOMINO: DOMINO_PROFILE,
+}
+
+
+def profile_of(family: LogicFamily) -> FamilyProfile:
+    """Profile for a logic family."""
+    return PROFILES[family]
+
+
+def sequential_speedup_from_combinational(
+    combinational_speedup: float, logic_fraction: float = 0.75
+) -> float:
+    """Derive whole-cycle speedup from a combinational-only speedup.
+
+    Only the logic portion of the cycle accelerates; registers, skew and
+    wires do not.  With logic occupying ``logic_fraction`` of the cycle:
+
+        speedup = 1 / (logic_fraction / s + (1 - logic_fraction))
+
+    Section 7.1's step from "50% to 100% faster" combinational logic to
+    "about 50% faster" sequential circuitry is this dilution.
+    """
+    if combinational_speedup <= 0:
+        raise FamilyError("combinational speedup must be positive")
+    if not 0.0 < logic_fraction <= 1.0:
+        raise FamilyError("logic fraction must be in (0, 1]")
+    return 1.0 / (
+        logic_fraction / combinational_speedup + (1.0 - logic_fraction)
+    )

@@ -1,0 +1,124 @@
+"""Noise-margin and glitch analysis for logic families.
+
+Section 7.1: "Dynamic logic is particularly susceptible to noise, as any
+glitches on input voltages may cause a discharge of the charge stored ...
+inputs must not glitch during or after the precharge.  These problems
+become more pronounced with deeper submicron technologies."
+
+The model is deliberately first-order: a node's noise margin is compared
+against injected noise from capacitive coupling plus supply bounce, and a
+netlist audit flags domino gates whose aggregate noise exposure exceeds
+their margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import LogicFamily
+from repro.cells.library import CellLibrary
+from repro.netlist.module import Module
+
+#: Static CMOS noise margin as a fraction of Vdd (symmetric inverter).
+STATIC_MARGIN_FRACTION = 0.40
+#: Domino dynamic-node margin: roughly one NMOS threshold minus keeper
+#: droop, much thinner than static.
+DOMINO_MARGIN_FRACTION = 0.15
+
+
+class NoiseError(ValueError):
+    """Raised for invalid noise model parameters."""
+
+
+@dataclass(frozen=True)
+class NoiseEnvironment:
+    """Aggressor environment for noise checks.
+
+    Attributes:
+        coupling_fraction: victim swing induced by neighbouring switching
+            wires, as a fraction of Vdd.
+        supply_bounce_fraction: ground/supply bounce as a fraction of Vdd.
+    """
+
+    coupling_fraction: float = 0.08
+    supply_bounce_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.coupling_fraction < 1:
+            raise NoiseError("coupling fraction must be in [0, 1)")
+        if not 0 <= self.supply_bounce_fraction < 1:
+            raise NoiseError("supply bounce fraction must be in [0, 1)")
+
+    @property
+    def total_fraction(self) -> float:
+        return self.coupling_fraction + self.supply_bounce_fraction
+
+
+def noise_margin_v(vdd: float, family: LogicFamily) -> float:
+    """Absolute noise margin of a gate input in volts."""
+    if vdd <= 0:
+        raise NoiseError("vdd must be positive")
+    fraction = (
+        DOMINO_MARGIN_FRACTION
+        if family is LogicFamily.DOMINO
+        else STATIC_MARGIN_FRACTION
+    )
+    return fraction * vdd
+
+
+@dataclass(frozen=True)
+class NoiseViolation:
+    """A gate whose noise exposure exceeds its margin."""
+
+    instance: str
+    cell: str
+    margin_v: float
+    injected_v: float
+
+    @property
+    def ratio(self) -> float:
+        return self.injected_v / self.margin_v
+
+
+def audit_noise(
+    module: Module,
+    library: CellLibrary,
+    environment: NoiseEnvironment | None = None,
+) -> list[NoiseViolation]:
+    """Flag instances whose input noise exposure exceeds their margin.
+
+    A uniform aggressor environment is assumed; the interesting output is
+    the *family asymmetry*: with typical coupling a static netlist audits
+    clean while the same coupling breaks domino nodes, reproducing the
+    paper's "far less sensitivity to noise" comparison.
+    """
+    env = environment or NoiseEnvironment()
+    vdd = library.technology.vdd
+    injected = env.total_fraction * vdd
+    violations: list[NoiseViolation] = []
+    for inst in module.iter_instances():
+        cell = library.get(inst.cell_name)
+        if cell.is_sequential:
+            continue
+        margin = noise_margin_v(vdd, cell.family)
+        if injected > margin:
+            violations.append(
+                NoiseViolation(
+                    instance=inst.name,
+                    cell=cell.name,
+                    margin_v=margin,
+                    injected_v=injected,
+                )
+            )
+    return violations
+
+
+def max_safe_coupling(family: LogicFamily,
+                      supply_bounce_fraction: float = 0.05) -> float:
+    """Largest coupling fraction a family tolerates without violations."""
+    fraction = (
+        DOMINO_MARGIN_FRACTION
+        if family is LogicFamily.DOMINO
+        else STATIC_MARGIN_FRACTION
+    )
+    return max(0.0, fraction - supply_bounce_fraction)

@@ -1,0 +1,237 @@
+"""Command-line interface for the reproduction.
+
+Installed as ``repro-gap``.  Subcommands cover the analyses a user would
+want without writing Python:
+
+* ``survey``    -- the Section 2 chip survey and headline gap;
+* ``factors``   -- the Section 3 factor table and Section 9 residuals;
+* ``flow``      -- run one implementation flow and print its result;
+* ``gap``       -- run both flows and decompose the measured gap;
+* ``roadmap``   -- project the gap over future process generations;
+* ``library``   -- summarise or export a generated cell library;
+* ``variation`` -- sample a die population and print the Section 8
+  quoting decomposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_survey(_args: argparse.Namespace) -> int:
+    from repro.core import gap_summary
+
+    print(gap_summary())
+    return 0
+
+
+def _cmd_factors(_args: argparse.Namespace) -> int:
+    from repro.core import FactorModel
+
+    model = FactorModel()
+    print(model.table())
+    print()
+    top_two = model.residual_after(["microarchitecture", "process_variation"])
+    top_three = model.residual_after(
+        ["microarchitecture", "process_variation", "dynamic_logic"]
+    )
+    print(f"residual after pipelining + variation: {top_two:.2f}x")
+    print(f"residual adding dynamic logic:         {top_three:.2f}x")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    if args.style == "asic":
+        from repro.flows import AsicFlowOptions, run_asic_flow
+
+        result = run_asic_flow(
+            AsicFlowOptions(
+                workload=args.workload,
+                bits=args.bits,
+                pipeline_stages=args.stages,
+                rich_library=not args.poor_library,
+                careful_placement=not args.sloppy_placement,
+                sizing_moves=args.sizing_moves,
+                speed_test=args.speed_test,
+            )
+        )
+    else:
+        from repro.flows import CustomFlowOptions, run_custom_flow
+
+        result = run_custom_flow(
+            CustomFlowOptions(
+                workload=args.workload,
+                bits=args.bits,
+                pipeline_stages=args.stages,
+                target_cycle_fo4=args.target_fo4,
+                sizing_moves=args.sizing_moves,
+            )
+        )
+    print(result.summary())
+    for key, value in sorted(result.notes.items()):
+        print(f"  {key}: {value:.2f}")
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from repro.core import analyze_gap
+    from repro.flows import (
+        AsicFlowOptions,
+        CustomFlowOptions,
+        run_asic_flow,
+        run_custom_flow,
+    )
+
+    asic = run_asic_flow(
+        AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves)
+    )
+    custom = run_custom_flow(
+        CustomFlowOptions(
+            bits=args.bits,
+            target_cycle_fo4=args.target_fo4,
+            sizing_moves=args.sizing_moves,
+        )
+    )
+    print(asic.summary())
+    print(custom.summary())
+    print()
+    print(analyze_gap(asic, custom).table())
+    return 0
+
+
+def _cmd_roadmap(args: argparse.Namespace) -> int:
+    from repro.core import asymptotic_gap, project_gap, roadmap_table
+
+    points = project_gap(
+        generations=args.generations, initial_gap=args.initial_gap
+    )
+    print(roadmap_table(points))
+    print(
+        f"asymptote (custom-only factors): "
+        f"{asymptotic_gap(args.initial_gap):.2f}x"
+    )
+    return 0
+
+
+def _cmd_library(args: argparse.Namespace) -> int:
+    from repro.cells import (
+        custom_library,
+        domino_library,
+        poor_asic_library,
+        rich_asic_library,
+        to_liberty,
+    )
+    from repro.tech import get_technology
+
+    tech = get_technology(args.technology)
+    builders = {
+        "rich": rich_asic_library,
+        "poor": poor_asic_library,
+        "custom": custom_library,
+        "domino": domino_library,
+    }
+    library = builders[args.kind](tech)
+    print(library.summary())
+    if args.liberty:
+        text = to_liberty(library)
+        with open(args.liberty, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {args.liberty}")
+    return 0
+
+
+def _cmd_variation(args: argparse.Namespace) -> int:
+    from repro.variation import (
+        MATURE_PROCESS,
+        NEW_PROCESS,
+        access_gap,
+        sample_chip_speeds,
+    )
+
+    components = NEW_PROCESS if args.process == "new" else MATURE_PROCESS
+    dist = sample_chip_speeds(
+        args.nominal, components, count=args.count, seed=args.seed
+    )
+    gap = access_gap(dist)
+    print(f"nominal design frequency : {args.nominal:8.1f} MHz")
+    print(f"median silicon           : {gap.typical_mhz:8.1f} MHz")
+    print(f"ASIC worst-case quote    : {gap.asic_quote_mhz:8.1f} MHz")
+    print(f"speed-tested quote       : {gap.tested_mhz:8.1f} MHz")
+    print(f"custom flagship bin      : {gap.flagship_mhz:8.1f} MHz")
+    print(f"typical/quote {gap.typical_over_quote:.2f}x   "
+          f"flagship/quote {gap.flagship_over_quote:.2f}x   "
+          f"bin spread {dist.spread:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gap",
+        description=(
+            "Reproduction of Chinnery & Keutzer, 'Closing the Gap Between "
+            "ASIC and Custom' (DAC 2000)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("survey", help="Section 2 chip survey").set_defaults(
+        func=_cmd_survey
+    )
+    sub.add_parser("factors", help="Section 3 factor table").set_defaults(
+        func=_cmd_factors
+    )
+
+    flow = sub.add_parser("flow", help="run one implementation flow")
+    flow.add_argument("style", choices=["asic", "custom"])
+    flow.add_argument("--workload", default="alu")
+    flow.add_argument("--bits", type=int, default=8)
+    flow.add_argument("--stages", type=int, default=1)
+    flow.add_argument("--target-fo4", type=float, default=None)
+    flow.add_argument("--sizing-moves", type=int, default=20)
+    flow.add_argument("--poor-library", action="store_true")
+    flow.add_argument("--sloppy-placement", action="store_true")
+    flow.add_argument("--speed-test", action="store_true")
+    flow.set_defaults(func=_cmd_flow)
+
+    gap = sub.add_parser("gap", help="run both flows, decompose the gap")
+    gap.add_argument("--bits", type=int, default=8)
+    gap.add_argument("--target-fo4", type=float, default=14.0)
+    gap.add_argument("--sizing-moves", type=int, default=20)
+    gap.set_defaults(func=_cmd_gap)
+
+    roadmap = sub.add_parser("roadmap", help="project the gap forward")
+    roadmap.add_argument("--generations", type=int, default=4)
+    roadmap.add_argument("--initial-gap", type=float, default=8.0)
+    roadmap.set_defaults(func=_cmd_roadmap)
+
+    library = sub.add_parser("library", help="summarise/export a library")
+    library.add_argument(
+        "--kind", choices=["rich", "poor", "custom", "domino"],
+        default="rich",
+    )
+    library.add_argument("--technology", default="cmos250_asic")
+    library.add_argument("--liberty", default=None,
+                         help="write Liberty-style text to this path")
+    library.set_defaults(func=_cmd_library)
+
+    variation = sub.add_parser("variation", help="Section 8 die population")
+    variation.add_argument("--nominal", type=float, default=400.0)
+    variation.add_argument("--process", choices=["new", "mature"],
+                           default="new")
+    variation.add_argument("--count", type=int, default=20000)
+    variation.add_argument("--seed", type=int, default=1)
+    variation.set_defaults(func=_cmd_variation)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Cycle-time accounting: the Section 3 critical-path decomposition.
+
+"The speed of a circuit is determined by the delay of its longest
+critical path, and the length of the critical path is a function of gate
+delays, wiring delays, set-up and hold-times, clock-to-Q ... and clock
+skew."
+
+:class:`CycleTimeModel` expresses one design point as that sum, in FO4
+units so designs in different technologies compare directly.  The survey
+entries and the flows both reduce to this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.process import ProcessTechnology
+
+
+class CycleTimeError(ValueError):
+    """Raised for unphysical cycle-time decompositions."""
+
+
+@dataclass(frozen=True)
+class CycleTimeModel:
+    """Decomposition of one clock cycle into FO4-denominated components.
+
+    Attributes:
+        logic_fo4: combinational gate delay per cycle.
+        wire_fo4: interconnect flight time per cycle.
+        latch_fo4: sequential overhead (setup + clk->Q).
+        skew_fraction: clock skew as a fraction of the *total* cycle.
+    """
+
+    logic_fo4: float
+    wire_fo4: float = 0.0
+    latch_fo4: float = 2.0
+    skew_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.logic_fo4 <= 0:
+            raise CycleTimeError("logic depth must be positive")
+        if self.wire_fo4 < 0 or self.latch_fo4 < 0:
+            raise CycleTimeError("wire and latch overheads must be >= 0")
+        if not 0.0 <= self.skew_fraction < 1.0:
+            raise CycleTimeError("skew fraction must be in [0, 1)")
+
+    @property
+    def work_fo4(self) -> float:
+        """Skew-free cycle content: logic + wires + latch."""
+        return self.logic_fo4 + self.wire_fo4 + self.latch_fo4
+
+    @property
+    def cycle_fo4(self) -> float:
+        """Total cycle: work inflated by the skew budget.
+
+        Skew is a fraction of the final cycle, so
+        ``cycle = work / (1 - skew_fraction)``.
+        """
+        return self.work_fo4 / (1.0 - self.skew_fraction)
+
+    @property
+    def skew_fo4(self) -> float:
+        return self.cycle_fo4 - self.work_fo4
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Non-logic share of the cycle (latch + skew + wires)."""
+        return 1.0 - self.logic_fo4 / self.cycle_fo4
+
+    def frequency_mhz(self, tech: ProcessTechnology) -> float:
+        """Clock frequency of this cycle in a given technology."""
+        return tech.frequency_mhz_from_fo4(self.cycle_fo4)
+
+    def with_logic(self, logic_fo4: float) -> "CycleTimeModel":
+        """Same overheads, different logic depth."""
+        return CycleTimeModel(
+            logic_fo4=logic_fo4,
+            wire_fo4=self.wire_fo4,
+            latch_fo4=self.latch_fo4,
+            skew_fraction=self.skew_fraction,
+        )
+
+    def speedup_over(self, other: "CycleTimeModel") -> float:
+        """Cycle-time ratio: how much faster this model clocks."""
+        return other.cycle_fo4 / self.cycle_fo4
+
+
+#: Alpha 21264-class custom cycle: 15 FO4 total with ~5% skew and a lean
+#: hand-designed latch (Section 4.1: latches take 15% of the Alpha cycle).
+ALPHA_CYCLE = CycleTimeModel(
+    logic_fo4=11.0, wire_fo4=0.9, latch_fo4=2.3, skew_fraction=0.05
+)
+
+#: IBM 1 GHz PowerPC-class cycle: 13 FO4, 4 stages, 20% total overhead.
+POWERPC_CYCLE = CycleTimeModel(
+    logic_fo4=10.4, wire_fo4=0.0, latch_fo4=2.0, skew_fraction=0.05
+)
+
+#: Xtensa-class ASIC cycle: ~44 FO4 with 10% skew, guard-banded flops and
+#: unbalanced stages (Section 4's ~30% ASIC overhead).
+XTENSA_CYCLE = CycleTimeModel(
+    logic_fo4=31.0, wire_fo4=4.6, latch_fo4=4.0, skew_fraction=0.10
+)
+
+#: Typical unpipelined ASIC control logic: very deep cycle.
+TYPICAL_ASIC_CYCLE = CycleTimeModel(
+    logic_fo4=60.0, wire_fo4=6.0, latch_fo4=4.0, skew_fraction=0.10
+)

@@ -1,0 +1,198 @@
+"""The Section 3 factor decomposition -- the paper's central model.
+
+"The following gives our overview of the maximum contribution of various
+factors to the speed differential between ASICs and custom ICs:
+
+* x4.00 through architecture and logic design: heavy pipelining / few
+  logic levels between registers
+* x1.25 by good floorplanning and placement
+* x1.25 with clever sizing of transistors and wires for speed and good
+  circuit design
+* x1.50 from use of dynamic logic on critical paths, instead of static
+  CMOS logic
+* x1.90 due to process variation and accessibility"
+
+and the Section 9 synthesis: pipelining and process variation together
+"account for all except a factor of about 2 to 3x"; adding dynamic logic
+leaves "about 1.6x".
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.tech.scaling import generations_equivalent
+
+
+class FactorError(ValueError):
+    """Raised for invalid factor-model queries."""
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One multiplicative contributor to the ASIC-custom gap.
+
+    Attributes:
+        name: short identifier.
+        max_contribution: the paper's maximum speedup attributable to it.
+        description: what the factor covers.
+        section: paper section developing it.
+    """
+
+    name: str
+    max_contribution: float
+    description: str
+    section: str
+
+    def __post_init__(self) -> None:
+        if self.max_contribution < 1.0:
+            raise FactorError(
+                f"factor {self.name}: contribution must be at least 1.0"
+            )
+
+
+#: The five factors, exactly as tabulated in Section 3.
+MICROARCHITECTURE = Factor(
+    name="microarchitecture",
+    max_contribution=4.00,
+    description=(
+        "architecture and logic design: heavy pipelining, few logic "
+        "levels between registers"
+    ),
+    section="4",
+)
+FLOORPLANNING = Factor(
+    name="floorplanning",
+    max_contribution=1.25,
+    description="good floorplanning and placement",
+    section="5",
+)
+SIZING = Factor(
+    name="sizing",
+    max_contribution=1.25,
+    description=(
+        "clever sizing of transistors and wires for speed and good "
+        "circuit design"
+    ),
+    section="6",
+)
+DYNAMIC_LOGIC = Factor(
+    name="dynamic_logic",
+    max_contribution=1.50,
+    description="dynamic logic on critical paths instead of static CMOS",
+    section="7",
+)
+PROCESS_VARIATION = Factor(
+    name="process_variation",
+    max_contribution=1.90,
+    description="process variation and accessibility",
+    section="8",
+)
+
+PAPER_FACTORS: tuple[Factor, ...] = (
+    MICROARCHITECTURE,
+    FLOORPLANNING,
+    SIZING,
+    DYNAMIC_LOGIC,
+    PROCESS_VARIATION,
+)
+
+
+class FactorModel:
+    """The multiplicative gap model over a set of factors.
+
+    The default instance is the paper's model; experiments construct
+    alternative instances from *measured* contributions to compare
+    against it.
+    """
+
+    def __init__(self, factors: Iterable[Factor] = PAPER_FACTORS) -> None:
+        self.factors = tuple(factors)
+        names = [f.name for f in self.factors]
+        if len(set(names)) != len(names):
+            raise FactorError("duplicate factor names")
+        if not self.factors:
+            raise FactorError("need at least one factor")
+
+    def get(self, name: str) -> Factor:
+        for factor in self.factors:
+            if factor.name == name:
+                return factor
+        known = [f.name for f in self.factors]
+        raise FactorError(f"no factor {name!r}; known: {known}")
+
+    def total_product(self) -> float:
+        """Maximum combined gap if every factor is fully exploited.
+
+        For the paper's numbers: 4.0 * 1.25 * 1.25 * 1.5 * 1.9 = 17.8,
+        "custom circuits could run 18x faster than their average ASIC
+        counterparts".
+        """
+        return math.prod(f.max_contribution for f in self.factors)
+
+    def product_of(self, names: Iterable[str]) -> float:
+        """Combined contribution of a subset of factors."""
+        return math.prod(self.get(name).max_contribution for name in names)
+
+    def residual_after(self, names: Iterable[str]) -> float:
+        """Gap left unexplained once the named factors are accounted for.
+
+        Section 9's arithmetic: after pipelining and process variation,
+        ``17.8 / (4.0 * 1.9) = 2.3`` ("all except a factor of about 2 to
+        3x"); adding dynamic logic leaves ``1.56`` ("about 1.6x").
+        """
+        return self.total_product() / self.product_of(names)
+
+    def explained_fraction(self, names: Iterable[str]) -> float:
+        """Log-domain share of the total gap the named factors explain."""
+        total = math.log(self.total_product())
+        if total <= 0:
+            raise FactorError("total gap must exceed 1x")
+        return math.log(self.product_of(names)) / total
+
+    def gap_in_generations(self) -> float:
+        """The maximum gap expressed in process generations (Section 2)."""
+        return generations_equivalent(self.total_product())
+
+    def ranked(self) -> list[Factor]:
+        """Factors sorted by contribution, largest first."""
+        return sorted(
+            self.factors, key=lambda f: f.max_contribution, reverse=True
+        )
+
+    def table(self) -> str:
+        """The Section 3 table as text."""
+        lines = [f"{'factor':<20s} {'max contribution':>18s}"]
+        for factor in self.factors:
+            lines.append(
+                f"{factor.name:<20s} {factor.max_contribution:>17.2f}x"
+            )
+        lines.append(f"{'product':<20s} {self.total_product():>17.2f}x")
+        return "\n".join(lines)
+
+
+def measured_model(contributions: dict[str, float]) -> FactorModel:
+    """Build a FactorModel from measured contributions.
+
+    Args:
+        contributions: factor name -> measured speedup.  Names reuse the
+            paper's factor identities; descriptions are carried over when
+            the name matches a paper factor.
+    """
+    paper_by_name = {f.name: f for f in PAPER_FACTORS}
+    factors = []
+    for name, value in contributions.items():
+        template = paper_by_name.get(name)
+        factors.append(
+            Factor(
+                name=name,
+                max_contribution=value,
+                description=(
+                    template.description if template else "measured factor"
+                ),
+                section=template.section if template else "-",
+            )
+        )
+    return FactorModel(factors)

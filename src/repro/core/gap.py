@@ -1,0 +1,127 @@
+"""Gap analysis: decomposing a *measured* ASIC-custom frequency ratio.
+
+This closes the loop the paper leaves open: instead of asserting factor
+sizes, we run both flows (:mod:`repro.flows`) on the same workload and
+decompose the measured quoted-frequency ratio *exactly* into
+
+    ratio = cycle-depth factor        (FO4 per cycle: pipelining, logic
+                                       design, sizing, wires, skew)
+          x technology-access factor  (FO4 delay of the process actually
+                                       reachable: Leff, Section 8.3)
+          x silicon-quoting factor    (flagship bin vs worst-case quote:
+                                       Section 8's variation/accessibility)
+
+since ``f = 1 / (fo4_depth * fo4_delay) * quote_factor``.  The cycle-depth
+factor is further attributed additively in FO4 between logic and
+sequencing overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.factors import FactorModel, measured_model
+from repro.flows.results import FlowResult
+from repro.tech.scaling import generations_equivalent
+
+
+class GapError(ValueError):
+    """Raised for inconsistent gap-analysis inputs."""
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """Measured decomposition of one ASIC-vs-custom comparison.
+
+    Attributes:
+        asic: the ASIC flow result.
+        custom: the custom flow result.
+        total_ratio: custom quoted frequency over ASIC quoted frequency.
+        cycle_depth_factor: ASIC FO4 depth over custom FO4 depth.
+        technology_factor: ASIC FO4 delay over custom FO4 delay.
+        quoting_factor: custom quote factor over ASIC quote factor.
+        logic_depth_ratio: ASIC logic FO4 over custom logic FO4.
+        overhead_depth_ratio: ASIC overhead FO4 over custom overhead FO4.
+    """
+
+    asic: FlowResult
+    custom: FlowResult
+    total_ratio: float
+    cycle_depth_factor: float
+    technology_factor: float
+    quoting_factor: float
+    logic_depth_ratio: float
+    overhead_depth_ratio: float
+
+    def factor_product(self) -> float:
+        """Product of the three exact factors (== total_ratio)."""
+        return (
+            self.cycle_depth_factor
+            * self.technology_factor
+            * self.quoting_factor
+        )
+
+    def gap_in_generations(self) -> float:
+        """Measured gap in process generations (Section 2 conversion)."""
+        return generations_equivalent(self.total_ratio)
+
+    def as_factor_model(self) -> FactorModel:
+        """Measured factors as a :class:`FactorModel` for comparison."""
+        return measured_model(
+            {
+                "microarchitecture": max(1.0, self.cycle_depth_factor),
+                "process_variation": max(
+                    1.0, self.technology_factor * self.quoting_factor
+                ),
+            }
+        )
+
+    def table(self) -> str:
+        """Text table of the decomposition."""
+        rows = [
+            ("total quoted-frequency ratio", self.total_ratio),
+            ("  cycle depth (FO4/cycle)", self.cycle_depth_factor),
+            ("    of which logic depth", self.logic_depth_ratio),
+            ("    of which sequencing overhead", self.overhead_depth_ratio),
+            ("  technology access (FO4 delay)", self.technology_factor),
+            ("  silicon quoting (bins vs WC)", self.quoting_factor),
+        ]
+        lines = [f"{'component':<36s} {'factor':>8s}"]
+        for label, value in rows:
+            lines.append(f"{label:<36s} {value:>7.2f}x")
+        lines.append(
+            f"{'equivalent process generations':<36s} "
+            f"{self.gap_in_generations():>7.1f}"
+        )
+        return "\n".join(lines)
+
+
+def analyze_gap(asic: FlowResult, custom: FlowResult) -> GapReport:
+    """Decompose the measured gap between two flow results.
+
+    Raises:
+        GapError: if results are degenerate (zero frequencies).
+    """
+    if asic.quoted_frequency_mhz <= 0 or custom.quoted_frequency_mhz <= 0:
+        raise GapError("flow results must have positive frequencies")
+    total = custom.quoted_frequency_mhz / asic.quoted_frequency_mhz
+    depth = asic.fo4_depth / custom.fo4_depth
+    tech = asic.technology.fo4_delay_ps / custom.technology.fo4_delay_ps
+    quoting = custom.quote_factor / asic.quote_factor
+    asic_ovh = asic.fo4_depth - asic.logic_fo4
+    custom_ovh = custom.fo4_depth - custom.logic_fo4
+    return GapReport(
+        asic=asic,
+        custom=custom,
+        total_ratio=total,
+        cycle_depth_factor=depth,
+        technology_factor=tech,
+        quoting_factor=quoting,
+        logic_depth_ratio=(
+            asic.logic_fo4 / custom.logic_fo4 if custom.logic_fo4 > 0 else 1.0
+        ),
+        overhead_depth_ratio=(
+            asic_ovh / custom_ovh if custom_ovh > 0 else 1.0
+        ),
+    )

@@ -1,0 +1,168 @@
+"""The Section 2 chip survey: reference designs and the headline gap.
+
+"Among the fastest 0.25um commercially produced processors is the Alpha
+21264A, which runs at 750MHz ... IBM has designed a 1.0GHz integer
+processor in 0.25um technology ... Tensilica has a high performance
+250MHz 0.25um ASIC processor ... we postulate that average 0.25um ASICs
+run at between 120MHz and 150MHz, and high speed network ASICs may run
+at up to 200MHz ... custom ICs operate 6x to 8x faster than ASICs in the
+same process."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.tech.process import (
+    CMOS250_ASIC,
+    CMOS250_CUSTOM,
+    ProcessTechnology,
+)
+from repro.tech.scaling import generations_equivalent, years_equivalent
+
+
+class DesignStyle(enum.Enum):
+    """Methodology class of a surveyed chip."""
+
+    CUSTOM = "custom"
+    ASIC = "asic"
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One chip in the Section 2 survey.
+
+    Attributes:
+        name: chip name.
+        style: custom or ASIC methodology.
+        technology: the process model it maps to in this reproduction.
+        frequency_mhz: shipping clock frequency.
+        fo4_depth: FO4 delays per cycle (Section 4 numbers where given).
+        pipeline_stages: pipeline depth (0 = not reported / unpipelined).
+        area_mm2: die area.
+        supply_v: supply voltage.
+        power_w: power dissipation.
+        notes: datasheet provenance notes.
+    """
+
+    name: str
+    style: DesignStyle
+    technology: ProcessTechnology
+    frequency_mhz: float
+    fo4_depth: float
+    pipeline_stages: int = 0
+    area_mm2: float = 0.0
+    supply_v: float = 0.0
+    power_w: float = 0.0
+    notes: str = ""
+
+    @property
+    def period_ps(self) -> float:
+        return 1.0e6 / self.frequency_mhz
+
+    def implied_fo4_depth(self) -> float:
+        """FO4 depth implied by frequency and the technology's FO4 rule."""
+        return self.technology.fo4_from_period(self.period_ps)
+
+
+ALPHA_21264A_ENTRY = SurveyEntry(
+    name="Alpha 21264A",
+    style=DesignStyle.CUSTOM,
+    technology=CMOS250_CUSTOM,
+    frequency_mhz=750.0,
+    fo4_depth=15.0,
+    pipeline_stages=7,
+    area_mm2=225.0,
+    supply_v=2.1,
+    power_w=90.0,
+    notes="dynamic logic, heavy pipelining, out-of-order 6-issue",
+)
+
+IBM_POWERPC_ENTRY = SurveyEntry(
+    name="IBM 1.0GHz PowerPC",
+    style=DesignStyle.CUSTOM,
+    technology=CMOS250_CUSTOM,
+    frequency_mhz=1000.0,
+    fo4_depth=13.0,
+    pipeline_stages=4,
+    area_mm2=9.8,
+    supply_v=1.8,
+    power_w=6.3,
+    notes="single-issue integer core, dynamic logic, Leff 0.15um",
+)
+
+XTENSA_ENTRY = SurveyEntry(
+    name="Tensilica Xtensa",
+    style=DesignStyle.ASIC,
+    technology=CMOS250_ASIC,
+    frequency_mhz=250.0,
+    fo4_depth=44.0,
+    pipeline_stages=5,
+    area_mm2=4.0,
+    notes="configurable ASIC processor; best-in-class ASIC methodology",
+)
+
+TYPICAL_ASIC_ENTRY = SurveyEntry(
+    name="typical ASIC",
+    style=DesignStyle.ASIC,
+    technology=CMOS250_ASIC,
+    frequency_mhz=135.0,
+    fo4_depth=82.0,
+    notes="anecdotal 120-150 MHz band, midpoint",
+)
+
+NETWORK_ASIC_ENTRY = SurveyEntry(
+    name="high-speed network ASIC",
+    style=DesignStyle.ASIC,
+    technology=CMOS250_ASIC,
+    frequency_mhz=200.0,
+    fo4_depth=55.0,
+    notes="upper bound of the ASIC band",
+)
+
+SURVEY: tuple[SurveyEntry, ...] = (
+    ALPHA_21264A_ENTRY,
+    IBM_POWERPC_ENTRY,
+    XTENSA_ENTRY,
+    TYPICAL_ASIC_ENTRY,
+    NETWORK_ASIC_ENTRY,
+)
+
+
+def fastest(style: DesignStyle) -> SurveyEntry:
+    """Fastest surveyed chip of a style."""
+    return max(
+        (e for e in SURVEY if e.style is style),
+        key=lambda e: e.frequency_mhz,
+    )
+
+
+def headline_gap() -> tuple[float, float]:
+    """The Section 2 gap band: (fastest custom / typical ASIC band).
+
+    Returns (low, high): 1000/150 = 6.7 against the fast end of the
+    typical band, 1000/120 = 8.3 against the slow end -- the "6x to 8x".
+    """
+    fastest_custom = fastest(DesignStyle.CUSTOM).frequency_mhz
+    return fastest_custom / 150.0, fastest_custom / 120.0
+
+
+def gap_summary() -> str:
+    """Text table of the survey with the gap conversion of Section 2."""
+    lines = [
+        f"{'chip':<26s} {'style':<7s} {'MHz':>7s} {'FO4':>6s} {'stages':>7s}"
+    ]
+    for entry in SURVEY:
+        stages = str(entry.pipeline_stages) if entry.pipeline_stages else "-"
+        lines.append(
+            f"{entry.name:<26s} {entry.style.value:<7s} "
+            f"{entry.frequency_mhz:>7.0f} {entry.fo4_depth:>6.1f} {stages:>7s}"
+        )
+    low, high = headline_gap()
+    lines.append(
+        f"gap: {low:.1f}x to {high:.1f}x  "
+        f"(~{generations_equivalent(high):.1f} process generations, "
+        f"~{years_equivalent(high):.0f} years)"
+    )
+    return "\n".join(lines)

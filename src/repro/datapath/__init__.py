@@ -1,0 +1,134 @@
+"""Datapath generators: adders, shifters, multipliers, comparators, ALU.
+
+Importing this package registers every generator with the macro registry
+in :mod:`repro.synth.macros`, making them available as the "pre-designed
+macro cells" of Section 4.2.
+"""
+
+from repro.datapath.adders import (
+    carry_lookahead_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+    simulate_adder,
+)
+from repro.datapath.alu import alu, simulate_alu
+from repro.datapath.comparators import (
+    equality_comparator,
+    magnitude_comparator,
+    parity_tree,
+    simulate_comparator,
+)
+from repro.datapath.cpu import (
+    cpu_execute_stage,
+    reference_execute,
+    simulate_execute_stage,
+)
+from repro.datapath.emitter import Emitter
+from repro.datapath.encoders import (
+    incrementer,
+    leading_zero_counter,
+    priority_encoder,
+    simulate_encoder,
+    simulate_incrementer,
+    simulate_lzc,
+)
+from repro.datapath.multiplier import (
+    array_multiplier,
+    simulate_multiplier,
+    wallace_multiplier,
+)
+from repro.datapath.shifter import barrel_shifter, simulate_shifter
+from repro.synth.macros import register_macro
+
+register_macro(
+    "adder_ripple", ripple_carry_adder,
+    "ripple-carry adder: O(n) depth baseline", category="adder",
+)
+register_macro(
+    "adder_cla", carry_lookahead_adder,
+    "hierarchical 4-bit-group carry-lookahead adder", category="adder",
+)
+register_macro(
+    "adder_carry_select", carry_select_adder,
+    "carry-select adder with duplicated blocks and mux chain", category="adder",
+)
+register_macro(
+    "adder_kogge_stone", kogge_stone_adder,
+    "Kogge-Stone parallel-prefix adder: O(log n) depth", category="adder",
+)
+register_macro(
+    "barrel_shifter", barrel_shifter,
+    "logarithmic left barrel shifter with zero fill", category="shifter",
+)
+register_macro(
+    "multiplier_array", array_multiplier,
+    "array multiplier: ripple partial-product accumulation", category="multiplier",
+)
+register_macro(
+    "multiplier_wallace", wallace_multiplier,
+    "Wallace-tree multiplier with prefix final adder", category="multiplier",
+)
+register_macro(
+    "comparator_eq", equality_comparator,
+    "equality comparator: XNOR + AND tree", category="comparator",
+)
+register_macro(
+    "comparator_gt", magnitude_comparator,
+    "unsigned magnitude comparator", category="comparator",
+)
+register_macro(
+    "parity_tree", parity_tree,
+    "odd-parity XOR reduction tree", category="comparator",
+)
+register_macro(
+    "priority_encoder", priority_encoder,
+    "priority encoder with valid flag", category="encoder",
+)
+register_macro(
+    "leading_zero_counter", leading_zero_counter,
+    "leading-zero counter (normalisation)", category="encoder",
+)
+register_macro(
+    "incrementer", incrementer,
+    "prefix-carry incrementer (program counters)", category="adder",
+)
+register_macro(
+    "alu", alu,
+    "composite ALU: add/sub + logic ops + result mux + zero flag",
+    category="alu",
+)
+register_macro(
+    "cpu_execute_stage", cpu_execute_stage,
+    "CPU execute stage: bypass + shifter + ALU + flags + next-PC",
+    category="alu",
+)
+
+__all__ = [
+    "Emitter",
+    "alu",
+    "array_multiplier",
+    "barrel_shifter",
+    "carry_lookahead_adder",
+    "carry_select_adder",
+    "cpu_execute_stage",
+    "reference_execute",
+    "simulate_execute_stage",
+    "equality_comparator",
+    "incrementer",
+    "kogge_stone_adder",
+    "leading_zero_counter",
+    "priority_encoder",
+    "magnitude_comparator",
+    "parity_tree",
+    "ripple_carry_adder",
+    "simulate_adder",
+    "simulate_alu",
+    "simulate_comparator",
+    "simulate_encoder",
+    "simulate_incrementer",
+    "simulate_lzc",
+    "simulate_multiplier",
+    "simulate_shifter",
+    "wallace_multiplier",
+]

@@ -1,0 +1,224 @@
+"""Adder generators: ripple-carry, carry-lookahead, carry-select, Kogge-Stone.
+
+These are the "fast datapath designs, such as carry-lookahead and
+carry-select adders" of Section 4.2 -- the regular structures a custom
+designer (or a macro library) implements in far fewer logic levels than
+RTL synthesis of ``a + b`` produces.  All generators share the same port
+convention:
+
+* inputs ``a0..a{n-1}``, ``b0..b{n-1}``, ``cin``;
+* outputs ``s0..s{n-1}``, ``cout``.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.datapath.emitter import Emitter
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+
+def _adder_frame(bits: int, name: str) -> tuple[Module, list[str], list[str], str]:
+    if bits < 1:
+        raise SynthesisError("adder width must be at least 1")
+    module = Module(name)
+    a = [module.add_input(f"a{i}") for i in range(bits)]
+    b = [module.add_input(f"b{i}") for i in range(bits)]
+    cin = module.add_input("cin")
+    for i in range(bits):
+        module.add_output(f"s{i}")
+    module.add_output("cout")
+    return module, a, b, cin
+
+
+def ripple_carry_adder(
+    bits: int, library: CellLibrary, name: str = "rca"
+) -> Module:
+    """Ripple-carry adder: minimal area, O(n) critical path.
+
+    This is what naive RTL synthesis of ``a + b`` degenerates to -- the
+    baseline the fast adders are measured against.
+    """
+    module, a, b, cin = _adder_frame(bits, name)
+    emit = Emitter(module, library)
+    carry = cin
+    for i in range(bits):
+        p = emit.xor2(a[i], b[i])
+        emit.xor2(p, carry, out=f"s{i}")
+        if i < bits - 1:
+            carry = emit.or2(emit.and2(a[i], b[i]), emit.and2(p, carry))
+        else:
+            emit.or2(emit.and2(a[i], b[i]), emit.and2(p, carry), out="cout")
+    return module
+
+
+def carry_lookahead_adder(
+    bits: int, library: CellLibrary, name: str = "cla", group: int = 4
+) -> Module:
+    """Hierarchical carry-lookahead adder with 4-bit groups.
+
+    Generate/propagate pairs are combined through recursive lookahead
+    blocks, giving O(log n) carry depth: the classic CLA of Section 4.2.
+    """
+    if group < 2:
+        raise SynthesisError("lookahead group must be at least 2")
+    module, a, b, cin = _adder_frame(bits, name)
+    emit = Emitter(module, library)
+    g = [emit.and2(a[i], b[i]) for i in range(bits)]
+    p = [emit.xor2(a[i], b[i]) for i in range(bits)]
+    carries = _lookahead_carries(emit, g, p, cin, group)
+    for i in range(bits):
+        emit.xor2(p[i], carries[i], out=f"s{i}")
+    emit.buf(carries[bits], out="cout")
+    return module
+
+
+def _lookahead_carries(
+    emit: Emitter, g: list[str], p: list[str], cin: str, group: int
+) -> list[str]:
+    """Carries c0..cn for generate/propagate vectors, recursively.
+
+    Returns n+1 nets: c[i] is the carry *into* bit i; c[n] is carry-out.
+    """
+    n = len(g)
+    if n <= group:
+        # Flat lookahead: c[i+1] = g_i | p_i g_{i-1} | ... | p_i..p_0 cin.
+        carries = [cin]
+        for i in range(n):
+            terms = []
+            for j in range(i, -1, -1):
+                factors = [g[j]] + p[j + 1: i + 1]
+                terms.append(emit.and_tree(factors) if len(factors) > 1
+                             else factors[0])
+            chain = p[0: i + 1] + [cin]
+            terms.append(emit.and_tree(chain))
+            carries.append(emit.or_tree(terms))
+        return carries
+    # Recursive: form group G/P, look ahead over groups, recurse inside.
+    group_g: list[str] = []
+    group_p: list[str] = []
+    bounds = list(range(0, n, group))
+    for start in bounds:
+        end = min(start + group, n)
+        gg, gp = _group_gp(emit, g[start:end], p[start:end])
+        group_g.append(gg)
+        group_p.append(gp)
+    group_carries = _lookahead_carries(emit, group_g, group_p, cin, group)
+    carries: list[str] = []
+    for idx, start in enumerate(bounds):
+        end = min(start + group, n)
+        inner = _lookahead_carries(
+            emit, g[start:end], p[start:end], group_carries[idx], group
+        )
+        carries.extend(inner[:-1])
+    carries.append(group_carries[-1])
+    return carries
+
+
+def _group_gp(emit: Emitter, g: list[str], p: list[str]) -> tuple[str, str]:
+    """Block generate/propagate of a group of bits."""
+    k = len(g)
+    terms = []
+    for j in range(k - 1, -1, -1):
+        factors = [g[j]] + p[j + 1: k]
+        terms.append(emit.and_tree(factors) if len(factors) > 1 else factors[0])
+    block_g = emit.or_tree(terms) if len(terms) > 1 else terms[0]
+    block_p = emit.and_tree(p) if len(p) > 1 else p[0]
+    return block_g, block_p
+
+
+def carry_select_adder(
+    bits: int, library: CellLibrary, name: str = "csel", block: int = 4
+) -> Module:
+    """Carry-select adder: duplicated per-block ripple chains plus muxes.
+
+    Each block computes its sums for carry-in 0 and 1 in parallel; the
+    arriving block carry selects between them, so the critical path is
+    one block plus a mux chain.
+    """
+    if block < 1:
+        raise SynthesisError("carry-select block must be at least 1")
+    module, a, b, cin = _adder_frame(bits, name)
+    emit = Emitter(module, library)
+
+    def ripple(lo: int, hi: int, carry: str) -> tuple[list[str], str]:
+        sums = []
+        for i in range(lo, hi):
+            p = emit.xor2(a[i], b[i])
+            sums.append(emit.xor2(p, carry))
+            carry = emit.or2(emit.and2(a[i], b[i]), emit.and2(p, carry))
+        return sums, carry
+
+    # First block uses the true carry-in directly.
+    first_hi = min(block, bits)
+    sums, carry = ripple(0, first_hi, cin)
+    for i, s in enumerate(sums):
+        emit.buf(s, out=f"s{i}")
+    zero = None
+    one = None
+    lo = first_hi
+    while lo < bits:
+        hi = min(lo + block, bits)
+        if zero is None:
+            # Constant 0/1 block carries realised as x & ~x and x | ~x.
+            na = emit.inv(a[0])
+            zero = emit.and2(a[0], na)
+            one = emit.or2(a[0], na)
+        sums0, carry0 = ripple(lo, hi, zero)
+        sums1, carry1 = ripple(lo, hi, one)
+        for offset in range(hi - lo):
+            emit.mux2(sums0[offset], sums1[offset], carry, out=f"s{lo + offset}")
+        carry = emit.mux2(carry0, carry1, carry)
+        lo = hi
+    emit.buf(carry, out="cout")
+    return module
+
+
+def kogge_stone_adder(
+    bits: int, library: CellLibrary, name: str = "ks"
+) -> Module:
+    """Kogge-Stone parallel-prefix adder: O(log n) depth, wire-heavy.
+
+    The canonical custom-datapath adder; its prefix network computes every
+    carry in ceil(log2 n) combine stages.
+    """
+    module, a, b, cin = _adder_frame(bits, name)
+    emit = Emitter(module, library)
+    g = [emit.and2(a[i], b[i]) for i in range(bits)]
+    p = [emit.xor2(a[i], b[i]) for i in range(bits)]
+    # Fold cin into bit 0's generate: g0' = g0 | p0 & cin.
+    gen = list(g)
+    prop = list(p)
+    gen[0] = emit.or2(g[0], emit.and2(p[0], cin))
+    # Prefix combine: (g, p) o (g', p') = (g | p & g', p & p').
+    dist = 1
+    while dist < bits:
+        new_gen = list(gen)
+        new_prop = list(prop)
+        for i in range(dist, bits):
+            new_gen[i] = emit.or2(gen[i], emit.and2(prop[i], gen[i - dist]))
+            new_prop[i] = emit.and2(prop[i], prop[i - dist])
+        gen, prop = new_gen, new_prop
+        dist *= 2
+    # carry into bit i is gen[i-1]; carry into bit 0 is cin.
+    emit.xor2(p[0], cin, out="s0")
+    for i in range(1, bits):
+        emit.xor2(p[i], gen[i - 1], out=f"s{i}")
+    emit.buf(gen[bits - 1], out="cout")
+    return module
+
+
+def simulate_adder(
+    module: Module, library: CellLibrary, bits: int, a: int, b: int, cin: int = 0
+) -> tuple[int, int]:
+    """Drive an adder netlist with integers; returns ``(sum, carry_out)``."""
+    from repro.synth.simulate import simulate_combinational
+
+    if a < 0 or b < 0 or a >= (1 << bits) or b >= (1 << bits):
+        raise SynthesisError(f"operands out of range for {bits} bits")
+    vec = {f"a{i}": bool((a >> i) & 1) for i in range(bits)}
+    vec.update({f"b{i}": bool((b >> i) & 1) for i in range(bits)})
+    vec["cin"] = bool(cin)
+    out = simulate_combinational(module, library, vec)
+    total = sum((1 << i) for i in range(bits) if out[f"s{i}"])
+    return total, int(out["cout"])

@@ -1,0 +1,85 @@
+"""Comparator and reduction-tree generators.
+
+Equality and magnitude comparison plus a parity tree -- small regular
+structures used by the ALU and by the floorplanning benchmarks as
+representative random-logic blocks.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.datapath.emitter import Emitter
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+
+def equality_comparator(
+    bits: int, library: CellLibrary, name: str = "eq"
+) -> Module:
+    """``eq = (a == b)``: per-bit XNOR reduced through an AND tree."""
+    if bits < 1:
+        raise SynthesisError("comparator width must be at least 1")
+    module = Module(name)
+    a = [module.add_input(f"a{i}") for i in range(bits)]
+    b = [module.add_input(f"b{i}") for i in range(bits)]
+    module.add_output("eq")
+    emit = Emitter(module, library)
+    matches = [emit.xnor2(a[i], b[i]) for i in range(bits)]
+    if len(matches) == 1:
+        emit.buf(matches[0], out="eq")
+    else:
+        emit.buf(emit.and_tree(matches), out="eq")
+    return module
+
+
+def magnitude_comparator(
+    bits: int, library: CellLibrary, name: str = "gt"
+) -> Module:
+    """``gt = (a > b)`` for unsigned words.
+
+    Classic formulation: bit i wins if a_i > b_i and all higher bits are
+    equal: ``gt = OR_i (a_i & ~b_i & AND_{j>i} eq_j)``.
+    """
+    if bits < 1:
+        raise SynthesisError("comparator width must be at least 1")
+    module = Module(name)
+    a = [module.add_input(f"a{i}") for i in range(bits)]
+    b = [module.add_input(f"b{i}") for i in range(bits)]
+    module.add_output("gt")
+    emit = Emitter(module, library)
+    eq = [emit.xnor2(a[i], b[i]) for i in range(bits)]
+    terms = []
+    for i in range(bits):
+        win = emit.and2(a[i], emit.inv(b[i]))
+        higher = eq[i + 1:]
+        if higher:
+            win = emit.and2(win, emit.and_tree(higher))
+        terms.append(win)
+    if len(terms) == 1:
+        emit.buf(terms[0], out="gt")
+    else:
+        emit.buf(emit.or_tree(terms), out="gt")
+    return module
+
+
+def parity_tree(bits: int, library: CellLibrary, name: str = "parity") -> Module:
+    """Odd-parity of an input word via a balanced XOR tree."""
+    if bits < 2:
+        raise SynthesisError("parity width must be at least 2")
+    module = Module(name)
+    d = [module.add_input(f"d{i}") for i in range(bits)]
+    module.add_output("p")
+    emit = Emitter(module, library)
+    emit.buf(emit.xor_tree(d), out="p")
+    return module
+
+
+def simulate_comparator(
+    module: Module, library: CellLibrary, bits: int, a: int, b: int, out: str
+) -> bool:
+    """Drive a comparator netlist with integers; returns the named output."""
+    from repro.synth.simulate import simulate_combinational
+
+    vec = {f"a{i}": bool((a >> i) & 1) for i in range(bits)}
+    vec.update({f"b{i}": bool((b >> i) & 1) for i in range(bits)})
+    return simulate_combinational(module, library, vec)[out]

@@ -1,0 +1,190 @@
+"""A single-issue CPU execute-stage datapath: the flow's processor proxy.
+
+The paper's survey objects are processors; this generator assembles a
+realistic execute-stage slice from the macro library so the flows time
+something processor-shaped rather than a lone ALU:
+
+* operand bypass muxes (forwarding, Section 4.1's "additional complex
+  hardware logic (such as forwarding ...)");
+* the ALU (add/sub/and/or/xor);
+* a barrel shifter on the B operand path;
+* the program-counter incrementer;
+* branch resolution: zero/negative flags plus a taken decision.
+
+Ports: operands ``ra*``/``rb*``, forwarded results ``fwd*``, bypass
+selects ``bypa``/``bypb``, ALU controls ``op0/op1/sub``, shift controls
+``sh*``/``use_shift``, PC ``pc*``, branch controls ``is_branch``; outputs
+``res*`` (result), ``npc*`` (next PC), ``taken``, ``zero``, ``neg``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cells.library import CellLibrary
+from repro.datapath.alu import _adder_nets
+from repro.datapath.emitter import Emitter
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+
+def cpu_execute_stage(
+    bits: int,
+    library: CellLibrary,
+    name: str = "exec",
+    fast_adder: bool = True,
+) -> Module:
+    """Build the execute-stage datapath.
+
+    Args:
+        bits: word width.
+        library: target cell library.
+        name: module name.
+        fast_adder: prefix adders (custom/macro style) vs ripple chains.
+    """
+    if bits < 4:
+        raise SynthesisError("execute stage needs at least 4 bits")
+    shift_bits = max(1, math.ceil(math.log2(bits)))
+    module = Module(name)
+    ra = [module.add_input(f"ra{i}") for i in range(bits)]
+    rb = [module.add_input(f"rb{i}") for i in range(bits)]
+    fwd = [module.add_input(f"fwd{i}") for i in range(bits)]
+    bypa = module.add_input("bypa")
+    bypb = module.add_input("bypb")
+    op0 = module.add_input("op0")
+    op1 = module.add_input("op1")
+    sub = module.add_input("sub")
+    sh = [module.add_input(f"sh{k}") for k in range(shift_bits)]
+    use_shift = module.add_input("use_shift")
+    pc = [module.add_input(f"pc{i}") for i in range(bits)]
+    is_branch = module.add_input("is_branch")
+    for i in range(bits):
+        module.add_output(f"res{i}")
+    for i in range(bits):
+        module.add_output(f"npc{i}")
+    module.add_output("taken")
+    module.add_output("zero")
+    module.add_output("neg")
+
+    emit = Emitter(module, library)
+
+    # Bypass (forwarding) muxes on both operands.
+    a = [emit.mux2(ra[i], fwd[i], bypa) for i in range(bits)]
+    b_pre = [emit.mux2(rb[i], fwd[i], bypb) for i in range(bits)]
+
+    # Barrel shifter on the B path (left shift, zero fill), then select.
+    zero_net = emit.and2(b_pre[0], emit.inv(b_pre[0]))
+    current = list(b_pre)
+    for k in range(shift_bits):
+        amount = 1 << k
+        nxt = []
+        for i in range(bits):
+            shifted = current[i - amount] if i - amount >= 0 else zero_net
+            nxt.append(emit.mux2(current[i], shifted, sh[k]))
+        current = nxt
+    b = [emit.mux2(b_pre[i], current[i], use_shift) for i in range(bits)]
+
+    # ALU: add/sub + logic ops + result mux.
+    b_eff = [emit.xor2(b[i], sub) for i in range(bits)]
+    sums, _carry = _adder_nets(emit, a, b_eff, sub, bits, fast_adder)
+    ands = [emit.and2(a[i], b[i]) for i in range(bits)]
+    ors = [emit.or2(a[i], b[i]) for i in range(bits)]
+    xors = [emit.xor2(a[i], b[i]) for i in range(bits)]
+    results = []
+    for i in range(bits):
+        lo = emit.mux2(sums[i], ands[i], op0)
+        hi = emit.mux2(ors[i], xors[i], op0)
+        results.append(emit.mux2(lo, hi, op1, out=f"res{i}"))
+
+    # Flags and branch resolution: branch taken when result == 0.
+    zero_flag = emit.inv(emit.or_tree(results))
+    emit.buf(zero_flag, out="zero")
+    emit.buf(results[bits - 1], out="neg")
+    emit.and2(is_branch, zero_flag, out="taken")
+
+    # Next PC: incrementer on the PC (prefix-AND carry chain).
+    prefix = list(pc)
+    dist = 1
+    while dist < bits:
+        new_prefix = list(prefix)
+        for i in range(dist, bits):
+            new_prefix[i] = emit.and2(prefix[i], prefix[i - dist])
+        prefix = new_prefix
+        dist *= 2
+    emit.inv(pc[0], out="npc0")
+    for i in range(1, bits):
+        emit.xor2(pc[i], prefix[i - 1], out=f"npc{i}")
+    return module
+
+
+def simulate_execute_stage(
+    module: Module,
+    library: CellLibrary,
+    bits: int,
+    ra: int,
+    rb: int,
+    fwd: int = 0,
+    bypa: bool = False,
+    bypb: bool = False,
+    op: int = 0,
+    sub: int = 0,
+    shift: int = 0,
+    use_shift: bool = False,
+    pc: int = 0,
+    is_branch: bool = False,
+) -> dict:
+    """Drive the execute stage; returns a dict of integer/bool results."""
+    from repro.synth.simulate import simulate_combinational
+
+    shift_bits = max(1, math.ceil(math.log2(bits)))
+    vec = {}
+    for i in range(bits):
+        vec[f"ra{i}"] = bool((ra >> i) & 1)
+        vec[f"rb{i}"] = bool((rb >> i) & 1)
+        vec[f"fwd{i}"] = bool((fwd >> i) & 1)
+        vec[f"pc{i}"] = bool((pc >> i) & 1)
+    for k in range(shift_bits):
+        vec[f"sh{k}"] = bool((shift >> k) & 1)
+    vec.update(
+        bypa=bypa, bypb=bypb, op0=bool(op & 1), op1=bool(op & 2),
+        sub=bool(sub), use_shift=use_shift, is_branch=is_branch,
+    )
+    out = simulate_combinational(module, library, vec)
+    res = sum((1 << i) for i in range(bits) if out[f"res{i}"])
+    npc = sum((1 << i) for i in range(bits) if out[f"npc{i}"])
+    return {
+        "res": res,
+        "npc": npc,
+        "taken": out["taken"],
+        "zero": out["zero"],
+        "neg": out["neg"],
+    }
+
+
+def reference_execute(
+    bits: int, ra: int, rb: int, fwd: int, bypa: bool, bypb: bool,
+    op: int, sub: int, shift: int, use_shift: bool, pc: int,
+    is_branch: bool,
+) -> dict:
+    """Pure-Python reference model of the execute stage."""
+    mask = (1 << bits) - 1
+    a = fwd if bypa else ra
+    b = fwd if bypb else rb
+    if use_shift:
+        b = (b << shift) & mask
+    if op == 0:
+        res = (a - b if sub else a + b) & mask
+    elif op == 1:
+        res = a & b
+    elif op == 2:
+        res = a | b
+    else:
+        res = a ^ b
+    zero = res == 0
+    return {
+        "res": res,
+        "npc": (pc + 1) & mask,
+        "taken": bool(is_branch and zero),
+        "zero": zero,
+        "neg": bool((res >> (bits - 1)) & 1),
+    }

@@ -1,0 +1,193 @@
+"""Gate emission helper shared by the datapath generators.
+
+Generators describe structures gate-by-gate; the :class:`Emitter` resolves
+each requested function against the target library, transparently falling
+back to the complement gate plus an inverter when only one polarity is
+stocked (the Section 6.1 impoverished-library situation), and composing
+missing functions (MUX, majority) from stocked primitives.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+#: Complement pairs for polarity fallback.
+_COMPLEMENTS = {
+    "AND2": "NAND2", "NAND2": "AND2",
+    "AND3": "NAND3", "NAND3": "AND3",
+    "AND4": "NAND4", "NAND4": "AND4",
+    "OR2": "NOR2", "NOR2": "OR2",
+    "OR3": "NOR3", "NOR3": "OR3",
+    "OR4": "NOR4", "NOR4": "OR4",
+    "XOR2": "XNOR2", "XNOR2": "XOR2",
+}
+
+_PIN_NAMES = "ABCDEFGH"
+
+
+class Emitter:
+    """Emits gates into a module against one library.
+
+    Args:
+        module: target netlist being built.
+        library: cell library to draw from.
+        drive: preferred drive strength for emitted gates.
+    """
+
+    def __init__(
+        self, module: Module, library: CellLibrary, drive: float = 2.0
+    ) -> None:
+        self.module = module
+        self.library = library
+        self.drive = drive
+
+    # ------------------------------------------------------------------
+    # Primitive emission with polarity fallback
+    # ------------------------------------------------------------------
+
+    def _pick(self, base: str) -> str:
+        variants = self.library.drives_of(base)
+        for cell in variants:
+            if cell.drive >= self.drive:
+                return cell.name
+        return variants[-1].name
+
+    def gate(self, base: str, *nets: str, out: str | None = None) -> str:
+        """Emit one gate of the given base; returns the output net.
+
+        Falls back to the complement gate plus an inverter when the base
+        is not stocked but its complement is.
+        """
+        if self.library.has_base(base):
+            return self._raw(base, nets, out)
+        complement = _COMPLEMENTS.get(base)
+        if complement is not None and self.library.has_base(complement):
+            inner = self._raw(complement, nets, None)
+            return self.inv(inner, out=out)
+        raise SynthesisError(
+            f"library {self.library.name} stocks neither {base} nor its "
+            "complement"
+        )
+
+    def _raw(self, base: str, nets: tuple[str, ...], out: str | None) -> str:
+        cell_name = self._pick(base)
+        cell = self.library.get(cell_name)
+        if len(nets) != cell.num_inputs:
+            raise SynthesisError(
+                f"{base} expects {cell.num_inputs} inputs, got {len(nets)}"
+            )
+        out_net = out if out is not None else self.module.add_net()
+        pins = {_PIN_NAMES[i]: net for i, net in enumerate(nets)}
+        if base == "MUX2":
+            pins = {"A": nets[0], "B": nets[1], "S": nets[2]}
+        self.module.add_instance(
+            None, cell_name, inputs=pins, outputs={cell.output: out_net}
+        )
+        return out_net
+
+    # ------------------------------------------------------------------
+    # Named conveniences
+    # ------------------------------------------------------------------
+
+    def inv(self, a: str, out: str | None = None) -> str:
+        return self.gate("INV", a, out=out)
+
+    def buf(self, a: str, out: str | None = None) -> str:
+        """Buffer; uses two inverters if no BUF is stocked."""
+        if self.library.has_base("BUF"):
+            return self._raw("BUF", (a,), out)
+        return self.inv(self.inv(a), out=out)
+
+    def and2(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("AND2", a, b, out=out)
+
+    def or2(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("OR2", a, b, out=out)
+
+    def nand2(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("NAND2", a, b, out=out)
+
+    def nor2(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("NOR2", a, b, out=out)
+
+    def xor2(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("XOR2", a, b, out=out)
+
+    def xnor2(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("XNOR2", a, b, out=out)
+
+    def and3(self, a: str, b: str, c: str, out: str | None = None) -> str:
+        if self.library.has_base("AND3") or self.library.has_base("NAND3"):
+            return self.gate("AND3", a, b, c, out=out)
+        return self.and2(self.and2(a, b), c, out=out)
+
+    def or3(self, a: str, b: str, c: str, out: str | None = None) -> str:
+        if self.library.has_base("OR3") or self.library.has_base("NOR3"):
+            return self.gate("OR3", a, b, c, out=out)
+        return self.or2(self.or2(a, b), c, out=out)
+
+    def and_tree(self, nets: list[str]) -> str:
+        """Balanced AND reduction of arbitrarily many nets."""
+        return self._tree(nets, self.and2, self.and3)
+
+    def or_tree(self, nets: list[str]) -> str:
+        """Balanced OR reduction of arbitrarily many nets."""
+        return self._tree(nets, self.or2, self.or3)
+
+    def xor_tree(self, nets: list[str]) -> str:
+        """Balanced XOR (parity) reduction."""
+        return self._tree(nets, self.xor2, None)
+
+    def _tree(self, nets, op2, op3):
+        if not nets:
+            raise SynthesisError("cannot reduce an empty net list")
+        level = list(nets)
+        while len(level) > 1:
+            nxt = []
+            i = 0
+            while i < len(level):
+                remaining = len(level) - i
+                if op3 is not None and remaining == 3:
+                    nxt.append(op3(level[i], level[i + 1], level[i + 2]))
+                    i += 3
+                elif remaining >= 2:
+                    nxt.append(op2(level[i], level[i + 1]))
+                    i += 2
+                else:
+                    nxt.append(level[i])
+                    i += 1
+            level = nxt
+        return level[0]
+
+    def mux2(self, a: str, b: str, sel: str, out: str | None = None) -> str:
+        """2:1 mux: ``sel ? b : a`` (sel=0 passes ``a``).
+
+        Uses the MUX2 cell when stocked, else AND/OR/INV composition.
+        """
+        if self.library.has_base("MUX2"):
+            return self._raw("MUX2", (a, b, sel), out)
+        nsel = self.inv(sel)
+        return self.or2(self.and2(a, nsel), self.and2(b, sel), out=out)
+
+    def maj3(self, a: str, b: str, c: str, out: str | None = None) -> str:
+        """Three-input majority (full-adder carry)."""
+        ab = self.and2(a, b)
+        a_or_b = self.or2(a, b)
+        return self.or2(ab, self.and2(c, a_or_b), out=out)
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        """Full adder; returns ``(sum, carry_out)``.
+
+        Built as ``p = a ^ b; s = p ^ cin; cout = (a & b) | (p & cin)`` --
+        the standard shared-propagate structure.
+        """
+        p = self.xor2(a, b)
+        s = self.xor2(p, cin)
+        cout = self.or2(self.and2(a, b), self.and2(p, cin))
+        return s, cout
+
+    def half_adder(self, a: str, b: str) -> tuple[str, str]:
+        """Half adder; returns ``(sum, carry_out)``."""
+        return self.xor2(a, b), self.and2(a, b)

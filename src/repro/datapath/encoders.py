@@ -1,0 +1,169 @@
+"""Encoder-family datapath generators: priority encoder, leading-zero
+counter, incrementer.
+
+More entries for the Section 4.2 macro library -- the irregular-but-
+common blocks (arbiter priority logic, normalisation counts, program
+counters) a good ASIC macro library stocks alongside adders and
+shifters.
+
+Port conventions:
+
+* priority encoder: inputs ``d0..d{n-1}`` (d0 highest priority),
+  outputs ``e0..e{k-1}`` (index of the highest-priority asserted input)
+  and ``valid``;
+* leading-zero counter: inputs ``d*`` (d{n-1} is the MSB), outputs
+  ``z0..z{k}`` giving the count of leading zeros (n when all-zero);
+* incrementer: inputs ``d*``, outputs ``q* = d + 1`` and ``cout``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cells.library import CellLibrary
+from repro.datapath.emitter import Emitter
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+
+def priority_encoder(
+    bits: int, library: CellLibrary, name: str = "penc"
+) -> Module:
+    """Priority encoder: index of the highest-priority (lowest-numbered)
+    asserted input, plus a valid flag."""
+    if bits < 2:
+        raise SynthesisError("encoder width must be at least 2")
+    out_bits = max(1, math.ceil(math.log2(bits)))
+    module = Module(name)
+    d = [module.add_input(f"d{i}") for i in range(bits)]
+    for k in range(out_bits):
+        module.add_output(f"e{k}")
+    module.add_output("valid")
+    emit = Emitter(module, library)
+
+    # grant_i = d_i & ~d_0 & ... & ~d_{i-1}  (one-hot winner).
+    inverted = [emit.inv(net) for net in d]
+    grants = [d[0]]
+    for i in range(1, bits):
+        mask = emit.and_tree(inverted[:i]) if i > 1 else inverted[0]
+        grants.append(emit.and2(d[i], mask))
+    # Binary-encode the winner.
+    for k in range(out_bits):
+        contributors = [grants[i] for i in range(bits) if (i >> k) & 1]
+        if not contributors:
+            never = emit.and2(d[0], inverted[0])
+            emit.buf(never, out=f"e{k}")
+        elif len(contributors) == 1:
+            emit.buf(contributors[0], out=f"e{k}")
+        else:
+            emit.buf(emit.or_tree(contributors), out=f"e{k}")
+    emit.buf(emit.or_tree(list(d)), out="valid")
+    return module
+
+
+def leading_zero_counter(
+    bits: int, library: CellLibrary, name: str = "lzc"
+) -> Module:
+    """Count of leading zeros from the MSB (d{n-1}) downwards."""
+    if bits < 2:
+        raise SynthesisError("counter width must be at least 2")
+    out_bits = math.ceil(math.log2(bits + 1))
+    module = Module(name)
+    d = [module.add_input(f"d{i}") for i in range(bits)]
+    for k in range(out_bits):
+        module.add_output(f"z{k}")
+    emit = Emitter(module, library)
+
+    inverted = [emit.inv(net) for net in d]
+    # lead_j = "the top j bits are zero and bit (n-1-j) is one" for
+    # j < n; all_zero for j = n.
+    counts = []
+    for j in range(bits):
+        top_zero = (
+            emit.and_tree([inverted[bits - 1 - t] for t in range(j)])
+            if j > 1 else (inverted[bits - 1] if j == 1 else None)
+        )
+        bit_one = d[bits - 1 - j]
+        if top_zero is None:
+            counts.append(bit_one)
+        else:
+            counts.append(emit.and2(top_zero, bit_one))
+    all_zero = emit.and_tree(inverted)
+    counts.append(all_zero)
+
+    for k in range(out_bits):
+        contributors = [counts[j] for j in range(bits + 1) if (j >> k) & 1]
+        if not contributors:
+            never = emit.and2(d[0], inverted[0])
+            emit.buf(never, out=f"z{k}")
+        elif len(contributors) == 1:
+            emit.buf(contributors[0], out=f"z{k}")
+        else:
+            emit.buf(emit.or_tree(contributors), out=f"z{k}")
+    return module
+
+
+def incrementer(
+    bits: int, library: CellLibrary, name: str = "inc"
+) -> Module:
+    """``q = d + 1`` with a logarithmic AND-prefix carry chain."""
+    if bits < 1:
+        raise SynthesisError("incrementer width must be at least 1")
+    module = Module(name)
+    d = [module.add_input(f"d{i}") for i in range(bits)]
+    for i in range(bits):
+        module.add_output(f"q{i}")
+    module.add_output("cout")
+    emit = Emitter(module, library)
+
+    # carry into bit i is AND(d0..d{i-1}); prefix-AND network.
+    prefix = list(d)
+    dist = 1
+    while dist < bits:
+        new_prefix = list(prefix)
+        for i in range(dist, bits):
+            new_prefix[i] = emit.and2(prefix[i], prefix[i - dist])
+        prefix = new_prefix
+        dist *= 2
+    emit.inv(d[0], out="q0")
+    for i in range(1, bits):
+        emit.xor2(d[i], prefix[i - 1], out=f"q{i}")
+    emit.buf(prefix[bits - 1], out="cout")
+    return module
+
+
+def simulate_encoder(
+    module: Module, library: CellLibrary, bits: int, value: int
+) -> tuple[int, bool]:
+    """Drive a priority encoder; returns ``(index, valid)``."""
+    from repro.synth.simulate import simulate_combinational
+
+    out_bits = max(1, math.ceil(math.log2(bits)))
+    vec = {f"d{i}": bool((value >> i) & 1) for i in range(bits)}
+    out = simulate_combinational(module, library, vec)
+    index = sum((1 << k) for k in range(out_bits) if out[f"e{k}"])
+    return index, out["valid"]
+
+
+def simulate_lzc(
+    module: Module, library: CellLibrary, bits: int, value: int
+) -> int:
+    """Drive a leading-zero counter; returns the count."""
+    from repro.synth.simulate import simulate_combinational
+
+    out_bits = math.ceil(math.log2(bits + 1))
+    vec = {f"d{i}": bool((value >> i) & 1) for i in range(bits)}
+    out = simulate_combinational(module, library, vec)
+    return sum((1 << k) for k in range(out_bits) if out[f"z{k}"])
+
+
+def simulate_incrementer(
+    module: Module, library: CellLibrary, bits: int, value: int
+) -> tuple[int, int]:
+    """Drive an incrementer; returns ``(q, cout)``."""
+    from repro.synth.simulate import simulate_combinational
+
+    vec = {f"d{i}": bool((value >> i) & 1) for i in range(bits)}
+    out = simulate_combinational(module, library, vec)
+    q = sum((1 << i) for i in range(bits) if out[f"q{i}"])
+    return q, int(out["cout"])

@@ -1,0 +1,152 @@
+"""Multiplier generators: array and Wallace-tree.
+
+Section 7.2 lists multipliers among the candidate custom macro cells.
+The array multiplier is the regular O(n) -depth structure RTL synthesis
+tends to produce; the Wallace tree compresses partial products in
+O(log n) carry-save levels followed by one fast carry-propagate adder,
+which is the custom-macro shape.
+
+Ports: ``a0..a{n-1}``, ``b0..b{n-1}``; product ``p0..p{2n-1}``.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.datapath.emitter import Emitter
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+
+def _mult_frame(bits: int, name: str) -> tuple[Module, list[str], list[str]]:
+    if bits < 2:
+        raise SynthesisError("multiplier width must be at least 2")
+    module = Module(name)
+    a = [module.add_input(f"a{i}") for i in range(bits)]
+    b = [module.add_input(f"b{i}") for i in range(bits)]
+    for i in range(2 * bits):
+        module.add_output(f"p{i}")
+    return module, a, b
+
+
+def _partial_products(
+    emit: Emitter, a: list[str], b: list[str]
+) -> list[list[str]]:
+    """Column-indexed AND-array of partial products."""
+    bits = len(a)
+    columns: list[list[str]] = [[] for _ in range(2 * bits)]
+    for i in range(bits):
+        for j in range(bits):
+            columns[i + j].append(emit.and2(a[i], b[j]))
+    return columns
+
+
+def array_multiplier(
+    bits: int, library: CellLibrary, name: str = "amul"
+) -> Module:
+    """Array multiplier: row-by-row ripple accumulation of partial products.
+
+    Critical path is O(n) full adders -- the slow but regular baseline.
+    """
+    module, a, b = _mult_frame(bits, name)
+    emit = Emitter(module, library)
+    columns = _partial_products(emit, a, b)
+    # Ripple-accumulate column by column, carrying into the next column.
+    for col in range(2 * bits):
+        nets = columns[col]
+        while len(nets) > 2:
+            s, c = emit.full_adder(nets[0], nets[1], nets[2])
+            nets = nets[3:] + [s]
+            if col + 1 < 2 * bits:
+                columns[col + 1].append(c)
+        if len(nets) == 2:
+            s, c = emit.half_adder(nets[0], nets[1])
+            nets = [s]
+            if col + 1 < 2 * bits:
+                columns[col + 1].append(c)
+        if nets:
+            emit.buf(nets[0], out=f"p{col}")
+        else:
+            ninput = emit.inv(a[0])
+            zero = emit.and2(a[0], ninput)
+            emit.buf(zero, out=f"p{col}")
+        columns[col] = nets
+    return module
+
+
+def wallace_multiplier(
+    bits: int, library: CellLibrary, name: str = "wmul"
+) -> Module:
+    """Wallace-tree multiplier: 3:2 compression plus Kogge-Stone final add.
+
+    All columns compress in parallel per level, so the reduction takes
+    O(log n) full-adder levels; the two remaining rows are summed with a
+    logarithmic prefix adder.
+    """
+    module, a, b = _mult_frame(bits, name)
+    emit = Emitter(module, library)
+    columns = _partial_products(emit, a, b)
+    width = 2 * bits
+
+    # Wallace reduction: every level, each column feeds groups of three
+    # bits into full adders (pairs into half adders) simultaneously.
+    while any(len(col) > 2 for col in columns):
+        next_columns: list[list[str]] = [[] for _ in range(width)]
+        for col in range(width):
+            nets = columns[col]
+            i = 0
+            while len(nets) - i >= 3:
+                s, c = emit.full_adder(nets[i], nets[i + 1], nets[i + 2])
+                next_columns[col].append(s)
+                if col + 1 < width:
+                    next_columns[col + 1].append(c)
+                i += 3
+            if len(nets) - i == 2 and len(nets) > 2:
+                s, c = emit.half_adder(nets[i], nets[i + 1])
+                next_columns[col].append(s)
+                if col + 1 < width:
+                    next_columns[col + 1].append(c)
+                i += 2
+            next_columns[col].extend(nets[i:])
+        columns = next_columns
+
+    # Final carry-propagate addition of the two remaining rows with an
+    # inline Kogge-Stone prefix network, keeping the whole multiplier at
+    # logarithmic depth.
+    ninput = emit.inv(a[0])
+    zero = emit.and2(a[0], ninput)
+    xs = []
+    ys = []
+    for col in range(width):
+        nets = columns[col]
+        xs.append(nets[0] if len(nets) > 0 else zero)
+        ys.append(nets[1] if len(nets) > 1 else zero)
+    gen = [emit.and2(xs[i], ys[i]) for i in range(width)]
+    prop = [emit.xor2(xs[i], ys[i]) for i in range(width)]
+    sum_p = list(prop)
+    dist = 1
+    while dist < width:
+        new_gen = list(gen)
+        new_prop = list(prop)
+        for i in range(dist, width):
+            new_gen[i] = emit.or2(gen[i], emit.and2(prop[i], gen[i - dist]))
+            new_prop[i] = emit.and2(prop[i], prop[i - dist])
+        gen, prop = new_gen, new_prop
+        dist *= 2
+    emit.buf(sum_p[0], out="p0")
+    for col in range(1, width):
+        emit.xor2(sum_p[col], gen[col - 1], out=f"p{col}")
+    return module
+
+
+def simulate_multiplier(
+    module: Module, library: CellLibrary, bits: int, a: int, b: int
+) -> int:
+    """Drive a multiplier netlist with integers; returns the product."""
+    from repro.synth.simulate import simulate_combinational
+
+    if min(a, b) < 0 or max(a, b) >= (1 << bits):
+        raise SynthesisError(f"operands out of range for {bits} bits")
+    vec = {f"a{i}": bool((a >> i) & 1) for i in range(bits)}
+    vec.update({f"b{i}": bool((b >> i) & 1) for i in range(bits)})
+    out = simulate_combinational(module, library, vec)
+    return sum((1 << i) for i in range(2 * bits) if out[f"p{i}"])

@@ -1,0 +1,72 @@
+"""Barrel shifter generator.
+
+Section 7.2 names barrel shifters among the functions worth providing as
+"high-speed custom macro cells"; Section 9 uses the barrel shifter as its
+example of an element whose custom advantage looks large in isolation.
+The generator builds the classic logarithmic mux structure: stage k
+shifts by 2^k when its select bit is high.
+
+Ports: data ``d0..d{n-1}``, shift amount ``sh0..sh{k-1}`` (k = ceil(log2 n)),
+outputs ``y0..y{n-1}``.  Left logical shift with zero fill.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cells.library import CellLibrary
+from repro.datapath.emitter import Emitter
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+
+def barrel_shifter(
+    bits: int, library: CellLibrary, name: str = "bshift"
+) -> Module:
+    """Logarithmic left barrel shifter with zero fill."""
+    if bits < 2:
+        raise SynthesisError("shifter width must be at least 2")
+    stages = max(1, math.ceil(math.log2(bits)))
+    module = Module(name)
+    data = [module.add_input(f"d{i}") for i in range(bits)]
+    selects = [module.add_input(f"sh{k}") for k in range(stages)]
+    for i in range(bits):
+        module.add_output(f"y{i}")
+    emit = Emitter(module, library)
+
+    zero = None
+    current = data
+    for k in range(stages):
+        amount = 1 << k
+        sel = selects[k]
+        last = k == stages - 1
+        nxt: list[str] = []
+        for i in range(bits):
+            if i - amount >= 0:
+                shifted = current[i - amount]
+            else:
+                if zero is None:
+                    ninput = emit.inv(data[0])
+                    zero = emit.and2(data[0], ninput)
+                shifted = zero
+            out = f"y{i}" if last else None
+            nxt.append(emit.mux2(current[i], shifted, sel, out=out))
+        current = nxt
+    return module
+
+
+def simulate_shifter(
+    module: Module, library: CellLibrary, bits: int, value: int, shift: int
+) -> int:
+    """Drive a shifter netlist with integers; returns the shifted word."""
+    from repro.synth.simulate import simulate_combinational
+
+    if value < 0 or value >= (1 << bits):
+        raise SynthesisError(f"value out of range for {bits} bits")
+    stages = max(1, math.ceil(math.log2(bits)))
+    if shift < 0 or shift >= (1 << stages):
+        raise SynthesisError(f"shift out of range for {stages} select bits")
+    vec = {f"d{i}": bool((value >> i) & 1) for i in range(bits)}
+    vec.update({f"sh{k}": bool((shift >> k) & 1) for k in range(stages)})
+    out = simulate_combinational(module, library, vec)
+    return sum((1 << i) for i in range(bits) if out[f"y{i}"])

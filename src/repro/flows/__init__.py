@@ -1,0 +1,15 @@
+"""End-to-end implementation flows: ASIC vs custom methodology."""
+
+from repro.flows.asic import AsicFlowOptions, WORKLOADS, run_asic_flow
+from repro.flows.custom import CustomFlowOptions, run_custom_flow
+from repro.flows.results import FlowError, FlowResult
+
+__all__ = [
+    "AsicFlowOptions",
+    "CustomFlowOptions",
+    "FlowError",
+    "FlowResult",
+    "WORKLOADS",
+    "run_asic_flow",
+    "run_custom_flow",
+]

@@ -1,0 +1,152 @@
+"""The ASIC implementation flow.
+
+The standard-cell methodology as the paper describes it: RTL-ish entry,
+mapping onto a fixed library, automatic placement, discrete post-layout
+sizing, a synthesised (10%-class) clock tree, and -- crucially, Section 8
+-- a worst-case-corner frequency quote rather than typical-silicon
+performance.  Every lever the paper says ASICs lack is an option here so
+the benchmarks can turn them on one at a time and price them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.builder import poor_asic_library, rich_asic_library
+from repro.datapath.alu import alu
+from repro.datapath.adders import kogge_stone_adder, ripple_carry_adder
+from repro.datapath.cpu import cpu_execute_stage
+from repro.datapath.multiplier import array_multiplier, wallace_multiplier
+from repro.flows.results import FlowError, FlowResult
+from repro.netlist.module import Module
+from repro.physical.placement import place
+from repro.pipeline.pipeliner import pipeline_module
+from repro.sizing.buffering import buffer_high_fanout
+from repro.sizing.tilos import size_for_speed, total_area_um2
+from repro.sta.clocking import asic_clock
+from repro.sta.engine import solve_min_period
+from repro.sta.fo4 import fo4_depth, fo4_logic_depth
+from repro.sta.sequential import register_boundaries
+from repro.tech.process import CMOS250_ASIC, ProcessTechnology
+from repro.variation.binning import asic_worst_case_quote, speed_tested_quote
+from repro.variation.components import MATURE_PROCESS
+from repro.variation.montecarlo import sample_chip_speeds
+
+#: Named workload generators: (callable(bits, library), description).
+WORKLOADS = {
+    "alu": lambda bits, lib: alu(bits, lib, fast_adder=False),
+    "alu_macro": lambda bits, lib: alu(bits, lib, fast_adder=True),
+    "adder_ripple": ripple_carry_adder,
+    "adder_kogge_stone": kogge_stone_adder,
+    "multiplier_array": array_multiplier,
+    "multiplier_wallace": wallace_multiplier,
+    "cpu": lambda bits, lib: cpu_execute_stage(bits, lib, fast_adder=False),
+    "cpu_macro": lambda bits, lib: cpu_execute_stage(
+        bits, lib, fast_adder=True
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AsicFlowOptions:
+    """Knobs of the ASIC flow.
+
+    Attributes:
+        workload: one of :data:`WORKLOADS`.
+        bits: datapath width.
+        pipeline_stages: 1 = registered boundaries only.
+        rich_library: rich vs two-drive impoverished library (Section 6).
+        careful_placement: good floorplanning/placement vs scatter
+            (Section 5).
+        sizing_moves: post-layout resizing budget (Section 6.2; 0 = skip).
+        speed_test: at-speed test instead of worst-case quote (Sec. 8.3).
+        seed: placement RNG seed.
+    """
+
+    workload: str = "alu"
+    bits: int = 8
+    pipeline_stages: int = 1
+    rich_library: bool = True
+    careful_placement: bool = True
+    sizing_moves: int = 30
+    speed_test: bool = False
+    seed: int = 1
+
+
+def run_asic_flow(
+    options: AsicFlowOptions = AsicFlowOptions(),
+    tech: ProcessTechnology = CMOS250_ASIC,
+) -> FlowResult:
+    """Run the full ASIC flow and return its result record.
+
+    Raises:
+        FlowError: for unknown workloads or inconsistent options.
+    """
+    if options.workload not in WORKLOADS:
+        raise FlowError(
+            f"unknown workload {options.workload!r}; "
+            f"known: {sorted(WORKLOADS)}"
+        )
+    library = (
+        rich_asic_library(tech)
+        if options.rich_library
+        else poor_asic_library(tech)
+    )
+    comb = WORKLOADS[options.workload](options.bits, library)
+
+    if options.pipeline_stages > 1:
+        report = pipeline_module(comb, library, options.pipeline_stages)
+        module = report.module
+        stages = report.stages
+    else:
+        module = register_boundaries(comb, library)
+        stages = 1
+
+    quality = "careful" if options.careful_placement else "sloppy"
+    placement = place(module, library, quality=quality, seed=options.seed)
+    wire = placement.parasitics(library)
+
+    notes: dict[str, float] = {
+        "wirelength_um": placement.total_wirelength_um(),
+    }
+    if library.has_base("BUF"):
+        buffered = buffer_high_fanout(module, library, max_fanout=10)
+        notes["buffers_added"] = float(buffered.buffers_added)
+
+    clock = asic_clock(20.0 * tech.fo4_delay_ps)
+    if options.sizing_moves > 0:
+        sizing = size_for_speed(
+            module, library, clock, wire=wire,
+            max_moves=options.sizing_moves,
+        )
+        notes["sizing_moves"] = float(sizing.moves)
+        notes["sizing_speedup"] = sizing.speedup
+
+    timing = solve_min_period(module, library, clock, wire=wire)
+    typical_mhz = timing.max_frequency_mhz
+
+    dist = sample_chip_speeds(typical_mhz, MATURE_PROCESS, count=4000,
+                              seed=options.seed)
+    if options.speed_test:
+        quoted = speed_tested_quote(dist)
+        notes["quote_method"] = 1.0  # 1 = speed tested
+    else:
+        quoted = asic_worst_case_quote(dist)
+        notes["quote_method"] = 0.0  # 0 = worst-case corner
+
+    return FlowResult(
+        name=f"asic_{options.workload}{options.bits}_s{stages}",
+        style="asic",
+        technology=tech,
+        library_name=library.name,
+        typical_frequency_mhz=typical_mhz,
+        quoted_frequency_mhz=quoted,
+        min_period_ps=timing.min_period_ps,
+        fo4_depth=fo4_depth(timing, tech),
+        logic_fo4=fo4_logic_depth(timing, tech),
+        overhead_fraction=timing.overhead_fraction(),
+        pipeline_stages=stages,
+        gate_count=module.instance_count(),
+        area_um2=total_area_um2(module, library),
+        notes=notes,
+    )

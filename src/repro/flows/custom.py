@@ -1,0 +1,188 @@
+"""The custom implementation flow.
+
+The full-custom methodology of the paper's Sections 4-8, with every lever
+pulled: a short-Leff custom process, deeper pipelining, continuous
+transistor sizing, hand-quality (careful, annealed) placement, a 5%-skew
+hand-balanced clock with latch-based time borrowing available, domino
+logic on the critical path, and flagship-bin silicon instead of a
+worst-case quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.builder import custom_library
+from repro.circuit.families import DOMINO_PROFILE
+from repro.flows.asic import WORKLOADS
+from repro.flows.results import FlowError, FlowResult
+from repro.physical.placement import place
+from repro.pipeline.pipeliner import pipeline_module
+from repro.sizing.buffering import buffer_high_fanout
+from repro.sizing.tilos import size_for_speed, total_area_um2
+from repro.sta.clocking import custom_clock
+from repro.sta.engine import solve_min_period
+from repro.sta.fo4 import fo4_depth, fo4_logic_depth
+from repro.sta.sequential import register_boundaries
+from repro.tech.process import CMOS250_CUSTOM, ProcessTechnology
+from repro.variation.binning import custom_flagship_frequency
+from repro.variation.components import NEW_PROCESS
+from repro.variation.montecarlo import sample_chip_speeds
+
+
+@dataclass(frozen=True)
+class CustomFlowOptions:
+    """Knobs of the custom flow.
+
+    Attributes:
+        workload: one of :data:`repro.flows.asic.WORKLOADS` (custom teams
+            default to the macro-based datapath).
+        bits: datapath width.
+        pipeline_stages: custom designs pipeline aggressively (Section 4);
+            ignored when ``target_cycle_fo4`` is set.
+        target_cycle_fo4: pick the stage count that lands the cycle near
+            this FO4 depth, the way real custom teams chose their pipe
+            depth (Alpha 15 FO4, PowerPC 13 FO4).  None = fixed stages.
+        use_latches: level-sensitive latches + multi-phase borrowing.
+        use_domino: apply domino logic to the combinational critical path
+            (Section 7; modelled via the measured family profile because
+            full-netlist domino conversion is a custom manual step).
+        sizing_moves: continuous sizing budget.
+        flagship_silicon: sell the fast bins (Section 8) instead of the
+            median.
+        seed: placement RNG seed.
+    """
+
+    workload: str = "alu_macro"
+    bits: int = 8
+    pipeline_stages: int = 4
+    target_cycle_fo4: float | None = None
+    use_latches: bool = True
+    use_domino: bool = True
+    sizing_moves: int = 60
+    flagship_silicon: bool = True
+    seed: int = 1
+
+
+def _stages_for_target(
+    comb,
+    library,
+    tech: ProcessTechnology,
+    target_fo4: float,
+    use_latches: bool,
+    use_domino: bool,
+) -> int:
+    """Stage count landing the cycle near a target FO4 depth.
+
+    A quick unplaced STA measures the total combinational depth; the
+    per-stage sequencing budget (register overhead plus the skew share)
+    then fixes how many slices fit.
+    """
+    probe = register_boundaries(comb, library, use_latches=use_latches)
+    clock = custom_clock(40.0 * tech.fo4_delay_ps)
+    timing = solve_min_period(probe, library, clock)
+    logic_fo4 = timing.logic_delay_ps / tech.fo4_delay_ps
+    if use_domino:
+        logic_fo4 /= DOMINO_PROFILE.combinational_speedup
+    overhead_fo4 = (
+        timing.min_period_ps - timing.logic_delay_ps
+    ) / tech.fo4_delay_ps
+    usable = max(target_fo4 - overhead_fo4, 1.0)
+    return max(1, min(10, round(logic_fo4 / usable)))
+
+
+def run_custom_flow(
+    options: CustomFlowOptions = CustomFlowOptions(),
+    tech: ProcessTechnology = CMOS250_CUSTOM,
+) -> FlowResult:
+    """Run the full custom flow and return its result record.
+
+    Raises:
+        FlowError: for unknown workloads.
+    """
+    if options.workload not in WORKLOADS:
+        raise FlowError(
+            f"unknown workload {options.workload!r}; "
+            f"known: {sorted(WORKLOADS)}"
+        )
+    library = custom_library(tech)
+    comb = WORKLOADS[options.workload](options.bits, library)
+
+    stages_wanted = options.pipeline_stages
+    if options.target_cycle_fo4 is not None:
+        stages_wanted = _stages_for_target(
+            comb, library, tech, options.target_cycle_fo4,
+            options.use_latches, options.use_domino,
+        )
+
+    if stages_wanted > 1:
+        report = pipeline_module(
+            comb, library, stages_wanted,
+            use_latches=options.use_latches,
+        )
+        module = report.module
+        stages = report.stages
+    else:
+        module = register_boundaries(
+            comb, library, use_latches=options.use_latches
+        )
+        stages = 1
+
+    placement = place(module, library, quality="careful", seed=options.seed)
+    wire = placement.parasitics(library)
+    notes: dict[str, float] = {
+        "wirelength_um": placement.total_wirelength_um(),
+    }
+    buffered = buffer_high_fanout(module, library, max_fanout=10)
+    notes["buffers_added"] = float(buffered.buffers_added)
+
+    clock = custom_clock(20.0 * tech.fo4_delay_ps)
+    if options.sizing_moves > 0:
+        sizing = size_for_speed(
+            module, library, clock, wire=wire,
+            max_moves=options.sizing_moves,
+        )
+        notes["sizing_moves"] = float(sizing.moves)
+        notes["sizing_speedup"] = sizing.speedup
+
+    timing = solve_min_period(module, library, clock, wire=wire)
+    period_ps = timing.min_period_ps
+    logic_ps = timing.logic_delay_ps
+
+    if options.use_domino:
+        # Domino accelerates the combinational portion only; registers,
+        # skew and wires keep their cost (Section 7.1's dilution from
+        # 50-100% combinational to ~50% sequential).  The speedup constant
+        # is the family profile, itself validated against gate-level
+        # domino mappings in the test suite and bench E9.
+        domino_factor = DOMINO_PROFILE.combinational_speedup
+        period_ps = period_ps - logic_ps + logic_ps / domino_factor
+        logic_ps = logic_ps / domino_factor
+        notes["domino_factor"] = domino_factor
+
+    typical_mhz = 1.0e6 / period_ps
+    dist = sample_chip_speeds(typical_mhz, NEW_PROCESS, count=4000,
+                              seed=options.seed)
+    if options.flagship_silicon:
+        quoted = custom_flagship_frequency(dist)
+        notes["quote_method"] = 2.0  # 2 = flagship bin
+    else:
+        quoted = dist.median_mhz
+        notes["quote_method"] = 3.0  # 3 = typical silicon
+
+    return FlowResult(
+        name=f"custom_{options.workload}{options.bits}_s{stages}",
+        style="custom",
+        technology=tech,
+        library_name=library.name,
+        typical_frequency_mhz=typical_mhz,
+        quoted_frequency_mhz=quoted,
+        min_period_ps=period_ps,
+        fo4_depth=period_ps / tech.fo4_delay_ps,
+        logic_fo4=logic_ps / tech.fo4_delay_ps,
+        overhead_fraction=1.0 - logic_ps / period_ps,
+        pipeline_stages=stages,
+        gate_count=module.instance_count(),
+        area_um2=total_area_um2(module, library),
+        notes=notes,
+    )

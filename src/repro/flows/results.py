@@ -1,0 +1,66 @@
+"""Flow result records shared by the ASIC and custom flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.process import ProcessTechnology
+
+
+class FlowError(ValueError):
+    """Raised when a flow cannot complete."""
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one end-to-end implementation flow.
+
+    Attributes:
+        name: flow label.
+        style: ``"asic"`` or ``"custom"``.
+        technology: process the flow targeted.
+        library_name: cell library used.
+        typical_frequency_mhz: frequency of median silicon (from STA at
+            the typical corner).
+        quoted_frequency_mhz: the marketable number -- worst-case quote
+            for an ASIC, flagship bin for a custom part (Section 8).
+        min_period_ps: STA minimum period at the typical corner.
+        fo4_depth: cycle depth in FO4 of the flow's technology.
+        logic_fo4: combinational portion of the cycle.
+        overhead_fraction: non-logic share of the cycle.
+        pipeline_stages: stage count implemented.
+        gate_count: instances in the final netlist.
+        area_um2: total cell area.
+        notes: per-stage annotations (placement wirelength, sizing moves,
+            domino factor, quote ratios...).
+    """
+
+    name: str
+    style: str
+    technology: ProcessTechnology
+    library_name: str
+    typical_frequency_mhz: float
+    quoted_frequency_mhz: float
+    min_period_ps: float
+    fo4_depth: float
+    logic_fo4: float
+    overhead_fraction: float
+    pipeline_stages: int
+    gate_count: int
+    area_um2: float
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def quote_factor(self) -> float:
+        """Quoted over typical frequency (ASIC < 1, custom flagship > 1)."""
+        return self.quoted_frequency_mhz / self.typical_frequency_mhz
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.name:<24s} {self.style:<7s} "
+            f"typ {self.typical_frequency_mhz:7.1f} MHz  "
+            f"quote {self.quoted_frequency_mhz:7.1f} MHz  "
+            f"{self.fo4_depth:5.1f} FO4 "
+            f"({self.pipeline_stages} stages, {self.gate_count} gates)"
+        )

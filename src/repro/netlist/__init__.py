@@ -1,0 +1,64 @@
+"""Gate-level netlist substrate: nets, modules, graph views, Verilog I/O."""
+
+from repro.netlist.graph import (
+    CombinationalLoopError,
+    fanin_cone,
+    fanout_cone,
+    find_combinational_loop,
+    full_graph,
+    instance_graph,
+    levelize,
+    logic_depth,
+    max_fanout,
+    primary_input_instances,
+    primary_output_instances,
+    topological_order,
+)
+from repro.netlist.module import Module
+from repro.netlist.nets import (
+    Instance,
+    Net,
+    NetlistError,
+    Port,
+    PortDirection,
+    is_port_ref,
+    port_ref,
+    port_ref_name,
+)
+from repro.netlist.stats import (
+    NetlistStats,
+    collect_stats,
+    depth_histogram,
+    format_stats,
+)
+from repro.netlist.verilog_io import from_verilog, to_verilog
+
+__all__ = [
+    "NetlistStats",
+    "collect_stats",
+    "depth_histogram",
+    "format_stats",
+    "CombinationalLoopError",
+    "Instance",
+    "Module",
+    "Net",
+    "NetlistError",
+    "Port",
+    "PortDirection",
+    "fanin_cone",
+    "fanout_cone",
+    "find_combinational_loop",
+    "from_verilog",
+    "full_graph",
+    "instance_graph",
+    "is_port_ref",
+    "levelize",
+    "logic_depth",
+    "max_fanout",
+    "port_ref",
+    "port_ref_name",
+    "primary_input_instances",
+    "primary_output_instances",
+    "to_verilog",
+    "topological_order",
+]

@@ -1,0 +1,200 @@
+"""Graph views of a netlist: ordering, levelisation, cones, depth.
+
+These are the structural analyses shared by synthesis, STA, retiming and
+placement.  Sequential elements (flip-flops, latches) act as barriers: the
+combinational graph is cut at their boundaries, which is exactly the
+pipelining structure Section 4 of the paper reasons about ("pipelines
+place additional latches or registers in long chains of logic, reducing
+the length of the critical path").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Collection, Iterable
+
+import networkx as nx
+
+from repro.netlist.module import Module
+from repro.netlist.nets import Instance, NetlistError, is_port_ref
+
+
+class CombinationalLoopError(NetlistError):
+    """Raised when a combinational cycle is found where none is allowed."""
+
+
+def instance_graph(
+    module: Module, sequential_cells: Collection[str] = ()
+) -> nx.DiGraph:
+    """Directed graph over instances, with edges following nets.
+
+    Edges *into* sequential instances are cut, so the resulting graph is
+    the combinational connectivity: a register appears as a source node
+    feeding its fanout logic, and the gates driving its D pin appear as
+    path endpoints.  Instances (sequential ones included) are all present
+    as nodes.
+
+    Args:
+        module: the netlist.
+        sequential_cells: names of library cells that are registers or
+            latches; may be a set of names or anything supporting ``in``.
+    """
+    graph = nx.DiGraph()
+    seq = set(sequential_cells)
+    for inst in module.iter_instances():
+        graph.add_node(inst.name, cell=inst.cell_name, sequential=inst.cell_name in seq)
+    for inst in module.iter_instances():
+        for net_name in inst.fanout_nets():
+            for sink in module.sinks_of(net_name):
+                if is_port_ref(sink):
+                    continue
+                sink_inst, _pin = sink
+                if sink_inst in graph and graph.nodes[sink_inst].get("sequential"):
+                    continue  # cut edges entering sequential elements
+                graph.add_edge(inst.name, sink_inst, net=net_name)
+    return graph
+
+
+def full_graph(module: Module) -> nx.DiGraph:
+    """Instance graph with *no* sequential cut -- used by retiming."""
+    return instance_graph(module, sequential_cells=())
+
+
+def topological_order(
+    module: Module, sequential_cells: Collection[str] = ()
+) -> list[str]:
+    """Instances in combinational topological order.
+
+    Raises:
+        CombinationalLoopError: if the combinational graph has a cycle.
+    """
+    graph = instance_graph(module, sequential_cells)
+    try:
+        return list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible:
+        cycle = find_combinational_loop(module, sequential_cells)
+        raise CombinationalLoopError(
+            f"module {module.name} has a combinational loop: {cycle}"
+        ) from None
+
+
+def find_combinational_loop(
+    module: Module, sequential_cells: Collection[str] = ()
+) -> list[str] | None:
+    """Return one combinational cycle as a list of instance names, or None."""
+    graph = instance_graph(module, sequential_cells)
+    try:
+        cycle_edges = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return None
+    return [u for u, _v, *_ in cycle_edges]
+
+
+def levelize(
+    module: Module, sequential_cells: Collection[str] = ()
+) -> dict[str, int]:
+    """Assign each instance its combinational logic level.
+
+    Level 0 instances read only module inputs and/or register outputs;
+    level k instances have at least one level-(k-1) combinational fanin.
+    Sequential instances themselves sit at level 0, and feeding from a
+    register does not add a level (the register output is a path start).
+    """
+    graph = instance_graph(module, sequential_cells)
+    levels: dict[str, int] = {}
+    for name in nx.topological_sort(graph):
+        if graph.nodes[name].get("sequential"):
+            levels[name] = 0
+            continue
+        contributions = [
+            0 if graph.nodes[p].get("sequential") else levels[p] + 1
+            for p in graph.predecessors(name)
+        ]
+        levels[name] = max(contributions, default=0)
+    return levels
+
+
+def logic_depth(module: Module, sequential_cells: Collection[str] = ()) -> int:
+    """Maximum number of combinational gates on any register-to-register,
+    input-to-register or input-to-output path.
+
+    This is the unit-delay analogue of the FO4 path depth of Section 4:
+    an ASIC with "significantly more levels of logic on the critical path"
+    has a larger value here.
+    """
+    if module.instance_count() == 0:
+        return 0
+    levels = levelize(module, sequential_cells)
+    comb = [
+        lvl + 1
+        for name, lvl in levels.items()
+        if module.instance(name).cell_name not in set(sequential_cells)
+    ]
+    return max(comb, default=0)
+
+
+def fanin_cone(
+    module: Module,
+    start: str,
+    sequential_cells: Collection[str] = (),
+) -> set[str]:
+    """Instances in the combinational fan-in cone of an instance.
+
+    The cone stops at sequential elements and module inputs; the starting
+    instance is included.
+    """
+    graph = instance_graph(module, sequential_cells)
+    if start not in graph:
+        raise NetlistError(f"no instance {start!r} in module {module.name}")
+    cone = {start}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        for pred in graph.predecessors(node):
+            if pred not in cone:
+                cone.add(pred)
+                if not graph.nodes[pred].get("sequential"):
+                    frontier.append(pred)
+    return cone
+
+
+def fanout_cone(
+    module: Module,
+    start: str,
+    sequential_cells: Collection[str] = (),
+) -> set[str]:
+    """Instances in the combinational fan-out cone of an instance."""
+    graph = instance_graph(module, sequential_cells)
+    if start not in graph:
+        raise NetlistError(f"no instance {start!r} in module {module.name}")
+    cone = {start}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        for succ in graph.successors(node):
+            if succ not in cone:
+                cone.add(succ)
+                if not graph.nodes[succ].get("sequential"):
+                    frontier.append(succ)
+    return cone
+
+
+def max_fanout(module: Module) -> int:
+    """Largest sink count on any net -- a driver-sizing stress indicator."""
+    return max((net.fanout for net in module.nets.values()), default=0)
+
+
+def primary_input_instances(
+    module: Module, sequential_cells: Collection[str] = ()
+) -> list[str]:
+    """Instances with no combinational fan-in (path start points)."""
+    graph = instance_graph(module, sequential_cells)
+    return [n for n in graph.nodes if graph.in_degree(n) == 0]
+
+
+def primary_output_instances(
+    module: Module, sequential_cells: Collection[str] = ()
+) -> list[str]:
+    """Instances with no combinational fan-out (path end points)."""
+    graph = instance_graph(module, sequential_cells)
+    return [n for n in graph.nodes if graph.out_degree(n) == 0]

@@ -1,0 +1,313 @@
+"""The Module class: a flat gate-level netlist container.
+
+A module owns its ports, nets and instances, and maintains the driver and
+sink indices that every downstream tool (STA, placement, sizing) queries.
+The reproduction works with flat netlists -- the paper's analyses are all
+about critical paths through mapped gates, which hierarchy only obscures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+
+from repro.netlist.nets import (
+    Instance,
+    Net,
+    NetlistError,
+    Port,
+    PortDirection,
+    port_ref,
+)
+
+
+class Module:
+    """A flat gate-level netlist.
+
+    Typical construction::
+
+        m = Module("adder")
+        a = m.add_input("a")
+        b = m.add_input("b")
+        s = m.add_output("s")
+        m.add_instance("u1", "XOR2_X1", inputs={"A": a, "B": b}, outputs={"Y": s})
+
+    Nets are created implicitly the first time they are referenced; the
+    module enforces the single-driver rule on every connection.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ports: dict[str, Port] = {}
+        self._nets: dict[str, Net] = {}
+        self._instances: dict[str, Instance] = {}
+        self._auto_net = itertools.count()
+        self._auto_inst = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare an input port; returns the name of its attached net."""
+        self._add_port(Port(name, PortDirection.INPUT))
+        net = self._ensure_net(name)
+        self._set_driver(net, port_ref(name))
+        return name
+
+    def add_output(self, name: str) -> str:
+        """Declare an output port; returns the name of its attached net."""
+        self._add_port(Port(name, PortDirection.OUTPUT))
+        net = self._ensure_net(name)
+        net.sinks.append(port_ref(name))
+        return name
+
+    def _add_port(self, port: Port) -> None:
+        if port.name in self._ports:
+            raise NetlistError(f"duplicate port {port.name!r} in module {self.name}")
+        self._ports[port.name] = port
+
+    @property
+    def ports(self) -> dict[str, Port]:
+        return dict(self._ports)
+
+    def inputs(self) -> list[str]:
+        """Names of all input ports, in declaration order."""
+        return [p.name for p in self._ports.values() if p.is_input]
+
+    def outputs(self) -> list[str]:
+        """Names of all output ports, in declaration order."""
+        return [p.name for p in self._ports.values() if p.is_output]
+
+    # ------------------------------------------------------------------
+    # Nets
+    # ------------------------------------------------------------------
+
+    def add_net(self, name: str | None = None) -> str:
+        """Create a net; auto-names it ``n<k>`` when no name is given."""
+        if name is None:
+            name = self._fresh_net_name()
+        if name in self._nets:
+            raise NetlistError(f"duplicate net {name!r} in module {self.name}")
+        self._nets[name] = Net(name)
+        return name
+
+    def _fresh_net_name(self) -> str:
+        while True:
+            name = f"n{next(self._auto_net)}"
+            if name not in self._nets:
+                return name
+
+    def _ensure_net(self, name: str) -> Net:
+        if name not in self._nets:
+            self._nets[name] = Net(name)
+        return self._nets[name]
+
+    @property
+    def nets(self) -> dict[str, Net]:
+        return dict(self._nets)
+
+    def net(self, name: str) -> Net:
+        """Look up a net by name."""
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise NetlistError(f"no net {name!r} in module {self.name}") from None
+
+    def driver_of(self, net_name: str) -> object | None:
+        """Driver endpoint of a net (see :class:`Net.driver`)."""
+        return self.net(net_name).driver
+
+    def sinks_of(self, net_name: str) -> list[object]:
+        """Sink endpoints of a net."""
+        return list(self.net(net_name).sinks)
+
+    def _set_driver(self, net: Net, endpoint: object) -> None:
+        if net.driver is not None:
+            raise NetlistError(
+                f"net {net.name!r} already driven by {net.driver!r}; "
+                f"cannot add second driver {endpoint!r}"
+            )
+        net.driver = endpoint
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+
+    def add_instance(
+        self,
+        name: str | None,
+        cell_name: str,
+        inputs: dict[str, str] | None = None,
+        outputs: dict[str, str] | None = None,
+        **attributes: object,
+    ) -> Instance:
+        """Instantiate a cell and wire it up.
+
+        Referenced nets are created on demand.  Output connections claim
+        net drivership; a second driver on any net raises.
+
+        Args:
+            name: instance name, or ``None`` to auto-generate one.
+            cell_name: library cell name.
+            inputs: pin -> net mapping for input pins.
+            outputs: pin -> net mapping for output pins.
+            **attributes: free-form annotations stored on the instance.
+        """
+        if name is None:
+            name = self._fresh_instance_name(cell_name)
+        if name in self._instances:
+            raise NetlistError(f"duplicate instance {name!r} in module {self.name}")
+        inst = Instance(
+            name=name,
+            cell_name=cell_name,
+            inputs=dict(inputs or {}),
+            outputs=dict(outputs or {}),
+            attributes=dict(attributes),
+        )
+        for pin, net_name in inst.inputs.items():
+            net = self._ensure_net(net_name)
+            net.sinks.append((name, pin))
+        for pin, net_name in inst.outputs.items():
+            net = self._ensure_net(net_name)
+            self._set_driver(net, (name, pin))
+        self._instances[name] = inst
+        return inst
+
+    def _fresh_instance_name(self, cell_name: str) -> str:
+        stem = cell_name.split("_")[0].lower()
+        while True:
+            name = f"{stem}_{next(self._auto_inst)}"
+            if name not in self._instances:
+                return name
+
+    @property
+    def instances(self) -> dict[str, Instance]:
+        return dict(self._instances)
+
+    def instance(self, name: str) -> Instance:
+        """Look up an instance by name."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise NetlistError(
+                f"no instance {name!r} in module {self.name}"
+            ) from None
+
+    def remove_instance(self, name: str) -> None:
+        """Delete an instance, detaching all of its pin connections."""
+        inst = self.instance(name)
+        for pin, net_name in inst.inputs.items():
+            self._nets[net_name].sinks.remove((name, pin))
+        for pin, net_name in inst.outputs.items():
+            net = self._nets[net_name]
+            if net.driver == (name, pin):
+                net.driver = None
+        del self._instances[name]
+
+    def replace_cell(self, instance_name: str, new_cell_name: str) -> None:
+        """Swap the library cell of an instance in place.
+
+        This is the primitive used by discrete sizing (Section 6): the
+        netlist topology is untouched, only the drive strength changes.
+        """
+        self.instance(instance_name).cell_name = new_cell_name
+
+    # ------------------------------------------------------------------
+    # Queries and integrity
+    # ------------------------------------------------------------------
+
+    def cell_counts(self) -> dict[str, int]:
+        """Histogram of instantiated cell names."""
+        counts: dict[str, int] = {}
+        for inst in self._instances.values():
+            counts[inst.cell_name] = counts.get(inst.cell_name, 0) + 1
+        return counts
+
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    def net_count(self) -> int:
+        return len(self._nets)
+
+    def iter_instances(self) -> Iterator[Instance]:
+        return iter(self._instances.values())
+
+    def check(self) -> list[str]:
+        """Structural integrity audit; returns a list of problems.
+
+        Checks: every net has a driver, and the driver/sink indices agree
+        with instance pin maps.  Sink-less (dangling) nets are legal and
+        reported by :meth:`unused_nets` instead.
+        """
+        problems: list[str] = []
+        for net in self._nets.values():
+            if net.driver is None:
+                problems.append(f"net {net.name!r} has no driver")
+        for inst in self._instances.values():
+            for pin, net_name in inst.outputs.items():
+                net = self._nets.get(net_name)
+                if net is None or net.driver != (inst.name, pin):
+                    problems.append(
+                        f"driver index inconsistent for {inst.name}.{pin}"
+                    )
+            for pin, net_name in inst.inputs.items():
+                net = self._nets.get(net_name)
+                if net is None or (inst.name, pin) not in net.sinks:
+                    problems.append(f"sink index inconsistent for {inst.name}.{pin}")
+        return problems
+
+    def prune_dangling_nets(self) -> int:
+        """Delete nets with neither driver nor sinks; returns the count.
+
+        Restructuring passes (buffering, resynthesis) orphan nets when
+        they remove instances; pruning restores well-formedness.
+        """
+        dead = [
+            name
+            for name, net in self._nets.items()
+            if net.driver is None and not net.sinks
+            and name not in self._ports
+        ]
+        for name in dead:
+            del self._nets[name]
+        return len(dead)
+
+    def unused_nets(self) -> list[str]:
+        """Nets with no sinks at all (dangling drivers)."""
+        return [net.name for net in self._nets.values() if not net.sinks]
+
+    def assert_well_formed(self) -> None:
+        """Raise :class:`NetlistError` if :meth:`check` reports problems."""
+        problems = self.check()
+        if problems:
+            raise NetlistError(
+                f"module {self.name} is malformed: " + "; ".join(problems[:10])
+            )
+
+    def clone(self, name: str | None = None) -> "Module":
+        """Deep-copy this module (instances, nets, ports, attributes)."""
+        copy = Module(name or self.name)
+        for port in self._ports.values():
+            if port.is_input:
+                copy.add_input(port.name)
+            else:
+                copy.add_output(port.name)
+        for net_name in self._nets:
+            if net_name not in copy._nets:
+                copy.add_net(net_name)
+        for inst in self._instances.values():
+            copy.add_instance(
+                inst.name,
+                inst.cell_name,
+                inputs=dict(inst.inputs),
+                outputs=dict(inst.outputs),
+                **dict(inst.attributes),
+            )
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, ports={len(self._ports)}, "
+            f"nets={len(self._nets)}, instances={len(self._instances)})"
+        )

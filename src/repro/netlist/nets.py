@@ -1,0 +1,172 @@
+"""Netlist primitives: ports, nets and cell instances.
+
+The netlist layer is deliberately library-agnostic: an :class:`Instance`
+records which library cell it instantiates by *name* only, and records its
+pin connections split into inputs and outputs so that structural analyses
+(topological ordering, cone extraction, depth counting) need no library in
+hand.  Binding instances to real :class:`~repro.cells.cell.Cell` objects
+happens in the STA and sizing layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlist operations."""
+
+
+class PortDirection(enum.Enum):
+    """Direction of a module port, from the module's point of view."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A port on a module boundary.
+
+    Attributes:
+        name: port (and attached net) name.
+        direction: whether the module reads or drives this port.
+    """
+
+    name: str
+    direction: PortDirection
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "port")
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PortDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PortDirection.OUTPUT
+
+
+@dataclass
+class Instance:
+    """One instantiation of a library cell inside a module.
+
+    Attributes:
+        name: instance name, unique within its module.
+        cell_name: name of the library cell this instantiates (e.g.
+            ``"NAND2_X2"``).  Resolution to a real cell object is deferred
+            to the layers that need electrical data.
+        inputs: mapping from input pin name to the net connected to it.
+        outputs: mapping from output pin name to the net driven by it.
+        attributes: free-form annotations (placement coordinates, sizing
+            results, logic-family tags...) added by downstream tools.
+    """
+
+    name: str
+    cell_name: str
+    inputs: dict[str, str] = field(default_factory=dict)
+    outputs: dict[str, str] = field(default_factory=dict)
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "instance")
+        _check_identifier(self.cell_name, "cell")
+        overlap = set(self.inputs) & set(self.outputs)
+        if overlap:
+            raise NetlistError(
+                f"instance {self.name}: pins used as both input and output: "
+                f"{sorted(overlap)}"
+            )
+
+    @property
+    def pins(self) -> dict[str, str]:
+        """All pin connections, inputs and outputs combined."""
+        merged = dict(self.inputs)
+        merged.update(self.outputs)
+        return merged
+
+    def net_on(self, pin: str) -> str:
+        """Net connected to the given pin.
+
+        Raises:
+            NetlistError: if the pin is not connected.
+        """
+        if pin in self.inputs:
+            return self.inputs[pin]
+        if pin in self.outputs:
+            return self.outputs[pin]
+        raise NetlistError(f"instance {self.name} has no pin {pin!r}")
+
+    def fanin_nets(self) -> list[str]:
+        """Nets read by this instance, in pin-name order."""
+        return [self.inputs[pin] for pin in sorted(self.inputs)]
+
+    def fanout_nets(self) -> list[str]:
+        """Nets driven by this instance, in pin-name order."""
+        return [self.outputs[pin] for pin in sorted(self.outputs)]
+
+
+@dataclass
+class Net:
+    """A net: one driver, any number of sinks.
+
+    The :class:`~repro.netlist.module.Module` owns net bookkeeping; this
+    record is the view it hands out.
+
+    Attributes:
+        name: net name, unique within the module.
+        driver: ``None`` for an undriven net, the string ``"port:<name>"``
+            for a net driven by a module input, or ``(instance, pin)`` for
+            a net driven by a cell output.
+        sinks: list of ``(instance, pin)`` loads plus ``"port:<name>"``
+            entries for module outputs.
+    """
+
+    name: str
+    driver: object | None = None
+    sinks: list[object] = field(default_factory=list)
+
+    @property
+    def is_driven(self) -> bool:
+        return self.driver is not None
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+
+def _check_identifier(name: str, kind: str) -> None:
+    """Validate a netlist identifier.
+
+    We accept a Verilog-like subset: alphanumerics, underscore, and the
+    bracket/dollar characters common in synthesized names.
+    """
+    if not name:
+        raise NetlistError(f"{kind} name must be non-empty")
+    allowed = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                  "0123456789_[]$.")
+    bad = set(name) - allowed
+    if bad:
+        raise NetlistError(f"{kind} name {name!r} contains invalid characters {bad}")
+    if name[0].isdigit():
+        raise NetlistError(f"{kind} name {name!r} must not start with a digit")
+
+
+def port_ref(name: str) -> str:
+    """Encode a module-port endpoint for use in :class:`Net` records."""
+    return f"port:{name}"
+
+
+def is_port_ref(endpoint: object) -> bool:
+    """True if a net endpoint refers to a module port."""
+    return isinstance(endpoint, str) and endpoint.startswith("port:")
+
+
+def port_ref_name(endpoint: str) -> str:
+    """Extract the port name from a ``"port:..."`` endpoint."""
+    if not is_port_ref(endpoint):
+        raise NetlistError(f"{endpoint!r} is not a port reference")
+    return endpoint.split(":", 1)[1]

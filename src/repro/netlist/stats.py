@@ -1,0 +1,131 @@
+"""Netlist statistics and reporting.
+
+Summaries the examples and the CLI print: gate histograms by function
+and drive, area breakdowns, fanout distribution, and depth profiles --
+the quick health-check view of a mapped design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.graph import levelize, logic_depth, max_fanout
+from repro.netlist.module import Module
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Aggregate statistics of one netlist.
+
+    Attributes:
+        name: module name.
+        instances: total instance count.
+        nets: total net count.
+        sequential: register/latch count.
+        depth: combinational logic depth (unit delay).
+        max_fanout: largest sink count on any net.
+        by_base: instance count per cell function.
+        by_drive: instance count per drive strength.
+        area_um2: total cell area (0.0 when no library was supplied).
+        area_by_base: area per cell function.
+    """
+
+    name: str
+    instances: int
+    nets: int
+    sequential: int
+    depth: int
+    max_fanout: int
+    by_base: dict[str, int]
+    by_drive: dict[float, int]
+    area_um2: float = 0.0
+    area_by_base: dict[str, float] = field(default_factory=dict)
+
+
+def collect_stats(module: Module, library=None) -> NetlistStats:
+    """Gather statistics; pass a library for area and accurate kinds.
+
+    Args:
+        module: the netlist.
+        library: optional :class:`~repro.cells.library.CellLibrary`;
+            without it, base/drive are parsed from cell names and area
+            is unavailable.
+    """
+    by_base: dict[str, int] = {}
+    by_drive: dict[float, int] = {}
+    area_by_base: dict[str, float] = {}
+    area = 0.0
+    sequential = 0
+    seq_names = (
+        library.sequential_cell_names() if library is not None else set()
+    )
+    for inst in module.iter_instances():
+        if library is not None:
+            cell = library.get(inst.cell_name)
+            base = cell.base_name
+            drive = cell.drive
+            area += cell.area_um2
+            area_by_base[base] = area_by_base.get(base, 0.0) + cell.area_um2
+            if cell.is_sequential:
+                sequential += 1
+        else:
+            parts = inst.cell_name.rsplit("_", 1)
+            base = parts[0]
+            drive = _parse_drive(parts[1]) if len(parts) > 1 else 1.0
+        by_base[base] = by_base.get(base, 0) + 1
+        by_drive[drive] = by_drive.get(drive, 0) + 1
+    return NetlistStats(
+        name=module.name,
+        instances=module.instance_count(),
+        nets=module.net_count(),
+        sequential=sequential,
+        depth=logic_depth(module, seq_names),
+        max_fanout=max_fanout(module),
+        by_base=by_base,
+        by_drive=by_drive,
+        area_um2=area,
+        area_by_base=area_by_base,
+    )
+
+
+def _parse_drive(suffix: str) -> float:
+    if not suffix.startswith("X"):
+        return 1.0
+    try:
+        return float(suffix[1:].replace("p", "."))
+    except ValueError:
+        return 1.0
+
+
+def format_stats(stats: NetlistStats, top: int = 10) -> str:
+    """Render statistics as a text block."""
+    lines = [
+        f"module {stats.name}: {stats.instances} instances "
+        f"({stats.sequential} sequential), {stats.nets} nets, "
+        f"depth {stats.depth}, max fanout {stats.max_fanout}",
+    ]
+    if stats.area_um2 > 0:
+        lines.append(f"total cell area {stats.area_um2:.1f} um2")
+    ranked = sorted(
+        stats.by_base.items(), key=lambda kv: kv[1], reverse=True
+    )
+    for base, count in ranked[:top]:
+        area_note = ""
+        if stats.area_by_base.get(base):
+            share = stats.area_by_base[base] / stats.area_um2
+            area_note = f"  ({100 * share:.0f}% of area)"
+        lines.append(f"  {base:<10s} x{count}{area_note}")
+    if len(ranked) > top:
+        lines.append(f"  ... {len(ranked) - top} more functions")
+    drives = sorted(stats.by_drive.items())
+    drive_text = ", ".join(f"X{d:g}: {c}" for d, c in drives[:12])
+    lines.append(f"drives: {drive_text}")
+    return "\n".join(lines)
+
+
+def depth_histogram(module: Module, sequential_cells=()) -> dict[int, int]:
+    """Instance count per combinational level."""
+    histogram: dict[int, int] = {}
+    for level in levelize(module, sequential_cells).values():
+        histogram[level] = histogram.get(level, 0) + 1
+    return histogram

@@ -1,0 +1,122 @@
+"""Minimal structural-Verilog writer and reader.
+
+Only the flat gate-level subset our tools produce is supported::
+
+    module adder (a, b, s);
+      input a;
+      input b;
+      output s;
+      wire n0;
+      XOR2_X1 u1 (.A(a), .B(b), .Y(n0));
+      BUF_X2 u2 (.A(n0), .Y(s));
+    endmodule
+
+The writer/reader pair round-trips every module the generators in
+:mod:`repro.datapath` and the mapper in :mod:`repro.synth` emit, which is
+what the examples use to hand netlists between flow stages on disk.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.netlist.module import Module
+from repro.netlist.nets import NetlistError
+
+
+def to_verilog(module: Module, cell_output_pins: dict[str, set[str]] | None = None) -> str:
+    """Serialise a module to structural Verilog text.
+
+    Args:
+        module: the netlist to serialise.
+        cell_output_pins: unused; accepted for API symmetry with
+            :func:`from_verilog`, which needs pin directions to rebuild.
+    """
+    lines: list[str] = []
+    port_names = list(module.ports)
+    lines.append(f"module {module.name} ({', '.join(port_names)});")
+    for port in module.ports.values():
+        lines.append(f"  {port.direction.value} {port.name};")
+    internal = sorted(set(module.nets) - set(module.ports))
+    for net in internal:
+        lines.append(f"  wire {net};")
+    for inst in module.iter_instances():
+        conns = []
+        for pin in sorted(inst.inputs):
+            conns.append(f".{pin}({inst.inputs[pin]})")
+        for pin in sorted(inst.outputs):
+            conns.append(f".{pin}({inst.outputs[pin]})")
+        lines.append(f"  {inst.cell_name} {inst.name} ({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_MODULE_RE = re.compile(r"module\s+(?P<name>[\w$\[\].]+)\s*\((?P<ports>[^)]*)\)\s*;")
+_DECL_RE = re.compile(r"(?P<kind>input|output|wire)\s+(?P<names>[^;]+);")
+_INST_RE = re.compile(
+    r"(?P<cell>[\w$\[\].]+)\s+(?P<inst>[\w$\[\].]+)\s*\((?P<conns>[^;]*)\)\s*;"
+)
+_CONN_RE = re.compile(r"\.(?P<pin>[\w$\[\].]+)\s*\(\s*(?P<net>[\w$\[\].]+)\s*\)")
+
+
+def from_verilog(text: str, output_pins: dict[str, set[str]]) -> Module:
+    """Parse structural Verilog back into a :class:`Module`.
+
+    Because structural Verilog does not record pin directions, the caller
+    must supply ``output_pins``: for each cell name, the set of pins that
+    are outputs.  :meth:`repro.cells.library.CellLibrary.output_pin_map`
+    produces exactly this.
+
+    Raises:
+        NetlistError: on malformed input or unknown cells.
+    """
+    text = _strip_comments(text)
+    header = _MODULE_RE.search(text)
+    if header is None:
+        raise NetlistError("no module header found")
+    module = Module(header.group("name"))
+    body = text[header.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise NetlistError(f"module {module.name}: missing endmodule")
+    body = body[:end]
+
+    declared: dict[str, str] = {}
+    for match in _DECL_RE.finditer(body):
+        kind = match.group("kind")
+        for name in _split_names(match.group("names")):
+            declared[name] = kind
+    for name, kind in declared.items():
+        if kind == "input":
+            module.add_input(name)
+        elif kind == "output":
+            module.add_output(name)
+        else:
+            module.add_net(name)
+
+    decl_free = _DECL_RE.sub("", body)
+    for match in _INST_RE.finditer(decl_free):
+        cell = match.group("cell")
+        if cell not in output_pins:
+            raise NetlistError(f"unknown cell {cell!r}; no pin direction info")
+        outs = output_pins[cell]
+        inputs: dict[str, str] = {}
+        outputs: dict[str, str] = {}
+        for conn in _CONN_RE.finditer(match.group("conns")):
+            pin, net = conn.group("pin"), conn.group("net")
+            if pin in outs:
+                outputs[pin] = net
+            else:
+                inputs[pin] = net
+        module.add_instance(match.group("inst"), cell, inputs=inputs, outputs=outputs)
+    return module
+
+
+def _split_names(raw: str) -> list[str]:
+    return [n.strip() for n in raw.split(",") if n.strip()]
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)

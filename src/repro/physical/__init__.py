@@ -1,0 +1,87 @@
+"""Physical design substrate: floorplanning, placement, wires, clock trees."""
+
+from repro.physical.clocktree import (
+    ASIC_SEGMENT_MISMATCH,
+    CUSTOM_SEGMENT_MISMATCH,
+    ClockTree,
+    asic_clock_tree,
+    build_h_tree,
+    custom_clock_tree,
+)
+from repro.physical.floorplan import (
+    Block,
+    Floorplan,
+    FloorplanResult,
+    SlicingFloorplanner,
+)
+from repro.physical.geometry import (
+    GeometryError,
+    Point,
+    Rect,
+    bounding_box,
+    half_perimeter_wirelength,
+)
+from repro.physical.placement import Placement, ROUTE_DETOUR, place
+from repro.physical.routing import (
+    CongestionModel,
+    routed_lengths_um,
+    steiner_length_um,
+    total_routed_length_um,
+)
+from repro.physical.wlm import (
+    WLM_LARGE,
+    WLM_MEDIUM,
+    WLM_SMALL,
+    WireLoadModel,
+    WlmAccuracy,
+    compare_to_placement,
+    estimate_parasitics,
+    select_wlm,
+)
+from repro.physical.wires import (
+    ChipWireModel,
+    RepeaterPlan,
+    optimal_repeater_plan,
+    optimal_segment_um,
+    unrepeated_wire_delay_ps,
+    wire_delay_ps,
+)
+
+__all__ = [
+    "WLM_LARGE",
+    "WLM_MEDIUM",
+    "WLM_SMALL",
+    "WireLoadModel",
+    "WlmAccuracy",
+    "compare_to_placement",
+    "estimate_parasitics",
+    "select_wlm",
+    "ASIC_SEGMENT_MISMATCH",
+    "Block",
+    "ChipWireModel",
+    "ClockTree",
+    "CongestionModel",
+    "CUSTOM_SEGMENT_MISMATCH",
+    "Floorplan",
+    "FloorplanResult",
+    "GeometryError",
+    "Placement",
+    "Point",
+    "ROUTE_DETOUR",
+    "Rect",
+    "RepeaterPlan",
+    "SlicingFloorplanner",
+    "asic_clock_tree",
+    "bounding_box",
+    "build_h_tree",
+    "custom_clock_tree",
+    "half_perimeter_wirelength",
+    "optimal_repeater_plan",
+    "optimal_segment_um",
+    "place",
+    "routed_lengths_um",
+    "steiner_length_um",
+    "total_routed_length_um",
+    "unrepeated_wire_delay_ps",
+    "wire_delay_ps",
+]

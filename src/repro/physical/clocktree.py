@@ -1,0 +1,125 @@
+"""Clock distribution: H-tree synthesis and skew estimation.
+
+Section 4.1: "Pipelining ASICs is also limited by ... greater clock skew
+than carefully designed custom ICs.  There is typically 10% clock skew or
+more for ASICs, compared with about 5% clock skew for a high quality
+custom design of clocking trees."
+
+The model builds a recursive H-tree over the die, computes per-level RC
+delays, and converts per-segment mismatch (process variation plus load
+imbalance) into a global skew number.  A "custom" tree differs from an
+"ASIC" tree in its balancing quality: tighter load matching, active skew
+tuning, wider (lower-R) clock wires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.physical.wires import wire_delay_ps
+from repro.tech.process import ProcessTechnology, TechnologyError
+
+#: Per-segment delay mismatch of an automatically synthesised (ASIC) tree.
+#: Late-90s CTS produced buffered trees with unequal branch depths, load
+#: imbalance and local process variation; calibrated so a 4k-sink tree on
+#: a 10 mm die carries ~10% of a 44-FO4 ASIC cycle as skew (Section 4.1).
+ASIC_SEGMENT_MISMATCH = 0.26
+#: Custom trees are hand-balanced and tuned; residual mismatch is small
+#: (the Alpha's 75 ps on a 1.67 ns cycle).
+CUSTOM_SEGMENT_MISMATCH = 0.05
+
+
+@dataclass(frozen=True)
+class ClockTree:
+    """A synthesised H-tree.
+
+    Attributes:
+        levels: number of H recursion levels.
+        total_delay_ps: source-to-leaf insertion delay.
+        skew_ps: worst-case leaf-to-leaf skew.
+        wirelength_um: total clock wire length.
+        sinks: number of leaf regions served.
+    """
+
+    levels: int
+    total_delay_ps: float
+    skew_ps: float
+    wirelength_um: float
+    sinks: int
+
+    def skew_fraction(self, period_ps: float) -> float:
+        """Skew as a fraction of a clock period."""
+        if period_ps <= 0:
+            raise TechnologyError("period must be positive")
+        return self.skew_ps / period_ps
+
+
+def build_h_tree(
+    tech: ProcessTechnology,
+    die_edge_um: float,
+    sink_count: int,
+    segment_mismatch: float = ASIC_SEGMENT_MISMATCH,
+    wide_wires: bool = False,
+) -> ClockTree:
+    """Synthesise an H-tree and estimate its skew.
+
+    Args:
+        tech: process technology.
+        die_edge_um: edge of the (square) die region to cover.
+        sink_count: number of clocked leaf regions to reach (the tree
+            recurses until it has at least this many leaves).
+        segment_mismatch: fractional delay mismatch per tree segment;
+            mismatches add in RMS down independent branches.
+        wide_wires: use 4x-width low-resistance clock wires (a custom
+            trick; Section 6's wire-widening applied to the clock).
+    """
+    if die_edge_um <= 0 or sink_count < 1:
+        raise TechnologyError("die edge and sink count must be positive")
+    levels = max(1, math.ceil(math.log(sink_count, 4)))
+    width = 4.0 * tech.interconnect.min_width_um if wide_wires else None
+    total_delay = 0.0
+    variance = 0.0
+    wirelength = 0.0
+    span = die_edge_um
+    branches = 1
+    for _level in range(levels):
+        segment = span / 2.0
+        seg_delay = wire_delay_ps(tech, segment, repeaters=True, width_um=width)
+        total_delay += seg_delay
+        variance += (segment_mismatch * seg_delay) ** 2
+        wirelength += branches * 2.0 * segment
+        branches *= 4
+        span /= 2.0
+    # Two independent branch paths diverge at the root: leaf-to-leaf skew
+    # is the difference of two independent sums -> sqrt(2) * sigma, and we
+    # quote a 3-sigma worst case.
+    sigma = math.sqrt(variance)
+    skew = 3.0 * math.sqrt(2.0) * sigma
+    return ClockTree(
+        levels=levels,
+        total_delay_ps=total_delay,
+        skew_ps=skew,
+        wirelength_um=wirelength,
+        sinks=4**levels,
+    )
+
+
+def asic_clock_tree(
+    tech: ProcessTechnology, die_edge_um: float, sink_count: int
+) -> ClockTree:
+    """Automatically synthesised clock tree: ~10%-of-cycle skew class."""
+    return build_h_tree(
+        tech, die_edge_um, sink_count,
+        segment_mismatch=ASIC_SEGMENT_MISMATCH, wide_wires=False,
+    )
+
+
+def custom_clock_tree(
+    tech: ProcessTechnology, die_edge_um: float, sink_count: int
+) -> ClockTree:
+    """Hand-balanced custom tree: ~5%-of-cycle skew class."""
+    return build_h_tree(
+        tech, die_edge_um, sink_count,
+        segment_mismatch=CUSTOM_SEGMENT_MISMATCH, wide_wires=True,
+    )

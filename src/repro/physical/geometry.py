@@ -1,0 +1,93 @@
+"""Planar geometry primitives for floorplanning and placement."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class GeometryError(ValueError):
+    """Raised for degenerate geometric inputs."""
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point in micrometres."""
+
+    x: float
+    y: float
+
+    def manhattan_to(self, other: "Point") -> float:
+        """L1 distance -- the routing metric of Manhattan wiring."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (lower-left anchored)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(
+                f"rectangle must have positive extent, got "
+                f"{self.width} x {self.height}"
+            )
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Height over width."""
+        return self.height / self.width
+
+    def contains(self, point: Point) -> bool:
+        return (
+            self.x <= point.x <= self.x + self.width
+            and self.y <= point.y <= self.y + self.height
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if interiors intersect (shared edges do not count)."""
+        return not (
+            self.x + self.width <= other.x
+            or other.x + other.width <= self.x
+            or self.y + self.height <= other.y
+            or other.y + other.height <= self.y
+        )
+
+    def moved_to(self, x: float, y: float) -> "Rect":
+        return Rect(x, y, self.width, self.height)
+
+
+def half_perimeter_wirelength(points: list[Point]) -> float:
+    """HPWL of a net's pins: the standard placement wirelength estimate."""
+    if not points:
+        raise GeometryError("net has no pins")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def bounding_box(rects: list[Rect]) -> Rect:
+    """Smallest rectangle covering all inputs."""
+    if not rects:
+        raise GeometryError("no rectangles")
+    x0 = min(r.x for r in rects)
+    y0 = min(r.y for r in rects)
+    x1 = max(r.x + r.width for r in rects)
+    y1 = max(r.y + r.height for r in rects)
+    return Rect(x0, y0, x1 - x0, y1 - y0)

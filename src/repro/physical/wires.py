@@ -1,0 +1,252 @@
+"""BACPAC-style analytical wire delay models.
+
+Section 5 of the paper rests on simulations with BACPAC (footnote 3), a
+system-level interconnect estimator: "wire-delays associated with 'global'
+wires between physical modules can be a dominant portion of the total path
+delay ... using careful floorplanning and placement to minimize wire
+lengths may increase circuit speed by up to 25%".
+
+We implement the same class of model:
+
+* Elmore delay of a distributed RC line with a lumped driver and load;
+* optimal repeater insertion (size and count), giving the classic
+  delay-per-length that scales as sqrt(R0 C0 r c);
+* a chip-level global-wire estimator parameterised by die area, used to
+  compare a critical path localised inside a module against one crossing
+  a 100 mm^2 die.
+
+Delay units ps, lengths um, resistance ohm, capacitance fF
+(1 ohm * 1 fF = 1e-3 ps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.process import ProcessTechnology, TechnologyError
+
+#: ln(2): step-response coefficient for the lumped driver term.
+_LN2 = math.log(2.0)
+#: Distributed-line Elmore coefficient.
+_DISTRIBUTED = 0.38
+
+#: ohm * fF -> ps conversion.
+_OHM_FF_TO_PS = 1.0e-3
+
+
+def unrepeated_wire_delay_ps(
+    tech: ProcessTechnology,
+    length_um: float,
+    driver_resistance_ohm: float | None = None,
+    load_ff: float = 0.0,
+    width_um: float | None = None,
+) -> float:
+    """Elmore delay of a bare (unrepeated) wire.
+
+    ``t = ln2 * Rd * (Cw + CL) + 0.38 * Rw * Cw + ln2 * Rw * CL``
+
+    Args:
+        tech: process technology (provides r, c per um).
+        length_um: wire length.
+        driver_resistance_ohm: driver's effective resistance; defaults to
+            the technology's unit inverter.
+        load_ff: lumped receiver load.
+        width_um: wire width (wider = lower resistance, Section 6).
+    """
+    if length_um < 0 or load_ff < 0:
+        raise TechnologyError("length and load must be non-negative")
+    rd = (
+        driver_resistance_ohm
+        if driver_resistance_ohm is not None
+        else tech.unit_drive_resistance_ohm
+    )
+    rw = tech.interconnect.wire_resistance(length_um, width_um)
+    cw = tech.interconnect.wire_capacitance(length_um, width_um)
+    delay_ohm_ff = _LN2 * rd * (cw + load_ff) + _DISTRIBUTED * rw * cw + (
+        _LN2 * rw * load_ff
+    )
+    return delay_ohm_ff * _OHM_FF_TO_PS
+
+
+@dataclass(frozen=True)
+class RepeaterPlan:
+    """Result of optimal repeater insertion on one wire.
+
+    Attributes:
+        length_um: wire length covered.
+        num_repeaters: inserted inverter count (0 for short wires).
+        repeater_drive: drive strength of each repeater relative to the
+            unit inverter.
+        delay_ps: total wire delay with the repeaters in place.
+        segment_um: spacing between repeaters.
+    """
+
+    length_um: float
+    num_repeaters: int
+    repeater_drive: float
+    delay_ps: float
+    segment_um: float
+
+
+def optimal_segment_um(tech: ProcessTechnology) -> float:
+    """Delay-optimal repeater spacing for minimum-width wire."""
+    r = tech.interconnect.resistance_ohm_per_um
+    c = tech.interconnect.capacitance_ff_per_um
+    return math.sqrt(
+        2.0 * tech.unit_drive_resistance_ohm * tech.unit_input_cap_ff / (r * c)
+    )
+
+
+def optimal_repeater_plan(
+    tech: ProcessTechnology,
+    length_um: float,
+    width_um: float | None = None,
+) -> RepeaterPlan:
+    """Insert delay-optimal repeaters on a wire (Bakoglu's construction).
+
+    Optimal segment length and size:
+
+    ``L_seg = sqrt(2 * Rd0 * C0 * (1 - ?) / (r * c))``    (per classic
+    derivation, constants folded), ``h_opt = sqrt(Rd0 * c / (r * C0))``.
+
+    For wires shorter than one optimal segment the plan has zero
+    repeaters and falls back to the bare-wire delay.
+    """
+    if length_um < 0:
+        raise TechnologyError("length must be non-negative")
+    r = tech.interconnect.resistance_ohm_per_um
+    c = tech.interconnect.capacitance_ff_per_um
+    if width_um is not None:
+        scale_r = tech.interconnect.wire_resistance(1.0, width_um) / (
+            tech.interconnect.wire_resistance(1.0)
+        )
+        scale_c = tech.interconnect.wire_capacitance(1.0, width_um) / (
+            tech.interconnect.wire_capacitance(1.0)
+        )
+        r *= scale_r
+        c *= scale_c
+    rd0 = tech.unit_drive_resistance_ohm
+    c0 = tech.unit_input_cap_ff
+    segment = math.sqrt(2.0 * rd0 * c0 / (r * c))
+    drive = max(1.0, math.sqrt(rd0 * c / (r * c0)))
+    n = int(length_um // segment)
+    seg_len = length_um / (n + 1)
+    # Every segment -- including the first -- is driven by a sized stage:
+    # "proper driving of a wire depends on sizing of drivers and insertion
+    # of repeaters" (Section 5).  Each stage also pays its own parasitic
+    # switching delay, and all but the last drive the next stage's input.
+    repeater_self = tech.tau_ps * tech.inverter_parasitic
+    per_segment = unrepeated_wire_delay_ps(
+        tech,
+        seg_len,
+        driver_resistance_ohm=rd0 / drive,
+        load_ff=drive * c0,
+        width_um=width_um,
+    )
+    last_segment = unrepeated_wire_delay_ps(
+        tech,
+        seg_len,
+        driver_resistance_ohm=rd0 / drive,
+        load_ff=0.0,
+        width_um=width_um,
+    )
+    total = n * per_segment + last_segment + (n + 1) * repeater_self
+    return RepeaterPlan(
+        length_um=length_um,
+        num_repeaters=n,
+        repeater_drive=drive,
+        delay_ps=total,
+        segment_um=seg_len,
+    )
+
+
+def wire_delay_ps(
+    tech: ProcessTechnology,
+    length_um: float,
+    repeaters: bool = True,
+    width_um: float | None = None,
+) -> float:
+    """Delay of a wire, with or without optimal repeaters.
+
+    The cheaper of the repeated and unrepeated realisations is returned
+    when ``repeaters`` is enabled (a repeater never hurts a short wire
+    because the plan degenerates to zero repeaters).
+    """
+    bare = unrepeated_wire_delay_ps(tech, length_um, width_um=width_um)
+    if not repeaters:
+        return bare
+    plan = optimal_repeater_plan(tech, length_um, width_um=width_um)
+    return min(bare, plan.delay_ps)
+
+
+@dataclass(frozen=True)
+class ChipWireModel:
+    """Chip-scale wire-length statistics for a square die.
+
+    Attributes:
+        die_area_mm2: total die area (the paper's example is a 100 mm^2
+            chip).
+        tech: process technology.
+    """
+
+    die_area_mm2: float
+    tech: ProcessTechnology
+
+    def __post_init__(self) -> None:
+        if self.die_area_mm2 <= 0:
+            raise TechnologyError("die area must be positive")
+
+    @property
+    def edge_um(self) -> float:
+        """Die edge length."""
+        return math.sqrt(self.die_area_mm2) * 1000.0
+
+    def cross_chip_length_um(self) -> float:
+        """Representative corner-to-corner Manhattan global wire."""
+        return 2.0 * self.edge_um
+
+    def cross_chip_delay_ps(self, repeaters: bool = True) -> float:
+        """Delay of a repeated global wire crossing the die."""
+        return wire_delay_ps(self.tech, self.cross_chip_length_um(), repeaters)
+
+    def module_local_length_um(self, module_area_mm2: float) -> float:
+        """Representative wire length inside one floorplanned module.
+
+        Half the module perimeter -- the scale careful floorplanning
+        confines critical wires to (Section 5.1's "localizing critical
+        paths to within a module").
+        """
+        if module_area_mm2 <= 0:
+            raise TechnologyError("module area must be positive")
+        edge = math.sqrt(module_area_mm2) * 1000.0
+        return edge
+
+    def module_local_delay_ps(
+        self, module_area_mm2: float, repeaters: bool = True
+    ) -> float:
+        """Delay of a representative intra-module wire."""
+        return wire_delay_ps(
+            self.tech, self.module_local_length_um(module_area_mm2), repeaters
+        )
+
+    def floorplanning_speedup(
+        self,
+        logic_delay_ps: float,
+        module_area_mm2: float = 1.0,
+        global_hops: int = 1,
+    ) -> float:
+        """Speedup from localising a path's wires inside one module.
+
+        Compares ``logic + hops * cross_chip`` against
+        ``logic + hops * local`` -- the Section 5.1 experiment shape.
+        """
+        if logic_delay_ps <= 0:
+            raise TechnologyError("logic delay must be positive")
+        if global_hops < 0:
+            raise TechnologyError("hop count must be non-negative")
+        sprawled = logic_delay_ps + global_hops * self.cross_chip_delay_ps()
+        localised = logic_delay_ps + global_hops * self.module_local_delay_ps(
+            module_area_mm2
+        )
+        return sprawled / localised

@@ -1,0 +1,132 @@
+"""Pipelining overhead arithmetic (Section 4 of the paper).
+
+The paper's own calculation: "Estimating the pipelining overheads, such
+as clock skew and latch overheads, as about 30% for an ASIC design, the
+Tensilica pipelined ASIC processor with five stages is about 3.8 times
+faster due to pipelining.  Estimating the clock skew and latch overheads
+as about 20% for a custom design, the IBM PowerPC processor with four
+pipeline stages is about 3.4 times faster with pipelining."
+
+That is: a pipeline of N stages whose sequencing overhead consumes a
+fraction ``v`` of each cycle speeds execution up by ``N * (1 - v)``
+relative to the unpipelined datapath.  This module provides that formula
+and the more explicit FO4-budget version used by the flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's overhead estimates.
+ASIC_OVERHEAD_FRACTION = 0.30
+CUSTOM_OVERHEAD_FRACTION = 0.20
+
+
+class PipelineError(ValueError):
+    """Raised for unphysical pipeline parameters."""
+
+
+def ideal_pipeline_speedup(stages: int, overhead_fraction: float) -> float:
+    """The paper's headline formula: ``speedup = N * (1 - v)``.
+
+    ``ideal_pipeline_speedup(5, 0.30)`` = 3.5 and the paper quotes "about
+    3.8" for the Xtensa (it rounds the overheads); ``(4, 0.20)`` = 3.2
+    against the quoted "about 3.4" for the PowerPC.
+    """
+    if stages < 1:
+        raise PipelineError("stage count must be at least 1")
+    if not 0.0 <= overhead_fraction < 1.0:
+        raise PipelineError("overhead fraction must be in [0, 1)")
+    return stages * (1.0 - overhead_fraction)
+
+
+def pipeline_speedup_fo4(
+    logic_depth_fo4: float,
+    stages: int,
+    per_stage_overhead_fo4: float,
+) -> float:
+    """Explicit FO4-budget speedup of pipelining a block of logic.
+
+    Unpipelined: one cycle of ``logic + overhead``.  Pipelined into N
+    ideal (perfectly balanced) stages: cycles of ``logic/N + overhead``.
+
+        speedup = (logic + ovh) / (logic / N + ovh)
+
+    This saturates at ``1 + logic/ovh`` -- the Section 4.1 limit where
+    "simply increasing the clock speed by adding latches would only
+    increase latency due to the additional latch setup and hold times".
+    """
+    if logic_depth_fo4 <= 0 or per_stage_overhead_fo4 < 0:
+        raise PipelineError("logic depth must be positive, overhead >= 0")
+    if stages < 1:
+        raise PipelineError("stage count must be at least 1")
+    unpipelined = logic_depth_fo4 + per_stage_overhead_fo4
+    pipelined = logic_depth_fo4 / stages + per_stage_overhead_fo4
+    return unpipelined / pipelined
+
+
+def overhead_fraction_at(
+    logic_depth_fo4: float, stages: int, per_stage_overhead_fo4: float
+) -> float:
+    """Fraction of the pipelined cycle consumed by sequencing overhead."""
+    if stages < 1:
+        raise PipelineError("stage count must be at least 1")
+    cycle = logic_depth_fo4 / stages + per_stage_overhead_fo4
+    if cycle <= 0:
+        raise PipelineError("empty cycle")
+    return per_stage_overhead_fo4 / cycle
+
+
+def max_useful_stages(
+    logic_depth_fo4: float,
+    per_stage_overhead_fo4: float,
+    max_overhead_fraction: float = 0.5,
+) -> int:
+    """Deepest pipeline keeping overhead below a budget fraction.
+
+    Beyond this depth each extra stage mostly adds latch/skew cost --
+    the knee the paper's 13-15 FO4 custom designs sit near.
+    """
+    if not 0.0 < max_overhead_fraction < 1.0:
+        raise PipelineError("overhead budget must be in (0, 1)")
+    if per_stage_overhead_fo4 <= 0:
+        raise PipelineError("overhead must be positive to bound depth")
+    # overhead / (logic/N + overhead) <= f  =>  N <= logic*f/(ovh*(1-f)).
+    bound = (
+        logic_depth_fo4
+        * max_overhead_fraction
+        / (per_stage_overhead_fo4 * (1.0 - max_overhead_fraction))
+    )
+    return max(1, int(bound))
+
+
+@dataclass(frozen=True)
+class PipelineBudget:
+    """FO4 budget of one pipeline configuration.
+
+    Attributes:
+        logic_depth_fo4: total combinational depth being pipelined.
+        stages: number of pipeline stages.
+        per_stage_overhead_fo4: latch + skew cost per stage.
+    """
+
+    logic_depth_fo4: float
+    stages: int
+    per_stage_overhead_fo4: float
+
+    @property
+    def cycle_fo4(self) -> float:
+        """FO4 depth of one pipelined cycle."""
+        return self.logic_depth_fo4 / self.stages + self.per_stage_overhead_fo4
+
+    @property
+    def speedup(self) -> float:
+        return pipeline_speedup_fo4(
+            self.logic_depth_fo4, self.stages, self.per_stage_overhead_fo4
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        return overhead_fraction_at(
+            self.logic_depth_fo4, self.stages, self.per_stage_overhead_fo4
+        )

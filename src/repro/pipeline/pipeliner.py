@@ -1,0 +1,196 @@
+"""Cutset pipelining of combinational netlists.
+
+Section 4: "Pipelines place additional latches or registers in long
+chains of logic, reducing the length of the critical path."  The
+pipeliner levelises a combinational netlist, slices it into stages of
+(approximately) equal depth, and inserts registers on every net crossing
+a stage boundary -- with multi-register chains where a net skips stages,
+so every input-to-output path carries exactly the same register count and
+the pipelined module is a latency-``N`` wave-pipeline of the original.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cells.library import CellLibrary
+from repro.netlist.graph import levelize, logic_depth
+from repro.netlist.module import Module
+from repro.pipeline.overheads import PipelineError
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Result of pipelining a module.
+
+    Attributes:
+        module: the pipelined netlist.
+        stages: stage count actually realised.
+        registers_added: flip-flops inserted.
+        latency_cycles: input-to-output latency in clock cycles.
+        stage_depths: combinational gate depth of each stage.
+    """
+
+    module: Module
+    stages: int
+    registers_added: int
+    latency_cycles: int
+    stage_depths: tuple[int, ...]
+
+    @property
+    def balance(self) -> float:
+        """Max stage depth over mean stage depth (1.0 = perfectly even).
+
+        Section 4.1: "an ASIC may have unbalanced pipeline stages
+        resulting in more levels of logic on the critical path".
+        """
+        mean = sum(self.stage_depths) / len(self.stage_depths)
+        return max(self.stage_depths) / mean if mean else 1.0
+
+
+def pipeline_module(
+    module: Module,
+    library: CellLibrary,
+    stages: int,
+    clock_name: str = "clk",
+    use_latches: bool = False,
+) -> PipelineReport:
+    """Slice a combinational module into N register-separated stages.
+
+    Args:
+        module: purely combinational netlist (no sequential cells).
+        library: provides the register cell.
+        stages: desired stage count (clamped to the logic depth).
+        clock_name: name of the added clock input.
+        use_latches: insert transparent latches instead of flops.
+
+    Raises:
+        PipelineError: if the module already has registers or ``stages``
+            is invalid.
+    """
+    if stages < 1:
+        raise PipelineError("stage count must be at least 1")
+    seq_names = library.sequential_cell_names()
+    for inst in module.iter_instances():
+        if inst.cell_name in seq_names:
+            raise PipelineError(
+                f"module {module.name} already contains register {inst.name}"
+            )
+    depth = logic_depth(module)
+    stages = min(stages, max(depth, 1))
+    seq_cell = library.latch() if use_latches else library.flip_flop()
+    clock_pin = seq_cell.sequential.clock_pin
+
+    levels = levelize(module)
+    # Stage of an instance: equal-depth buckets over levels.
+    bucket = max(1, math.ceil(depth / stages))
+    stage_of = {name: min(lvl // bucket, stages - 1)
+                for name, lvl in levels.items()}
+
+    piped = Module(f"{module.name}_p{stages}")
+    clk = piped.add_input(clock_name)
+    registers_added = 0
+
+    # Input ports: registered once on entry (stage "-1 -> 0" boundary).
+    source_stage: dict[str, int] = {}
+    net_map_base: dict[str, str] = {}
+    for port in module.inputs():
+        outer = piped.add_input(port)
+        inner = piped.add_net(f"{port}_s0")
+        piped.add_instance(
+            f"pin_{port}", seq_cell.name,
+            inputs={"D": outer, clock_pin: clk},
+            outputs={seq_cell.output: inner},
+        )
+        registers_added += 1
+        net_map_base[port] = inner
+        source_stage[port] = 0
+
+    # Output-port nets are renamed to <port>_pre throughout the copied
+    # logic, freeing the port name for the capture register's output.
+    out_rename = {p: f"{p}_pre" for p in module.outputs()}
+
+    # Copy logic; internal nets keep their names.
+    for inst in module.iter_instances():
+        for net in inst.outputs.values():
+            source_stage[out_rename.get(net, net)] = stage_of[inst.name]
+
+    # Register chains: net produced at stage s consumed at stage t > s
+    # needs (t - s) registers.  Build lazily, one chain per net.
+    chains: dict[str, list[str]] = {}
+
+    def delayed(net: str, hops: int) -> str:
+        if hops <= 0:
+            return net_map_base.get(net, net)
+        chain = chains.setdefault(net, [])
+        while len(chain) < hops:
+            src = chain[-1] if chain else net_map_base.get(net, net)
+            out = piped.add_net(f"{net}_d{len(chain) + 1}")
+            piped.add_instance(
+                None, seq_cell.name,
+                inputs={"D": src, clock_pin: clk},
+                outputs={seq_cell.output: out},
+            )
+            nonlocal_count[0] += 1
+            chain.append(out)
+        return chain[hops - 1]
+
+    nonlocal_count = [registers_added]
+    for inst in module.iter_instances():
+        my_stage = stage_of[inst.name]
+        new_inputs = {}
+        for pin, net in inst.inputs.items():
+            renamed = out_rename.get(net, net)
+            hops = my_stage - source_stage[renamed]
+            if hops < 0:
+                raise PipelineError(
+                    f"level inversion on net {net} into {inst.name}"
+                )
+            new_inputs[pin] = delayed(renamed, hops)
+        new_outputs = {
+            pin: out_rename.get(net, net) for pin, net in inst.outputs.items()
+        }
+        piped.add_instance(
+            inst.name, inst.cell_name,
+            inputs=new_inputs, outputs=new_outputs,
+            **dict(inst.attributes),
+        )
+
+    # Output ports: bring every output to stage N-1, then one capture
+    # register driving the port.
+    for port in module.outputs():
+        driver = module.driver_of(port)
+        if driver is None or not isinstance(driver, tuple):
+            raise PipelineError(f"output {port!r} is not gate-driven")
+        pre = out_rename[port]
+        hops = (stages - 1) - source_stage[pre]
+        tapped = delayed(pre, hops) if hops > 0 else pre
+        piped.add_output(port)
+        piped.add_instance(
+            f"pout_{port}", seq_cell.name,
+            inputs={"D": tapped, clock_pin: clk},
+            outputs={seq_cell.output: port},
+        )
+        nonlocal_count[0] += 1
+
+    piped.assert_well_formed()
+    stage_depths = _stage_depths(levels, stage_of, stages, bucket)
+    return PipelineReport(
+        module=piped,
+        stages=stages,
+        registers_added=nonlocal_count[0],
+        latency_cycles=stages + 1,
+        stage_depths=stage_depths,
+    )
+
+
+def _stage_depths(
+    levels: dict[str, int], stage_of: dict[str, int], stages: int, bucket: int
+) -> tuple[int, ...]:
+    depths = [0] * stages
+    for name, lvl in levels.items():
+        stage = stage_of[name]
+        within = lvl - stage * bucket + 1
+        depths[stage] = max(depths[stage], within)
+    return tuple(depths)

@@ -1,0 +1,92 @@
+"""Wire widening: trading routing area for RC delay.
+
+Section 6: "wires may be widened to reduce the delays (proportional to
+the product of resistance and capacitance) by reducing the resistance";
+the paper cites simultaneous gate-and-wire sizing (Chen/Chu/Wong, [6]) as
+a future tool.  We provide the per-net decision: for every long net of a
+placement, sweep a width menu and keep the fastest realisation, charging
+the area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.placement import Placement
+from repro.physical.wires import wire_delay_ps
+from repro.sizing.logical_effort import SizingError
+from repro.sta.timing_graph import WireParasitics
+from repro.tech.process import ProcessTechnology
+
+#: Candidate width multiples offered to each net.
+DEFAULT_WIDTH_MENU = (1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class WireSizingResult:
+    """Outcome of wire-width optimisation.
+
+    Attributes:
+        parasitics: per-net parasitics at the chosen widths.
+        widths: chosen width multiple per net (1.0 = minimum width).
+        area_increase_um2: extra metal area consumed.
+        total_delay_saved_ps: sum of per-net delay improvements.
+    """
+
+    parasitics: WireParasitics
+    widths: dict[str, float]
+    area_increase_um2: float
+    total_delay_saved_ps: float
+
+
+def size_wires(
+    placement: Placement,
+    tech: ProcessTechnology,
+    width_menu: tuple[float, ...] = DEFAULT_WIDTH_MENU,
+    min_length_um: float = 200.0,
+) -> WireSizingResult:
+    """Pick a width for every net of a placement.
+
+    Nets shorter than ``min_length_um`` stay at minimum width (widening
+    only adds capacitance there); longer nets take whichever menu entry
+    minimises the repeated-wire delay.
+    """
+    if not width_menu or any(w < 1.0 for w in width_menu):
+        raise SizingError("width menu must contain multiples >= 1.0")
+    widths: dict[str, float] = {}
+    extra_cap: dict[str, float] = {}
+    extra_delay: dict[str, float] = {}
+    area_increase = 0.0
+    saved = 0.0
+    base_width = tech.interconnect.min_width_um
+    for net in placement.module.nets:
+        length = placement.net_length_um(net)
+        if length <= 0.0:
+            continue
+        base_delay = wire_delay_ps(tech, length, width_um=None)
+        if length < min_length_um:
+            widths[net] = 1.0
+            extra_cap[net] = tech.interconnect.wire_capacitance(length)
+            extra_delay[net] = base_delay * 0.0  # short: cap-only model
+            continue
+        best_mult = 1.0
+        best_delay = base_delay
+        for mult in width_menu:
+            delay = wire_delay_ps(tech, length, width_um=mult * base_width)
+            if delay < best_delay - 1e-9:
+                best_delay = delay
+                best_mult = mult
+        widths[net] = best_mult
+        chosen_width = best_mult * base_width
+        extra_cap[net] = tech.interconnect.wire_capacitance(
+            length, width_um=chosen_width
+        )
+        extra_delay[net] = best_delay
+        area_increase += (best_mult - 1.0) * base_width * length
+        saved += base_delay - best_delay
+    return WireSizingResult(
+        parasitics=WireParasitics(extra_cap, extra_delay),
+        widths=widths,
+        area_increase_um2=area_increase,
+        total_delay_saved_ps=saved,
+    )

@@ -1,0 +1,69 @@
+"""Static timing analysis substrate: clocks, engine, FO4 metrics, reports."""
+
+from repro.sta.clocking import (
+    ASIC_SKEW_FRACTION,
+    CUSTOM_SKEW_FRACTION,
+    Clock,
+    ClockingError,
+    asic_clock,
+    custom_clock,
+    skew_speedup,
+)
+from repro.sta.engine import (
+    DEFAULT_INPUT_SLEW_PS,
+    EndpointTiming,
+    HoldViolation,
+    PathStep,
+    TimingReport,
+    analyze,
+    solve_min_period,
+)
+from repro.sta.fo4 import (
+    depth_for_frequency,
+    fo4_depth,
+    fo4_logic_depth,
+    fo4_overhead,
+    frequency_for_depth,
+)
+from repro.sta.reports import format_comparison, format_report
+from repro.sta.statistical import (
+    StatisticalReport,
+    analyze_statistical,
+    clark_max,
+    monte_carlo_min_period,
+)
+from repro.sta.sequential import register_boundaries, sequential_overhead_ps
+from repro.sta.timing_graph import TimingError, TimingGraph, WireParasitics
+
+__all__ = [
+    "StatisticalReport",
+    "analyze_statistical",
+    "clark_max",
+    "monte_carlo_min_period",
+    "ASIC_SKEW_FRACTION",
+    "CUSTOM_SKEW_FRACTION",
+    "Clock",
+    "ClockingError",
+    "DEFAULT_INPUT_SLEW_PS",
+    "EndpointTiming",
+    "HoldViolation",
+    "PathStep",
+    "TimingError",
+    "TimingGraph",
+    "TimingReport",
+    "WireParasitics",
+    "analyze",
+    "asic_clock",
+    "custom_clock",
+    "depth_for_frequency",
+    "fo4_depth",
+    "fo4_logic_depth",
+    "fo4_overhead",
+    "format_comparison",
+    "format_report",
+    "frequency_for_depth",
+    "register_boundaries",
+    "sequential_overhead_ps",
+    "skew_speedup",
+    "solve_min_period",
+]

@@ -1,0 +1,93 @@
+"""Human-readable timing report formatting.
+
+Produces the text reports the examples print: critical path traces with
+per-gate delays, endpoint tables, and the FO4-denominated summary the
+paper's Section 4 comparisons are written in.
+"""
+
+from __future__ import annotations
+
+from repro.sta.engine import TimingReport
+from repro.sta.fo4 import fo4_depth, fo4_logic_depth, fo4_overhead
+from repro.tech.process import ProcessTechnology
+
+
+def format_report(
+    report: TimingReport,
+    tech: ProcessTechnology | None = None,
+    max_path_steps: int = 20,
+    max_endpoints: int = 5,
+) -> str:
+    """Render a timing report as a text block."""
+    lines = []
+    lines.append(
+        f"min period {report.min_period_ps:8.1f} ps   "
+        f"max frequency {report.max_frequency_mhz:7.1f} MHz"
+    )
+    if tech is not None:
+        lines.append(
+            f"FO4 depth   {fo4_depth(report, tech):8.1f}      "
+            f"(logic {fo4_logic_depth(report, tech):.1f}, "
+            f"overhead {fo4_overhead(report, tech):.1f})"
+        )
+    crit = report.critical
+    lines.append(
+        f"binding endpoint: {crit.kind} {crit.name}  "
+        f"arrival {crit.data_arrival_ps:.1f} ps"
+    )
+    lines.append(
+        f"  launch clk->Q {crit.launch_overhead_ps:.1f} ps, "
+        f"setup {crit.capture_overhead_ps:.1f} ps, "
+        f"skew {crit.skew_ps:.1f} ps, borrow {crit.borrow_ps:.1f} ps"
+    )
+    slack = report.worst_slack_ps()
+    lines.append(
+        f"at clock {report.clock.name} ({report.clock.period_ps:.1f} ps): "
+        f"slack {slack:+.1f} ps "
+        f"({'MET' if slack >= 0 else 'VIOLATED'})"
+    )
+    if report.hold_violations:
+        lines.append(f"hold violations: {len(report.hold_violations)}")
+
+    lines.append("critical path:")
+    steps = report.critical_path
+    shown = steps[-max_path_steps:]
+    if len(steps) > len(shown):
+        lines.append(f"  ... {len(steps) - len(shown)} earlier gates elided ...")
+    for step in shown:
+        lines.append(
+            f"  {step.instance:<24s} {step.cell:<12s} pin {step.through_pin:<2s}"
+            f" +{step.delay_ps:7.1f} ps  @ {step.arrival_ps:8.1f} ps"
+        )
+
+    lines.append("worst endpoints:")
+    for ep in report.endpoints[:max_endpoints]:
+        lines.append(
+            f"  {ep.kind:<8s} {ep.name:<28s} "
+            f"needs period {ep.min_period_ps:8.1f} ps"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: list[tuple[str, TimingReport]],
+    tech: ProcessTechnology | None = None,
+) -> str:
+    """Tabulate several named reports side by side (MHz, period, FO4)."""
+    lines = []
+    header = f"{'design':<28s} {'MHz':>8s} {'period ps':>10s}"
+    if tech is not None:
+        header += f" {'FO4':>7s} {'ovh %':>6s}"
+    lines.append(header)
+    for name, report in rows:
+        line = (
+            f"{name:<28s} {report.max_frequency_mhz:8.1f} "
+            f"{report.min_period_ps:10.1f}"
+        )
+        if tech is not None:
+            line += (
+                f" {fo4_depth(report, tech):7.1f}"
+                f" {100 * report.overhead_fraction():6.1f}"
+            )
+        lines.append(line)
+    return "\n".join(lines)

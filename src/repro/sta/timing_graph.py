@@ -1,0 +1,133 @@
+"""Timing-graph construction: loads, parasitics, start/end points.
+
+The timing graph view binds a netlist to its library: every net gets a
+capacitive load (sink pin caps plus optional wire parasitics from the
+physical layer) and every path start/end point is classified.  The
+propagation itself lives in :mod:`repro.sta.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.cell import Cell, CellKind
+from repro.cells.library import CellLibrary
+from repro.netlist.module import Module
+from repro.netlist.nets import is_port_ref
+
+
+class TimingError(ValueError):
+    """Raised for netlists the timing engine cannot analyse."""
+
+
+@dataclass
+class WireParasitics:
+    """Per-net wire loading handed over by the physical layer.
+
+    Attributes:
+        extra_cap_ff: additional capacitive load per net (wire cap).
+        extra_delay_ps: additional propagation delay per net (distributed
+            RC / repeater-chain delay as computed by
+            :mod:`repro.physical.wires`).
+    """
+
+    extra_cap_ff: dict[str, float] = field(default_factory=dict)
+    extra_delay_ps: dict[str, float] = field(default_factory=dict)
+
+    def cap(self, net: str) -> float:
+        return self.extra_cap_ff.get(net, 0.0)
+
+    def delay(self, net: str) -> float:
+        return self.extra_delay_ps.get(net, 0.0)
+
+    def merged_with(self, other: "WireParasitics") -> "WireParasitics":
+        """Combine two parasitic annotations additively."""
+        cap = dict(self.extra_cap_ff)
+        for net, value in other.extra_cap_ff.items():
+            cap[net] = cap.get(net, 0.0) + value
+        delay = dict(self.extra_delay_ps)
+        for net, value in other.extra_delay_ps.items():
+            delay[net] = delay.get(net, 0.0) + value
+        return WireParasitics(cap, delay)
+
+
+class TimingGraph:
+    """Netlist + library binding with load computation.
+
+    Args:
+        module: the mapped netlist.
+        library: cell library resolving every instance.
+        wire: optional wire parasitics.
+        output_load_ff: assumed load on each module output port (a
+            receiving register or downstream block), defaulting to four
+            unit-inverter input capacitances.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        library: CellLibrary,
+        wire: WireParasitics | None = None,
+        output_load_ff: float | None = None,
+    ) -> None:
+        self.module = module
+        self.library = library
+        self.wire = wire or WireParasitics()
+        if output_load_ff is None:
+            output_load_ff = 4.0 * library.technology.unit_input_cap_ff
+        self.output_load_ff = output_load_ff
+        self._cells: dict[str, Cell] = {}
+        for inst in module.iter_instances():
+            self._cells[inst.name] = library.get(inst.cell_name)
+
+    def cell_of(self, instance_name: str) -> Cell:
+        """Library cell of an instance (cached)."""
+        return self._cells[instance_name]
+
+    def net_load_ff(self, net: str) -> float:
+        """Total capacitive load on a net: pins + wire + port allowance."""
+        load = self.wire.cap(net)
+        for sink in self.module.sinks_of(net):
+            if is_port_ref(sink):
+                load += self.output_load_ff
+                continue
+            inst_name, pin = sink
+            load += self.cell_of(inst_name).input_cap_ff(pin)
+        return load
+
+    def sequential_instances(self) -> list[str]:
+        """Names of flip-flop and latch instances."""
+        return [
+            name for name, cell in self._cells.items() if cell.is_sequential
+        ]
+
+    def sequential_cell_names(self) -> set[str]:
+        return self.library.sequential_cell_names()
+
+    def is_latch(self, instance_name: str) -> bool:
+        return self.cell_of(instance_name).kind is CellKind.LATCH
+
+    def endpoints(self) -> list[tuple[str, object]]:
+        """All timing endpoints.
+
+        Returns a list of ``(kind, detail)`` pairs: ``("port", name)``
+        for module outputs, ``("register", (instance, data_pin))`` for
+        sequential data inputs.
+        """
+        ends: list[tuple[str, object]] = [
+            ("port", name) for name in self.module.outputs()
+        ]
+        for name in self.sequential_instances():
+            cell = self.cell_of(name)
+            for pin in cell.data_input_names():
+                ends.append(("register", (name, pin)))
+        return ends
+
+    def start_nets(self) -> dict[str, str]:
+        """Map from start-point net to start kind (``input``/``register``)."""
+        starts = {name: "input" for name in self.module.inputs()}
+        for name in self.sequential_instances():
+            inst = self.module.instance(name)
+            for net in inst.outputs.values():
+                starts[net] = "register"
+        return starts

@@ -1,0 +1,218 @@
+"""Boolean expression AST used as synthesis input.
+
+This is the "register-transfer level" of our miniature flow: designs enter
+as boolean expressions per output (plus the word-level generators in
+:mod:`repro.datapath`), are optimised structurally, and are then mapped
+onto a cell library.  Section 4.2 of the paper contrasts exactly these two
+entry points: "fast datapath designs ... do exist in pre-designed
+libraries, but are not automatically invoked in register-transfer level
+logic synthesis of ASICs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SynthesisError(ValueError):
+    """Raised for malformed expressions or unsynthesisable requests."""
+
+
+class Expr:
+    """Base class for boolean expression nodes.
+
+    Nodes are immutable; structural helpers return new trees.
+    """
+
+    def evaluate(self, env: dict[str, bool]) -> bool:
+        """Evaluate under a truth assignment for every variable."""
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """Free variables of the expression."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Operator nesting depth (constants and variables are depth 0)."""
+        raise NotImplementedError
+
+    def count_ops(self) -> int:
+        """Number of operator nodes."""
+        raise NotImplementedError
+
+    # Operator sugar for building expressions in Python code.
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant 0 or 1."""
+
+    value: bool
+
+    def evaluate(self, env: dict[str, bool]) -> bool:
+        return self.value
+
+    def variables(self) -> set[str]:
+        return set()
+
+    def depth(self) -> int:
+        return 0
+
+    def count_ops(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "1" if self.value else "0"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named input variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha() and self.name[0] != "_":
+            raise SynthesisError(f"invalid variable name {self.name!r}")
+
+    def evaluate(self, env: dict[str, bool]) -> bool:
+        try:
+            return bool(env[self.name])
+        except KeyError:
+            raise SynthesisError(f"no value for variable {self.name!r}") from None
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def depth(self) -> int:
+        return 0
+
+    def count_ops(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    child: Expr
+
+    def evaluate(self, env: dict[str, bool]) -> bool:
+        return not self.child.evaluate(env)
+
+    def variables(self) -> set[str]:
+        return self.child.variables()
+
+    def depth(self) -> int:
+        return 1 + self.child.depth()
+
+    def count_ops(self) -> int:
+        return 1 + self.child.count_ops()
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}"
+
+
+class _NaryOp(Expr):
+    """Shared behaviour of n-ary AND/OR nodes."""
+
+    symbol = "?"
+
+    def __init__(self, children) -> None:
+        children = tuple(children)
+        if len(children) < 2:
+            raise SynthesisError(
+                f"{type(self).__name__} needs at least two operands"
+            )
+        self.children = children
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.variables()
+        return out
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for child in self.children)
+
+    def count_ops(self) -> int:
+        return 1 + sum(child.count_ops() for child in self.children)
+
+    def __repr__(self) -> str:
+        inner = f" {self.symbol} ".join(repr(c) for c in self.children)
+        return f"({inner})"
+
+
+class And(_NaryOp):
+    """N-ary conjunction."""
+
+    symbol = "&"
+
+    def evaluate(self, env: dict[str, bool]) -> bool:
+        return all(child.evaluate(env) for child in self.children)
+
+
+class Or(_NaryOp):
+    """N-ary disjunction."""
+
+    symbol = "|"
+
+    def evaluate(self, env: dict[str, bool]) -> bool:
+        return any(child.evaluate(env) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Xor(Expr):
+    """Two-input exclusive-or."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: dict[str, bool]) -> bool:
+        return self.left.evaluate(env) != self.right.evaluate(env)
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def count_ops(self) -> int:
+        return 1 + self.left.count_ops() + self.right.count_ops()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ^ {self.right!r})"
+
+
+def mux(select: Expr, if_true: Expr, if_false: Expr) -> Expr:
+    """2:1 multiplexer as an expression: ``s ? a : b``."""
+    return Or((And((if_true, select)), And((if_false, Not(select)))))
+
+
+def majority3(a: Expr, b: Expr, c: Expr) -> Expr:
+    """Three-input majority (the carry function of a full adder)."""
+    return Or((And((a, b)), And((b, c)), And((a, c))))

@@ -1,0 +1,100 @@
+"""Macro-cell registry: pre-designed datapath blocks for synthesis.
+
+Section 4.2: "Fast datapath designs, such as carry-lookahead and
+carry-select adders and other regular elements, do exist in pre-designed
+libraries, but are not automatically invoked in register-transfer level
+logic synthesis of ASICs.  Use of these predefined macro cells for an ASIC
+can significantly improve the resulting design."
+
+This module is that predefined library: a registry mapping macro names to
+generator callables.  The :mod:`repro.datapath` package registers its
+generators on import; flows then choose between naive RTL synthesis and a
+macro instantiation for the same function (benchmark E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.cells.library import CellLibrary
+from repro.netlist.module import Module
+from repro.synth.ast import SynthesisError
+
+
+@dataclass(frozen=True)
+class MacroSpec:
+    """A registered macro generator.
+
+    Attributes:
+        name: registry key, e.g. ``"adder_cla"``.
+        generator: callable ``(bits, library, name) -> Module``.
+        description: one-line human-readable summary.
+        category: grouping tag (``"adder"``, ``"shifter"``, ...).
+    """
+
+    name: str
+    generator: Callable[..., Module]
+    description: str
+    category: str = "datapath"
+
+
+_REGISTRY: dict[str, MacroSpec] = {}
+
+
+def register_macro(
+    name: str,
+    generator: Callable[..., Module],
+    description: str,
+    category: str = "datapath",
+) -> None:
+    """Register a macro generator; re-registration must be identical."""
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing.generator is not generator:
+        raise SynthesisError(f"macro {name!r} already registered differently")
+    _REGISTRY[name] = MacroSpec(name, generator, description, category)
+
+
+def get_macro(name: str) -> MacroSpec:
+    """Look up a macro by name.
+
+    Raises:
+        SynthesisError: if unknown, listing registered names.
+    """
+    _ensure_datapath_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SynthesisError(
+            f"no macro {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_macros(category: str | None = None) -> list[MacroSpec]:
+    """All registered macros, optionally filtered by category."""
+    _ensure_datapath_loaded()
+    specs = sorted(_REGISTRY.values(), key=lambda s: s.name)
+    if category is None:
+        return specs
+    return [s for s in specs if s.category == category]
+
+
+def expand_macro(
+    name: str, bits: int, library: CellLibrary, instance_name: str | None = None
+) -> Module:
+    """Instantiate a macro as a netlist.
+
+    Args:
+        name: registry key.
+        bits: word width.
+        library: target cell library.
+        instance_name: module name override.
+    """
+    spec = get_macro(name)
+    module_name = instance_name or f"{name}_{bits}"
+    return spec.generator(bits, library, module_name)
+
+
+def _ensure_datapath_loaded() -> None:
+    """Import the datapath package so its generators self-register."""
+    import repro.datapath  # noqa: F401  (import side effect: registration)

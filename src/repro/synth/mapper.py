@@ -1,0 +1,250 @@
+"""Technology mapping: expression trees onto a cell library.
+
+The mapper is polarity-aware: every subexpression can be produced in true
+or complemented form, and the form is chosen to exploit the library's
+inverting gates (NAND/NOR cost less than AND/OR in CMOS).  A library
+without dual polarities (Section 6.1's impoverished case) therefore pays
+real inverter gates wherever the wrong polarity is all it stocks -- which
+is precisely how the 25%-slower-library experiment manifests.
+
+Structurally identical subexpressions are shared, so the output is a DAG
+netlist, not a tree.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.netlist.module import Module
+from repro.synth.ast import And, Const, Expr, Not, Or, SynthesisError, Var, Xor
+from repro.synth.optimize import optimize
+
+
+#: Gate base names by operator and width, in true/complement polarity.
+_AND_BASES = {2: ("AND2", "NAND2"), 3: ("AND3", "NAND3"), 4: ("AND4", "NAND4")}
+_OR_BASES = {2: ("OR2", "NOR2"), 3: ("OR3", "NOR3"), 4: ("OR4", "NOR4")}
+_PIN_NAMES = "ABCDEFGH"
+
+
+class TechnologyMapper:
+    """Maps optimised boolean expressions onto one :class:`CellLibrary`.
+
+    Args:
+        library: target library.
+        default_drive: drive strength used for every mapped gate; the
+            sizing stage (:mod:`repro.sizing`) adjusts drives afterwards,
+            mirroring the synthesis-then-resize flow of Section 6.2.
+    """
+
+    def __init__(self, library: CellLibrary, default_drive: float = 2.0) -> None:
+        self.library = library
+        self.default_drive = default_drive
+        self._and_widths = self._widths(_AND_BASES)
+        self._or_widths = self._widths(_OR_BASES)
+        if not self._and_widths or not self._or_widths:
+            raise SynthesisError(
+                f"library {library.name} lacks basic AND/OR-class gates"
+            )
+        if "INV" not in library.bases():
+            raise SynthesisError(f"library {library.name} lacks an inverter")
+
+    def _widths(self, table: dict[int, tuple[str, str]]) -> list[int]:
+        widths = []
+        for width, (true_base, comp_base) in table.items():
+            if self.library.has_base(true_base) or self.library.has_base(comp_base):
+                widths.append(width)
+        return sorted(widths)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def map_design(
+        self,
+        design: dict[str, Expr],
+        name: str = "mapped",
+        input_order: list[str] | None = None,
+    ) -> Module:
+        """Map a multi-output design to a netlist.
+
+        Args:
+            design: mapping from output port name to expression.
+            name: module name.
+            input_order: explicit input port order (default: sorted union
+                of all free variables).
+
+        Raises:
+            SynthesisError: for constant outputs (no tie cells are
+                modelled) or unsupported structures.
+        """
+        module = Module(name)
+        variables: set[str] = set()
+        optimised: dict[str, Expr] = {}
+        for out, expr in design.items():
+            opt = optimize(expr, max_arity=max(self._and_widths))
+            if isinstance(opt, Const):
+                raise SynthesisError(
+                    f"output {out!r} reduces to a constant; tie cells are "
+                    "not modelled"
+                )
+            optimised[out] = opt
+            variables |= opt.variables()
+        inputs = input_order if input_order is not None else sorted(variables)
+        missing = variables - set(inputs)
+        if missing:
+            raise SynthesisError(f"input order omits variables {sorted(missing)}")
+        for var in inputs:
+            module.add_input(var)
+
+        memo: dict[tuple[Expr, bool], str] = {}
+        for out in design:
+            module.add_output(out)
+        for out, expr in optimised.items():
+            net = self._map(module, memo, expr, inverted=False)
+            self._drive_output(module, net, out)
+        return module
+
+    def map_expression(self, expr: Expr, name: str = "mapped") -> Module:
+        """Map a single expression; the output port is named ``y``."""
+        return self.map_design({"y": expr}, name=name)
+
+    # ------------------------------------------------------------------
+    # Recursive polarity-aware mapping
+    # ------------------------------------------------------------------
+
+    def _map(
+        self,
+        module: Module,
+        memo: dict[tuple[Expr, bool], str],
+        expr: Expr,
+        inverted: bool,
+    ) -> str:
+        key = (expr, inverted)
+        if key in memo:
+            return memo[key]
+        net = self._map_uncached(module, memo, expr, inverted)
+        memo[key] = net
+        return net
+
+    def _map_uncached(
+        self,
+        module: Module,
+        memo: dict[tuple[Expr, bool], str],
+        expr: Expr,
+        inverted: bool,
+    ) -> str:
+        if isinstance(expr, Var):
+            if not inverted:
+                return expr.name
+            return self._emit_inverter(module, expr.name)
+        if isinstance(expr, Not):
+            return self._map(module, memo, expr.child, not inverted)
+        if isinstance(expr, And):
+            return self._map_nary(module, memo, expr, inverted, is_and=True)
+        if isinstance(expr, Or):
+            return self._map_nary(module, memo, expr, inverted, is_and=False)
+        if isinstance(expr, Xor):
+            return self._map_xor(module, memo, expr, inverted)
+        if isinstance(expr, Const):
+            raise SynthesisError("constants must be simplified away before mapping")
+        raise SynthesisError(f"unknown expression node {type(expr).__name__}")
+
+    def _map_nary(
+        self,
+        module: Module,
+        memo: dict[tuple[Expr, bool], str],
+        expr: And | Or,
+        inverted: bool,
+        is_and: bool,
+    ) -> str:
+        widths = self._and_widths if is_and else self._or_widths
+        table = _AND_BASES if is_and else _OR_BASES
+        children = list(expr.children)
+        width = len(children)
+        if width not in widths:
+            # Should not happen after optimize(), but guard decomposition.
+            op = And if is_and else Or
+            sub = optimize(op(children), max_arity=max(widths))
+            if sub == expr:
+                raise SynthesisError(
+                    f"cannot decompose {width}-wide operator for library "
+                    f"{self.library.name}"
+                )
+            return self._map(module, memo, sub, inverted)
+        true_base, comp_base = table[width]
+        child_nets = [self._map(module, memo, c, inverted=False) for c in children]
+        wanted = comp_base if inverted else true_base
+        other = true_base if inverted else comp_base
+        if self.library.has_base(wanted):
+            return self._emit_gate(module, wanted, child_nets)
+        # Wrong polarity stocked: emit the other polarity plus an inverter.
+        net = self._emit_gate(module, other, child_nets)
+        return self._emit_inverter(module, net)
+
+    def _map_xor(
+        self,
+        module: Module,
+        memo: dict[tuple[Expr, bool], str],
+        expr: Xor,
+        inverted: bool,
+    ) -> str:
+        left = self._map(module, memo, expr.left, inverted=False)
+        right = self._map(module, memo, expr.right, inverted=False)
+        wanted = "XNOR2" if inverted else "XOR2"
+        other = "XOR2" if inverted else "XNOR2"
+        if self.library.has_base(wanted):
+            return self._emit_gate(module, wanted, [left, right])
+        if self.library.has_base(other):
+            net = self._emit_gate(module, other, [left, right])
+            return self._emit_inverter(module, net)
+        # No XOR gates at all: decompose into AND/OR/NOT form.
+        decomposed = Or(
+            (And((expr.left, Not(expr.right))), And((Not(expr.left), expr.right)))
+        )
+        if inverted:
+            decomposed = Not(decomposed)
+        return self._map(module, memo, optimize(decomposed, max(self._and_widths)),
+                         inverted=False)
+
+    # ------------------------------------------------------------------
+    # Gate emission
+    # ------------------------------------------------------------------
+
+    def _pick_cell(self, base: str) -> str:
+        variants = self.library.drives_of(base)
+        for cell in variants:
+            if cell.drive >= self.default_drive:
+                return cell.name
+        return variants[-1].name
+
+    def _emit_gate(self, module: Module, base: str, input_nets: list[str]) -> str:
+        cell_name = self._pick_cell(base)
+        out = module.add_net()
+        pins = {_PIN_NAMES[i]: net for i, net in enumerate(input_nets)}
+        module.add_instance(None, cell_name, inputs=pins, outputs={"Y": out})
+        return out
+
+    def _emit_inverter(self, module: Module, net: str) -> str:
+        return self._emit_gate(module, "INV", [net])
+
+    def _drive_output(self, module: Module, net: str, port: str) -> None:
+        """Connect a computed net to an output port through a driver gate."""
+        if self.library.has_base("BUF"):
+            cell_name = self._pick_cell("BUF")
+            module.add_instance(
+                None, cell_name, inputs={"A": net}, outputs={"Y": port}
+            )
+            return
+        # No buffer stocked (impoverished library): back-to-back inverters.
+        mid = self._emit_inverter(module, net)
+        cell_name = self._pick_cell("INV")
+        module.add_instance(None, cell_name, inputs={"A": mid}, outputs={"Y": port})
+
+
+def map_design(
+    design: dict[str, Expr],
+    library: CellLibrary,
+    name: str = "mapped",
+    default_drive: float = 2.0,
+) -> Module:
+    """Convenience one-shot mapping (see :class:`TechnologyMapper`)."""
+    return TechnologyMapper(library, default_drive).map_design(design, name=name)

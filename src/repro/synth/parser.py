@@ -1,0 +1,135 @@
+"""Recursive-descent parser for the boolean expression language.
+
+Grammar (loosest-binding first)::
+
+    expr   := xorexp ('|' xorexp)*
+    xorexp := term   ('^' term)*
+    term   := factor ('&' factor)*
+    factor := ('~' | '!') factor | '(' expr ')' | '0' | '1' | IDENT
+
+``!`` and ``~`` are interchangeable negation.  Identifiers follow the
+netlist identifier rules (letters, digits, underscore, brackets).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.synth.ast import And, Const, Expr, Not, Or, SynthesisError, Var, Xor
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_\[\]]*)"
+    r"|(?P<const>[01])"
+    r"|(?P<op>[&|^~!()]))"
+)
+
+
+class _Tokens:
+    """Token stream with single-token lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.items: list[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                remainder = text[pos:].strip()
+                if not remainder:
+                    break
+                raise SynthesisError(
+                    f"cannot tokenise {remainder[:20]!r} in expression {text!r}"
+                )
+            token = match.group("ident") or match.group("const") or match.group("op")
+            self.items.append(token)
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> str | None:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def pop(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SynthesisError(f"unexpected end of expression {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.pop()
+        if got != token:
+            raise SynthesisError(
+                f"expected {token!r} but found {got!r} in {self.text!r}"
+            )
+
+    def exhausted(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a boolean expression string into an :class:`Expr` tree.
+
+    Raises:
+        SynthesisError: on any syntax problem, citing the offending text.
+    """
+    if not text or not text.strip():
+        raise SynthesisError("empty expression")
+    tokens = _Tokens(text)
+    expr = _parse_or(tokens)
+    if not tokens.exhausted():
+        raise SynthesisError(
+            f"trailing input {tokens.items[tokens.index:]} in {text!r}"
+        )
+    return expr
+
+
+def _parse_or(tokens: _Tokens) -> Expr:
+    parts = [_parse_xor(tokens)]
+    while tokens.peek() == "|":
+        tokens.pop()
+        parts.append(_parse_xor(tokens))
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def _parse_xor(tokens: _Tokens) -> Expr:
+    expr = _parse_and(tokens)
+    while tokens.peek() == "^":
+        tokens.pop()
+        expr = Xor(expr, _parse_and(tokens))
+    return expr
+
+
+def _parse_and(tokens: _Tokens) -> Expr:
+    parts = [_parse_factor(tokens)]
+    while tokens.peek() == "&":
+        tokens.pop()
+        parts.append(_parse_factor(tokens))
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def _parse_factor(tokens: _Tokens) -> Expr:
+    token = tokens.pop()
+    if token in ("~", "!"):
+        return Not(_parse_factor(tokens))
+    if token == "(":
+        inner = _parse_or(tokens)
+        tokens.expect(")")
+        return inner
+    if token == "0":
+        return Const(False)
+    if token == "1":
+        return Const(True)
+    if token in ("&", "|", "^", ")"):
+        raise SynthesisError(f"unexpected operator {token!r} in {tokens.text!r}")
+    return Var(token)
+
+
+def parse_design(assignments: dict[str, str]) -> dict[str, Expr]:
+    """Parse a multi-output design given as ``{output: expression}``."""
+    return {out: parse_expression(text) for out, text in assignments.items()}

@@ -1,0 +1,188 @@
+"""Logic simulation of mapped netlists.
+
+Used throughout the test suite to prove functional equivalence: an
+expression, its optimised form, and its mapped netlist must agree on every
+(sampled) input vector, and a pipelined datapath must produce the same
+stream of results as its combinational original, delayed by its latency.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.netlist.graph import topological_order
+from repro.netlist.module import Module
+from repro.netlist.nets import NetlistError
+
+
+class SimulationError(ValueError):
+    """Raised for incomplete stimulus or unsupported constructs."""
+
+
+def simulate_combinational(
+    module: Module, library: CellLibrary, inputs: dict[str, bool]
+) -> dict[str, bool]:
+    """Evaluate a purely combinational netlist.
+
+    Args:
+        module: mapped netlist (must contain no sequential cells).
+        library: the library its cells come from.
+        inputs: truth value per input port.
+
+    Returns:
+        Truth value per output port.
+    """
+    seq = library.sequential_cell_names()
+    for inst in module.iter_instances():
+        if inst.cell_name in seq:
+            raise SimulationError(
+                f"instance {inst.name} is sequential; use simulate_sequential"
+            )
+    values = _check_inputs(module, inputs)
+    _propagate(module, library, values, seq=frozenset())
+    return {out: values[out] for out in module.outputs()}
+
+
+def simulate_sequential(
+    module: Module,
+    library: CellLibrary,
+    input_stream: list[dict[str, bool]],
+    initial_state: bool = False,
+) -> list[dict[str, bool]]:
+    """Cycle-accurate simulation of a netlist with flip-flops.
+
+    Each entry of ``input_stream`` is the input-port assignment for one
+    clock cycle; the returned list gives output-port values per cycle
+    (sampled after combinational settling, before the next edge).  Clock
+    ports feeding only sequential clock pins may be omitted from the
+    stimulus.  Level-sensitive latches are simulated edge-triggered here
+    (their transparency matters to timing, which STA models, not to the
+    steady-state logic value).
+
+    Args:
+        module: mapped netlist.
+        library: the library its cells come from.
+        input_stream: per-cycle input assignments.
+        initial_state: reset value of every register.
+    """
+    seq = library.sequential_cell_names()
+    state: dict[str, bool] = {
+        inst.name: initial_state
+        for inst in module.iter_instances()
+        if inst.cell_name in seq
+    }
+    trace: list[dict[str, bool]] = []
+    clock_only = _clock_only_ports(module, library)
+    order = topological_order(module, seq)
+    for cycle, stimulus in enumerate(input_stream):
+        values = _check_inputs(module, stimulus, optional=clock_only, cycle=cycle)
+        # Register outputs present their held state.
+        for inst_name, held in state.items():
+            inst = module.instance(inst_name)
+            for net in inst.outputs.values():
+                values[net] = held
+        _propagate(module, library, values, seq, order=order)
+        trace.append({out: values[out] for out in module.outputs()})
+        # Clock edge: capture D pins into state.
+        for inst_name in state:
+            inst = module.instance(inst_name)
+            cell = library.get(inst.cell_name)
+            data_pin = cell.data_input_names()[0]
+            state[inst_name] = values[inst.inputs[data_pin]]
+    return trace
+
+
+def _clock_only_ports(module: Module, library: CellLibrary) -> set[str]:
+    """Input ports whose only sinks are sequential clock pins."""
+    clock_only = set()
+    for port in module.inputs():
+        sinks = module.sinks_of(port)
+        if not sinks:
+            continue
+        all_clock = True
+        for sink in sinks:
+            if not isinstance(sink, tuple):
+                all_clock = False
+                break
+            inst_name, pin = sink
+            cell = library.get(module.instance(inst_name).cell_name)
+            if not (cell.is_sequential and pin == cell.sequential.clock_pin):
+                all_clock = False
+                break
+        if all_clock:
+            clock_only.add(port)
+    return clock_only
+
+
+def _check_inputs(
+    module: Module,
+    inputs: dict[str, bool],
+    optional: set[str] = frozenset(),
+    cycle: int | None = None,
+) -> dict[str, bool]:
+    missing = set(module.inputs()) - set(inputs) - optional
+    if missing:
+        where = f" at cycle {cycle}" if cycle is not None else ""
+        raise SimulationError(f"missing input values{where}: {sorted(missing)}")
+    values: dict[str, bool] = {}
+    for port in module.inputs():
+        if port in inputs:
+            values[port] = bool(inputs[port])
+        else:
+            values[port] = False  # idle clock placeholder
+    return values
+
+
+def _propagate(
+    module: Module,
+    library: CellLibrary,
+    values: dict[str, bool],
+    seq: frozenset[str] | set[str],
+    order: list[str] | None = None,
+) -> None:
+    if order is None:
+        order = topological_order(module, seq)
+    for inst_name in order:
+        inst = module.instance(inst_name)
+        if inst.cell_name in seq:
+            continue  # register outputs already injected
+        cell = library.get(inst.cell_name)
+        try:
+            pin_values = {pin: values[net] for pin, net in inst.inputs.items()}
+        except KeyError as exc:
+            raise SimulationError(
+                f"net {exc.args[0]!r} feeding {inst_name} has no value; "
+                "is the netlist fully driven?"
+            ) from None
+        result = cell.evaluate(pin_values)
+        for net in inst.outputs.values():
+            values[net] = result
+
+
+def exhaustive_equivalent(
+    module_a: Module,
+    library_a: CellLibrary,
+    module_b: Module,
+    library_b: CellLibrary,
+    max_inputs: int = 12,
+) -> bool:
+    """Exhaustively compare two combinational netlists on all vectors.
+
+    Both must have identical port interfaces.  Guarded to ``max_inputs``
+    inputs (2^n vectors).
+    """
+    if module_a.inputs() != module_b.inputs() or (
+        module_a.outputs() != module_b.outputs()
+    ):
+        raise SimulationError("modules have different interfaces")
+    ports = module_a.inputs()
+    if len(ports) > max_inputs:
+        raise SimulationError(
+            f"{len(ports)} inputs exceeds exhaustive limit {max_inputs}"
+        )
+    for bits in range(1 << len(ports)):
+        vec = {p: bool((bits >> i) & 1) for i, p in enumerate(ports)}
+        if simulate_combinational(module_a, library_a, vec) != (
+            simulate_combinational(module_b, library_b, vec)
+        ):
+            return False
+    return True

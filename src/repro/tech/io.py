@@ -1,0 +1,101 @@
+"""Technology file I/O: JSON serialisation of process descriptions.
+
+Lets users define their own process nodes on disk (the moral equivalent
+of a PDK's summary deck) and feed them to the library generators and
+flows without touching Python.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.tech.process import (
+    InterconnectParameters,
+    ProcessTechnology,
+    TechnologyError,
+)
+
+_SCHEMA_VERSION = 1
+
+
+def technology_to_dict(tech: ProcessTechnology) -> dict:
+    """Serialise a technology to a JSON-compatible dict."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "name": tech.name,
+        "drawn_length_um": tech.drawn_length_um,
+        "leff_um": tech.leff_um,
+        "vdd": tech.vdd,
+        "gate_cap_ff_per_um": tech.gate_cap_ff_per_um,
+        "unit_nmos_width_um": tech.unit_nmos_width_um,
+        "pn_ratio": tech.pn_ratio,
+        "inverter_parasitic": tech.inverter_parasitic,
+        "interconnect": {
+            "resistance_ohm_per_um": tech.interconnect.resistance_ohm_per_um,
+            "capacitance_ff_per_um": tech.interconnect.capacitance_ff_per_um,
+            "min_width_um": tech.interconnect.min_width_um,
+            "min_spacing_um": tech.interconnect.min_spacing_um,
+            "is_copper": tech.interconnect.is_copper,
+        },
+    }
+
+
+def technology_from_dict(data: dict) -> ProcessTechnology:
+    """Deserialise a technology from a dict.
+
+    Raises:
+        TechnologyError: for missing fields or version mismatches.
+    """
+    if not isinstance(data, dict):
+        raise TechnologyError("technology data must be an object")
+    version = data.get("schema", _SCHEMA_VERSION)
+    if version != _SCHEMA_VERSION:
+        raise TechnologyError(
+            f"unsupported technology schema {version}; "
+            f"expected {_SCHEMA_VERSION}"
+        )
+    try:
+        inner = data["interconnect"]
+        interconnect = InterconnectParameters(
+            resistance_ohm_per_um=float(inner["resistance_ohm_per_um"]),
+            capacitance_ff_per_um=float(inner["capacitance_ff_per_um"]),
+            min_width_um=float(inner.get("min_width_um", 0.32)),
+            min_spacing_um=float(inner.get("min_spacing_um", 0.32)),
+            is_copper=bool(inner.get("is_copper", False)),
+        )
+        return ProcessTechnology(
+            name=str(data["name"]),
+            drawn_length_um=float(data["drawn_length_um"]),
+            leff_um=float(data["leff_um"]),
+            vdd=float(data["vdd"]),
+            interconnect=interconnect,
+            gate_cap_ff_per_um=float(data.get("gate_cap_ff_per_um", 2.0)),
+            unit_nmos_width_um=float(data.get("unit_nmos_width_um", 0.6)),
+            pn_ratio=float(data.get("pn_ratio", 2.0)),
+            inverter_parasitic=float(data.get("inverter_parasitic", 1.0)),
+        )
+    except KeyError as exc:
+        raise TechnologyError(
+            f"technology data missing field {exc.args[0]!r}"
+        ) from None
+
+
+def save_technology(tech: ProcessTechnology, path: str) -> None:
+    """Write a technology JSON file."""
+    with open(path, "w") as handle:
+        json.dump(technology_to_dict(tech), handle, indent=2)
+        handle.write("\n")
+
+
+def load_technology(path: str) -> ProcessTechnology:
+    """Read a technology JSON file.
+
+    Raises:
+        TechnologyError: on malformed content.
+    """
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TechnologyError(f"invalid technology JSON: {exc}") from None
+    return technology_from_dict(data)

@@ -1,0 +1,320 @@
+"""Process technology models.
+
+This module provides the foundation every other substrate builds on: a
+description of a CMOS fabrication process sufficient to drive the delay,
+wire, and variation models used throughout the reproduction.
+
+The paper (Section 2) compares designs "in the same processing geometry",
+defined as processes with similar design rules, transistor channel lengths
+and the same interconnect.  Section 4 (footnotes 1 and 2) supplies the key
+calibration rule of thumb used for every FO4 computation in the paper:
+
+    FO4 delay [ns] = 0.5 * Leff [um]
+
+e.g. the IBM 1.0 GHz PowerPC with Leff = 0.15 um has a 75 ps FO4 delay, and
+a typical 0.25 um ASIC process with Leff = 0.18 um has a 90 ps FO4 delay.
+
+We express all delays in picoseconds, capacitances in femtofarads,
+resistances in ohms, and geometric lengths in micrometres.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+
+#: Rule-of-thumb slope from the paper's footnote 1: FO4 [ps] = 500 * Leff [um].
+FO4_PS_PER_UM_LEFF = 500.0
+
+#: A fanout-of-four inverter delay expressed in logical-effort units is
+#: d = g*h + p = 1*4 + p_inv.  With the conventional parasitic delay
+#: p_inv = 1, one FO4 equals 5 tau, where tau is the delay of an ideal
+#: parasitic-free inverter driving another identical inverter.
+FO4_IN_TAU = 5.0
+
+
+class TechnologyError(ValueError):
+    """Raised for inconsistent or unphysical technology parameters."""
+
+
+@dataclass(frozen=True)
+class InterconnectParameters:
+    """Electrical parameters of a metal interconnect stack.
+
+    The values model a single representative routing layer, which is the
+    level of abstraction BACPAC-style estimators (Section 5, footnote 3)
+    work at.
+
+    Attributes:
+        resistance_ohm_per_um: wire resistance per micrometre of length at
+            minimum width.
+        capacitance_ff_per_um: wire capacitance per micrometre of length at
+            minimum width (includes area + fringe + coupling approximation).
+        min_width_um: minimum drawn wire width.
+        min_spacing_um: minimum spacing between adjacent wires.
+        is_copper: aluminium (False, 0.25 um era) or copper (True, 0.18 um
+            era such as IBM SA-27E, Section 8.3).
+    """
+
+    resistance_ohm_per_um: float
+    capacitance_ff_per_um: float
+    min_width_um: float = 0.32
+    min_spacing_um: float = 0.32
+    is_copper: bool = False
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm_per_um <= 0:
+            raise TechnologyError("wire resistance must be positive")
+        if self.capacitance_ff_per_um <= 0:
+            raise TechnologyError("wire capacitance must be positive")
+        if self.min_width_um <= 0 or self.min_spacing_um <= 0:
+            raise TechnologyError("wire geometry must be positive")
+
+    def wire_resistance(self, length_um: float, width_um: float | None = None) -> float:
+        """Total resistance in ohms of a wire of the given length.
+
+        Widening a wire reduces its resistance proportionally (Section 6:
+        "wires may be widened to reduce the delays ... by reducing the
+        resistance").
+        """
+        width = self.min_width_um if width_um is None else width_um
+        if width < self.min_width_um:
+            raise TechnologyError(
+                f"wire width {width} um below minimum {self.min_width_um} um"
+            )
+        return self.resistance_ohm_per_um * length_um * (self.min_width_um / width)
+
+    def wire_capacitance(self, length_um: float, width_um: float | None = None) -> float:
+        """Total capacitance in fF of a wire of the given length.
+
+        Widening increases area capacitance but leaves fringe/coupling
+        roughly constant; we model the net effect as a square-root growth,
+        the standard first-order compromise in wire-sizing literature.
+        """
+        width = self.min_width_um if width_um is None else width_um
+        if width < self.min_width_um:
+            raise TechnologyError(
+                f"wire width {width} um below minimum {self.min_width_um} um"
+            )
+        return self.capacitance_ff_per_um * length_um * math.sqrt(width / self.min_width_um)
+
+
+@dataclass(frozen=True)
+class ProcessTechnology:
+    """A CMOS process technology node.
+
+    Attributes:
+        name: human-readable identifier, e.g. ``"cmos250_asic"``.
+        drawn_length_um: drawn (nominal) transistor channel length; the
+            "0.25 um" in marketing terms.
+        leff_um: effective transistor channel length.  The paper stresses
+            (Sections 4, 8.3) that custom vendors push Leff well below the
+            drawn length while typical ASIC processes lag: 0.15 um for the
+            IBM PowerPC vs 0.18 um assumed for a typical 0.25 um ASIC.
+        vdd: nominal supply voltage in volts.
+        interconnect: routing-stack electrical parameters.
+        gate_cap_ff_per_um: transistor gate capacitance per um of gate width.
+        unit_nmos_width_um: width of the NMOS device in a minimum inverter.
+        pn_ratio: PMOS/NMOS width ratio in a balanced inverter.
+        inverter_parasitic: parasitic delay of an inverter in units of tau
+            (the conventional value is 1.0).
+    """
+
+    name: str
+    drawn_length_um: float
+    leff_um: float
+    vdd: float
+    interconnect: InterconnectParameters
+    gate_cap_ff_per_um: float = 2.0
+    unit_nmos_width_um: float = 0.6
+    pn_ratio: float = 2.0
+    inverter_parasitic: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.drawn_length_um <= 0 or self.leff_um <= 0:
+            raise TechnologyError("channel lengths must be positive")
+        if self.leff_um > self.drawn_length_um:
+            raise TechnologyError(
+                f"Leff {self.leff_um} um cannot exceed drawn length "
+                f"{self.drawn_length_um} um"
+            )
+        if self.vdd <= 0:
+            raise TechnologyError("supply voltage must be positive")
+        if self.gate_cap_ff_per_um <= 0 or self.unit_nmos_width_um <= 0:
+            raise TechnologyError("device parameters must be positive")
+        if self.pn_ratio <= 0:
+            raise TechnologyError("P/N ratio must be positive")
+
+    # ------------------------------------------------------------------
+    # FO4 calibration (paper footnote 1)
+    # ------------------------------------------------------------------
+
+    @property
+    def fo4_delay_ps(self) -> float:
+        """Fanout-of-four inverter delay, from FO4 [ps] = 500 * Leff [um]."""
+        return FO4_PS_PER_UM_LEFF * self.leff_um
+
+    @property
+    def tau_ps(self) -> float:
+        """The logical-effort delay unit tau, in picoseconds.
+
+        One FO4 = (4 + p_inv) tau, so tau = FO4 / (4 + p_inv).
+        """
+        return self.fo4_delay_ps / (4.0 + self.inverter_parasitic)
+
+    def fo4_from_period(self, period_ps: float) -> float:
+        """Number of FO4 delays that fit in a clock period.
+
+        This is the metric of Section 4: 15 FO4 per cycle in the Alpha
+        21264, 13 in the IBM PowerPC, ~44 in the Tensilica Xtensa.
+        """
+        if period_ps <= 0:
+            raise TechnologyError("clock period must be positive")
+        return period_ps / self.fo4_delay_ps
+
+    def period_from_fo4(self, fo4_depth: float) -> float:
+        """Clock period in ps for a path of the given FO4 depth."""
+        if fo4_depth <= 0:
+            raise TechnologyError("FO4 depth must be positive")
+        return fo4_depth * self.fo4_delay_ps
+
+    def frequency_mhz_from_fo4(self, fo4_depth: float) -> float:
+        """Clock frequency in MHz for a path of the given FO4 depth."""
+        return 1.0e6 / self.period_from_fo4(fo4_depth)
+
+    # ------------------------------------------------------------------
+    # Device electrical helpers used by the cell-library delay models
+    # ------------------------------------------------------------------
+
+    @property
+    def unit_inverter_width_um(self) -> float:
+        """Total (NMOS + PMOS) gate width of the minimum inverter."""
+        return self.unit_nmos_width_um * (1.0 + self.pn_ratio)
+
+    @property
+    def unit_input_cap_ff(self) -> float:
+        """Input capacitance of the minimum (1x) inverter."""
+        return self.gate_cap_ff_per_um * self.unit_inverter_width_um
+
+    @property
+    def unit_drive_resistance_ohm(self) -> float:
+        """Effective switching resistance of the minimum inverter.
+
+        Derived from the FO4 calibration: an FO4 delay is
+        ``(4 + p) * R_unit * C_unit`` in the RC model, so
+        ``R_unit = tau / C_unit``.
+        """
+        return self.tau_ps / self.unit_input_cap_ff * 1000.0  # ps/fF -> ohm*1e?
+
+    def scaled(self, **overrides: object) -> "ProcessTechnology":
+        """Return a copy of this technology with selected fields replaced."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Reference technologies used throughout the reproduction
+# ----------------------------------------------------------------------
+
+#: Aluminium interconnect typical of 0.25 um processes (Section 2).
+_AL_025 = InterconnectParameters(
+    resistance_ohm_per_um=0.12,
+    capacitance_ff_per_um=0.20,
+    min_width_um=0.32,
+    min_spacing_um=0.32,
+    is_copper=False,
+)
+
+#: Copper interconnect of late-generation 0.18 um processes such as IBM
+#: SA-27E (Section 8.3).
+_CU_018 = InterconnectParameters(
+    resistance_ohm_per_um=0.075,
+    capacitance_ff_per_um=0.19,
+    min_width_um=0.24,
+    min_spacing_um=0.24,
+    is_copper=True,
+)
+
+#: A typical 0.25 um ASIC process: Leff = 0.18 um (paper footnote 2),
+#: FO4 = 90 ps.
+CMOS250_ASIC = ProcessTechnology(
+    name="cmos250_asic",
+    drawn_length_um=0.25,
+    leff_um=0.18,
+    vdd=2.5,
+    interconnect=_AL_025,
+)
+
+#: An aggressive 0.25 um custom process: Leff = 0.15 um as in the IBM
+#: 1.0 GHz PowerPC (paper footnote 1), FO4 = 75 ps.
+CMOS250_CUSTOM = ProcessTechnology(
+    name="cmos250_custom",
+    drawn_length_um=0.25,
+    leff_um=0.15,
+    vdd=1.8,
+    interconnect=_AL_025,
+)
+
+#: IBM CMOS7S-class 0.18 um process with Leff = 0.12 um, FO4 about 55 ps
+#: (Section 8.3 quotes 55 ps against our rule's 60 ps -- the rule of thumb
+#: slightly overestimates for copper-interconnect processes).
+CMOS180_CUSTOM = ProcessTechnology(
+    name="cmos180_custom",
+    drawn_length_um=0.18,
+    leff_um=0.12,
+    vdd=1.8,
+    interconnect=_CU_018,
+)
+
+#: IBM SA-27E-class ASIC process: 0.18 um drawn, Leff = 0.11 um
+#: (Section 8.3), copper interconnect.
+CMOS180_ASIC = ProcessTechnology(
+    name="cmos180_asic",
+    drawn_length_um=0.18,
+    leff_um=0.11,
+    vdd=1.8,
+    interconnect=_CU_018,
+)
+
+#: Previous-generation 0.35 um process, used for the "one process
+#: generation = 1.5x" comparisons of Section 2.
+CMOS350_ASIC = ProcessTechnology(
+    name="cmos350_asic",
+    drawn_length_um=0.35,
+    leff_um=0.25,
+    vdd=3.3,
+    interconnect=InterconnectParameters(
+        resistance_ohm_per_um=0.09,
+        capacitance_ff_per_um=0.21,
+        min_width_um=0.45,
+        min_spacing_um=0.45,
+        is_copper=False,
+    ),
+)
+
+#: All predefined technologies, keyed by name.
+TECHNOLOGIES: dict[str, ProcessTechnology] = {
+    tech.name: tech
+    for tech in (
+        CMOS250_ASIC,
+        CMOS250_CUSTOM,
+        CMOS180_ASIC,
+        CMOS180_CUSTOM,
+        CMOS350_ASIC,
+    )
+}
+
+
+def get_technology(name: str) -> ProcessTechnology:
+    """Look up a predefined technology by name.
+
+    Raises:
+        KeyError: if no technology with that name is registered, with a
+            message listing the available names.
+    """
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise KeyError(f"unknown technology {name!r}; known: {known}") from None

@@ -1,0 +1,169 @@
+"""Speed binning, worst-case quoting, and custom-vs-ASIC speed access.
+
+Section 8.2: "Fabrication plants won't offer ASIC customers the top chip
+speed off the production line, as they cannot guarantee a sufficiently
+high yield for this to be profitable.  The fabrication plant guarantees
+that they can produce an ASIC chip with a certain speed.  This speed is
+limited by the worst speeds off the production line, but chips capable of
+faster speeds are produced."
+
+The asymmetry modelled here:
+
+* an **ASIC quote** is the frequency nearly every die meets, *after* the
+  worst-case PVT corner derating of the library;
+* a **custom vendor** bins: it sells every die at (close to) its own
+  maximum frequency, including the fast tail;
+* Section 8.3's escape hatch -- "if the designers can afford to test
+  produced chips and verify correct operation at higher speeds" -- is
+  :func:`speed_tested_quote`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tech.corners import CornerType, get_corner
+from repro.variation.components import VariationError
+from repro.variation.montecarlo import SpeedDistribution
+
+
+def asic_worst_case_quote(
+    distribution: SpeedDistribution,
+    yield_target: float = 0.995,
+    corner_derate: float | None = None,
+) -> float:
+    """The frequency an ASIC library would quote.
+
+    The library's worst-case corner derate already folds in the slow
+    process file together with low supply and high temperature, so the
+    quote is the nominal design frequency over the full derate -- unless
+    the actual production floor (the speed ``yield_target`` of dies
+    meet) is even lower, in which case the floor binds.
+    """
+    if not 0.5 <= yield_target < 1.0:
+        raise VariationError("yield target must be in [0.5, 1)")
+    derate = (
+        corner_derate
+        if corner_derate is not None
+        else get_corner(CornerType.WORST_CASE).delay_derate
+    )
+    if derate < 1.0:
+        raise VariationError("corner derate cannot be below 1")
+    process_floor = distribution.percentile(100.0 * (1.0 - yield_target))
+    return min(distribution.nominal_mhz / derate, process_floor)
+
+
+def speed_tested_quote(
+    distribution: SpeedDistribution,
+    ship_percentile: float = 25.0,
+    test_margin: float = 1.10,
+) -> float:
+    """Shippable speed with at-speed testing of every part.
+
+    Section 8.3: testing "may allow a 30% to 40% improvement in speed
+    over worst-case speeds".  Tested parts run at their own measured
+    speed with a modest guard band instead of the blanket PVT corner;
+    we report a conservative shipping grade (the ``ship_percentile``-th
+    slowest die) rather than the median.
+    """
+    if test_margin < 1.0:
+        raise VariationError("test margin cannot be below 1")
+    return distribution.percentile(ship_percentile) / test_margin
+
+
+@dataclass(frozen=True)
+class SpeedBin:
+    """One marketable speed grade.
+
+    Attributes:
+        frequency_mhz: the grade's rated frequency.
+        fraction: fraction of the population landing in this bin.
+    """
+
+    frequency_mhz: float
+    fraction: float
+
+
+def bin_population(
+    distribution: SpeedDistribution, bin_edges_mhz: list[float]
+) -> list[SpeedBin]:
+    """Assign dies to speed grades (custom-vendor binning).
+
+    Each die sells at the fastest grade it meets; dies below the lowest
+    grade are scrap (reported as a 0-frequency bin).
+    """
+    edges = sorted(bin_edges_mhz)
+    if not edges or any(e <= 0 for e in edges):
+        raise VariationError("bin edges must be positive")
+    freqs = distribution.frequencies_mhz
+    bins = []
+    scrap = float(np.mean(freqs < edges[0]))
+    if scrap > 0:
+        bins.append(SpeedBin(frequency_mhz=0.0, fraction=scrap))
+    for i, edge in enumerate(edges):
+        upper = edges[i + 1] if i + 1 < len(edges) else float("inf")
+        fraction = float(np.mean((freqs >= edge) & (freqs < upper)))
+        bins.append(SpeedBin(frequency_mhz=edge, fraction=fraction))
+    return bins
+
+
+def custom_flagship_frequency(
+    distribution: SpeedDistribution, flagship_yield: float = 0.02
+) -> float:
+    """The headline custom bin: met by only the fastest few percent.
+
+    Section 8: "the fastest speeds produced in a plant may be 20% to 40%
+    faster, but without sufficient yield for low cost ASIC use."
+    """
+    if not 0.0 < flagship_yield <= 0.5:
+        raise VariationError("flagship yield must be in (0, 0.5]")
+    return distribution.percentile(100.0 * (1.0 - flagship_yield))
+
+
+@dataclass(frozen=True)
+class AccessGap:
+    """The Section 8 decomposition for one die population.
+
+    Attributes:
+        asic_quote_mhz: worst-case-corner library quote.
+        tested_mhz: at-speed-tested ASIC quote.
+        typical_mhz: median die frequency.
+        flagship_mhz: fastest marketable custom bin.
+    """
+
+    asic_quote_mhz: float
+    tested_mhz: float
+    typical_mhz: float
+    flagship_mhz: float
+
+    @property
+    def typical_over_quote(self) -> float:
+        """Paper: typical silicon is 60-70% faster than the WC quote."""
+        return self.typical_mhz / self.asic_quote_mhz
+
+    @property
+    def flagship_over_typical(self) -> float:
+        """Paper: fastest bins 20-40% faster than typical."""
+        return self.flagship_mhz / self.typical_mhz
+
+    @property
+    def flagship_over_quote(self) -> float:
+        """Paper: overall ~90% faster than the worst-case ASIC quote."""
+        return self.flagship_mhz / self.asic_quote_mhz
+
+    @property
+    def tested_over_quote(self) -> float:
+        """Paper: speed testing buys 30-40% over worst case."""
+        return self.tested_mhz / self.asic_quote_mhz
+
+
+def access_gap(distribution: SpeedDistribution) -> AccessGap:
+    """Compute the full Section 8 speed-access decomposition."""
+    return AccessGap(
+        asic_quote_mhz=asic_worst_case_quote(distribution),
+        tested_mhz=speed_tested_quote(distribution),
+        typical_mhz=distribution.median_mhz,
+        flagship_mhz=custom_flagship_frequency(distribution),
+    )

@@ -1,0 +1,104 @@
+"""Variance components of process variation.
+
+Section 8.1.1: "There are several types of process variations that can
+occur within a plant: line-to-line; wafer-to-wafer; die-to-die, and
+intra-die.  These process variations cause the delays of wires and gates
+within a chip to vary, and chips are produced with a range of working
+speeds."
+
+Each component is a fractional 1-sigma delay variation.  Die-speed
+sampling composes them: the first three add in quadrature as chip-level
+mean shifts, while intra-die variation acts through the max over many
+near-critical paths (it slows chips, never speeds them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class VariationError(ValueError):
+    """Raised for unphysical variation parameters."""
+
+
+@dataclass(frozen=True)
+class VariationComponents:
+    """Fractional 1-sigma delay variation per component.
+
+    Attributes:
+        line_to_line: drift between production lines/lots over time.
+        wafer_to_wafer: wafer-scale processing differences.
+        die_to_die: within-wafer gradients (radial etch/CMP profiles).
+        intra_die: within-die random device mismatch.
+        critical_paths: number of statistically independent near-critical
+            paths whose max sets the die's speed.
+    """
+
+    line_to_line: float
+    wafer_to_wafer: float
+    die_to_die: float
+    intra_die: float
+    critical_paths: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("line_to_line", "wafer_to_wafer", "die_to_die",
+                     "intra_die"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 0.5:
+                raise VariationError(f"{name} must be in [0, 0.5)")
+        if self.critical_paths < 1:
+            raise VariationError("need at least one critical path")
+
+    @property
+    def chip_level_sigma(self) -> float:
+        """Combined chip-mean 1-sigma (quadrature of global components)."""
+        return math.sqrt(
+            self.line_to_line**2 + self.wafer_to_wafer**2 + self.die_to_die**2
+        )
+
+    def scaled(self, factor: float) -> "VariationComponents":
+        """All components scaled by a factor (process maturity model)."""
+        if factor < 0:
+            raise VariationError("scale factor must be non-negative")
+        return VariationComponents(
+            line_to_line=self.line_to_line * factor,
+            wafer_to_wafer=self.wafer_to_wafer * factor,
+            die_to_die=self.die_to_die * factor,
+            intra_die=self.intra_die * factor,
+            critical_paths=self.critical_paths,
+        )
+
+
+#: A freshly ramped process (Section 8.1.1: "when Intel and AMD start
+#: using a new technology, the variation is about 30% to 40%" across the
+#: produced bins -- a chip-level sigma near 8% puts the +-2 sigma bin
+#: spread in that band).
+NEW_PROCESS = VariationComponents(
+    line_to_line=0.050,
+    wafer_to_wafer=0.040,
+    die_to_die=0.045,
+    intra_die=0.030,
+)
+
+#: The same process after maturing ("this variation decreases as the
+#: process matures").
+MATURE_PROCESS = VariationComponents(
+    line_to_line=0.028,
+    wafer_to_wafer=0.022,
+    die_to_die=0.025,
+    intra_die=0.020,
+)
+
+
+def expected_bin_spread(components: VariationComponents,
+                        coverage_sigma: float = 2.0) -> float:
+    """Predicted fastest/slowest shipping-bin frequency ratio.
+
+    With chip delay factors spread +-``coverage_sigma`` sigma around the
+    mean, frequency spread is ``(1 + s*c) / (1 - s*c)``.
+    """
+    s = components.chip_level_sigma * coverage_sigma
+    if s >= 1.0:
+        raise VariationError("variation too large for the linear model")
+    return (1.0 + s) / (1.0 - s)

@@ -1,0 +1,104 @@
+"""Multi-fab speed spread and fab access.
+
+Section 8.1.2: "in the same technology, the speed of identical ASIC
+designs (but with different standard cell libraries and resulting
+synthesized circuitry for the different foundries) may vary by 20% to
+25% between fabrication plants of different companies", while "within a
+company, there are standards to ensure the same yields and quality at
+different fabrication plants" (Intel's Copy Exactly!, reference [20]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.process import ProcessTechnology
+from repro.variation.components import VariationComponents, VariationError
+from repro.variation.montecarlo import SpeedDistribution, sample_chip_speeds
+
+
+@dataclass(frozen=True)
+class FabProfile:
+    """One foundry's realisation of a nominal technology.
+
+    Attributes:
+        name: foundry name.
+        speed_factor: nominal frequency multiplier relative to the best
+            fab in the generation (1.0 = the leader).
+        components: the fab's variation components.
+        asic_accessible: whether ASIC customers can buy capacity here
+            (Section 8.2: "ASIC designers may not have access to the best
+            fabrication plants").
+    """
+
+    name: str
+    speed_factor: float
+    components: VariationComponents
+    asic_accessible: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.3 <= self.speed_factor <= 1.0:
+            raise VariationError("speed factor must be in [0.3, 1.0]")
+
+
+def default_foundry_set(
+    components: VariationComponents,
+) -> list[FabProfile]:
+    """A representative late-90s foundry landscape.
+
+    The leader runs a tuned short-Leff process reserved for its own
+    custom parts; merchant fabs trail by up to ~20%, inside the paper's
+    20-25% fab-to-fab band.
+    """
+    return [
+        FabProfile("leader_internal", 1.00, components, asic_accessible=False),
+        FabProfile("merchant_a", 0.95, components),
+        FabProfile("merchant_b", 0.88, components),
+        FabProfile("merchant_c", 0.81, components.scaled(1.15)),
+    ]
+
+
+def fab_spread(fabs: list[FabProfile]) -> float:
+    """Best-over-worst nominal speed ratio across the set."""
+    if not fabs:
+        raise VariationError("no fabs")
+    factors = [f.speed_factor for f in fabs]
+    return max(factors) / min(factors)
+
+
+def fab_distributions(
+    nominal_mhz: float,
+    fabs: list[FabProfile],
+    count: int = 8000,
+    seed: int = 11,
+) -> dict[str, SpeedDistribution]:
+    """Sample a die population per fab for the same design."""
+    out = {}
+    for i, fab in enumerate(fabs):
+        out[fab.name] = sample_chip_speeds(
+            nominal_mhz * fab.speed_factor,
+            fab.components,
+            count=count,
+            seed=seed + i,
+        )
+    return out
+
+
+def best_accessible_fab(fabs: list[FabProfile], asic: bool) -> FabProfile:
+    """Fastest fab a design team can actually use.
+
+    Custom teams at an IDM reach the internal leader; ASIC customers are
+    restricted to merchant capacity -- one concrete piece of the
+    "accessibility" half of Section 8's factor.
+    """
+    candidates = [f for f in fabs if f.asic_accessible or not asic]
+    if not candidates:
+        raise VariationError("no accessible fab")
+    return max(candidates, key=lambda f: f.speed_factor)
+
+
+def accessibility_penalty(fabs: list[FabProfile]) -> float:
+    """Speed ratio between the best custom-reachable and ASIC-reachable fab."""
+    best_custom = best_accessible_fab(fabs, asic=False)
+    best_asic = best_accessible_fab(fabs, asic=True)
+    return best_custom.speed_factor / best_asic.speed_factor

@@ -1,0 +1,189 @@
+"""Unit tests for repro.cells.cell."""
+
+import pytest
+
+from repro.cells import (
+    Cell,
+    CellError,
+    CellKind,
+    InputPin,
+    LinearDelayArc,
+    LogicFamily,
+    SequentialTiming,
+)
+
+
+def make_nand2() -> Cell:
+    arc = LinearDelayArc(parasitic_ps=36.0, effort_ps_per_ff=7.5)
+    return Cell(
+        name="NAND2_X2",
+        base_name="NAND2",
+        drive=2.0,
+        function="~(A & B)",
+        inputs={
+            "A": InputPin("A", cap_ff=3.2, logical_effort=4 / 3),
+            "B": InputPin("B", cap_ff=3.2, logical_effort=4 / 3),
+        },
+        arcs={"A": arc, "B": arc},
+        inverting=True,
+    )
+
+
+def make_dff() -> Cell:
+    return Cell(
+        name="DFF_X1",
+        base_name="DFF",
+        drive=1.0,
+        function="",
+        inputs={
+            "D": InputPin("D", cap_ff=2.0),
+            "CK": InputPin("CK", cap_ff=1.5),
+        },
+        output="Q",
+        kind=CellKind.FLIP_FLOP,
+        sequential=SequentialTiming(setup_ps=100.0, hold_ps=20.0, clk_to_q_ps=150.0),
+    )
+
+
+class TestCombinationalCell:
+    def test_delay_and_slew(self):
+        cell = make_nand2()
+        assert cell.delay_ps("A", 4.0) == pytest.approx(36.0 + 30.0)
+        assert cell.output_slew_ps("A", 4.0) > 0
+        assert cell.worst_delay_ps(4.0) == pytest.approx(cell.delay_ps("A", 4.0))
+
+    def test_unknown_pin_raises(self):
+        cell = make_nand2()
+        with pytest.raises(CellError):
+            cell.delay_ps("Z", 1.0)
+        with pytest.raises(CellError):
+            cell.input_cap_ff("Z")
+
+    def test_evaluate_truth_table(self):
+        cell = make_nand2()
+        for a in (False, True):
+            for b in (False, True):
+                assert cell.evaluate({"A": a, "B": b}) == (not (a and b))
+
+    def test_evaluate_missing_pin(self):
+        with pytest.raises(CellError):
+            make_nand2().evaluate({"A": True})
+
+    def test_total_input_cap(self):
+        assert make_nand2().total_input_cap_ff() == pytest.approx(6.4)
+
+    def test_function_must_reference_known_pins(self):
+        arc = LinearDelayArc(parasitic_ps=1.0, effort_ps_per_ff=1.0)
+        with pytest.raises(CellError, match="unknown pins"):
+            Cell(
+                name="BAD_X1",
+                base_name="BAD",
+                drive=1.0,
+                function="A & Q",
+                inputs={"A": InputPin("A", cap_ff=1.0)},
+                arcs={"A": arc},
+            )
+
+    def test_function_grammar_enforced(self):
+        arc = LinearDelayArc(parasitic_ps=1.0, effort_ps_per_ff=1.0)
+        with pytest.raises(CellError):
+            Cell(
+                name="BAD_X1",
+                base_name="BAD",
+                drive=1.0,
+                function="__import__",
+                inputs={"A": InputPin("A", cap_ff=1.0)},
+                arcs={"A": arc},
+            )
+
+    def test_missing_arcs_rejected(self):
+        arc = LinearDelayArc(parasitic_ps=1.0, effort_ps_per_ff=1.0)
+        with pytest.raises(CellError, match="missing timing arcs"):
+            Cell(
+                name="NAND2_X1",
+                base_name="NAND2",
+                drive=1.0,
+                function="~(A & B)",
+                inputs={
+                    "A": InputPin("A", cap_ff=1.0),
+                    "B": InputPin("B", cap_ff=1.0),
+                },
+                arcs={"A": arc},
+            )
+
+    def test_load_limit(self):
+        cell = make_nand2()
+        assert not cell.load_violated(cell.max_load_ff)
+        assert cell.load_violated(cell.max_load_ff + 1.0)
+
+
+class TestSequentialCell:
+    def test_overhead(self):
+        cell = make_dff()
+        assert cell.sequential.overhead_ps == pytest.approx(250.0)
+        assert cell.is_sequential
+
+    def test_data_inputs_exclude_clock(self):
+        assert make_dff().data_input_names() == ["D"]
+
+    def test_evaluate_rejected(self):
+        with pytest.raises(CellError):
+            make_dff().evaluate({"D": True, "CK": False})
+
+    def test_sequential_needs_timing(self):
+        with pytest.raises(CellError):
+            Cell(
+                name="DFF_X1",
+                base_name="DFF",
+                drive=1.0,
+                function="",
+                inputs={"D": InputPin("D", cap_ff=1.0)},
+                kind=CellKind.FLIP_FLOP,
+            )
+
+    def test_clock_pin_must_exist(self):
+        with pytest.raises(CellError, match="clock pin"):
+            Cell(
+                name="DFF_X1",
+                base_name="DFF",
+                drive=1.0,
+                function="",
+                inputs={"D": InputPin("D", cap_ff=1.0)},
+                kind=CellKind.FLIP_FLOP,
+                sequential=SequentialTiming(
+                    setup_ps=10.0, hold_ps=1.0, clk_to_q_ps=10.0, clock_pin="CK"
+                ),
+            )
+
+    def test_combinational_cannot_carry_sequential_timing(self):
+        arc = LinearDelayArc(parasitic_ps=1.0, effort_ps_per_ff=1.0)
+        with pytest.raises(CellError):
+            Cell(
+                name="INV_X1",
+                base_name="INV",
+                drive=1.0,
+                function="~A",
+                inputs={"A": InputPin("A", cap_ff=1.0)},
+                arcs={"A": arc},
+                sequential=SequentialTiming(
+                    setup_ps=1.0, hold_ps=0.0, clk_to_q_ps=1.0, clock_pin="A"
+                ),
+            )
+
+
+class TestValidation:
+    def test_pin_cap_positive(self):
+        with pytest.raises(CellError):
+            InputPin("A", cap_ff=0.0)
+
+    def test_drive_positive(self):
+        arc = LinearDelayArc(parasitic_ps=1.0, effort_ps_per_ff=1.0)
+        with pytest.raises(CellError):
+            Cell(
+                name="INV_X0",
+                base_name="INV",
+                drive=0.0,
+                function="~A",
+                inputs={"A": InputPin("A", cap_ff=1.0)},
+                arcs={"A": arc},
+            )

@@ -1,0 +1,118 @@
+"""Unit tests for repro.cells.delay."""
+
+import pytest
+
+from repro.cells import DelayModelError, LinearDelayArc, NLDMArc
+
+
+def linear_arc(**overrides):
+    params = dict(parasitic_ps=18.0, effort_ps_per_ff=10.0)
+    params.update(overrides)
+    return LinearDelayArc(**params)
+
+
+class TestLinearArc:
+    def test_delay_is_affine_in_load(self):
+        arc = linear_arc()
+        d0 = arc.delay_ps(0.0)
+        d1 = arc.delay_ps(1.0)
+        d2 = arc.delay_ps(2.0)
+        assert d0 == pytest.approx(18.0)
+        assert d2 - d1 == pytest.approx(d1 - d0)
+        assert d1 - d0 == pytest.approx(10.0)
+
+    def test_slew_adds_delay(self):
+        arc = linear_arc(slew_sensitivity=0.2)
+        assert arc.delay_ps(1.0, 50.0) == pytest.approx(arc.delay_ps(1.0) + 10.0)
+
+    def test_output_slew_tracks_delay(self):
+        arc = linear_arc()
+        assert arc.output_slew_ps(10.0) > arc.output_slew_ps(1.0)
+        assert arc.output_slew_ps(0.0) >= arc.min_output_slew_ps
+
+    def test_scaled_drive_halves_resistance(self):
+        arc = linear_arc()
+        fast = arc.scaled_drive(2.0)
+        assert fast.effort_ps_per_ff == pytest.approx(5.0)
+        assert fast.parasitic_ps == pytest.approx(arc.parasitic_ps)
+
+    def test_scaled_drive_rejects_nonpositive(self):
+        with pytest.raises(DelayModelError):
+            linear_arc().scaled_drive(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DelayModelError):
+            LinearDelayArc(parasitic_ps=-1.0, effort_ps_per_ff=10.0)
+        with pytest.raises(DelayModelError):
+            LinearDelayArc(parasitic_ps=1.0, effort_ps_per_ff=0.0)
+
+    def test_invalid_queries(self):
+        arc = linear_arc()
+        with pytest.raises(DelayModelError):
+            arc.delay_ps(-1.0)
+        with pytest.raises(DelayModelError):
+            arc.delay_ps(1.0, -5.0)
+
+
+class TestNLDMArc:
+    def test_tabulated_matches_linear_at_light_load(self):
+        arc = linear_arc()
+        table = NLDMArc.from_linear(arc, max_load_ff=50.0)
+        for load in (0.0, 5.0, 10.0):
+            assert table.delay_ps(load, 1.0) == pytest.approx(
+                arc.delay_ps(load, 1.0), rel=0.03
+            )
+
+    def test_saturation_at_heavy_load(self):
+        arc = linear_arc()
+        table = NLDMArc.from_linear(arc, max_load_ff=50.0, saturation=0.1)
+        assert table.delay_ps(50.0, 1.0) > arc.delay_ps(50.0, 1.0)
+        excess = table.delay_ps(50.0, 1.0) / arc.delay_ps(50.0, 1.0)
+        assert 1.05 < excess < 1.15
+
+    def test_interpolation_monotone_in_load(self):
+        table = NLDMArc.from_linear(linear_arc(), max_load_ff=50.0)
+        delays = [table.delay_ps(c, 10.0) for c in range(0, 51, 5)]
+        assert delays == sorted(delays)
+
+    def test_interpolation_monotone_in_slew(self):
+        table = NLDMArc.from_linear(linear_arc(), max_load_ff=50.0)
+        delays = [table.delay_ps(10.0, s) for s in range(1, 200, 20)]
+        assert delays == sorted(delays)
+
+    def test_extrapolation_beyond_corner(self):
+        table = NLDMArc.from_linear(linear_arc(), max_load_ff=50.0)
+        assert table.delay_ps(80.0, 1.0) > table.delay_ps(50.0, 1.0)
+
+    def test_output_slew_positive(self):
+        table = NLDMArc.from_linear(linear_arc(), max_load_ff=50.0)
+        assert table.output_slew_ps(10.0, 10.0) > 0
+
+    def test_axis_validation(self):
+        with pytest.raises(DelayModelError):
+            NLDMArc(
+                slew_axis_ps=(1.0,),
+                load_axis_ff=(0.0, 1.0),
+                delay_table_ps=((1.0, 2.0),),
+                slew_table_ps=((1.0, 2.0),),
+            )
+        with pytest.raises(DelayModelError):
+            NLDMArc(
+                slew_axis_ps=(2.0, 1.0),
+                load_axis_ff=(0.0, 1.0),
+                delay_table_ps=((1.0, 2.0), (1.0, 2.0)),
+                slew_table_ps=((1.0, 2.0), (1.0, 2.0)),
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(DelayModelError):
+            NLDMArc(
+                slew_axis_ps=(1.0, 2.0),
+                load_axis_ff=(0.0, 1.0),
+                delay_table_ps=((1.0, 2.0),),
+                slew_table_ps=((1.0, 2.0), (1.0, 2.0)),
+            )
+
+    def test_bad_extents_rejected(self):
+        with pytest.raises(DelayModelError):
+            NLDMArc.from_linear(linear_arc(), max_load_ff=0.0)

@@ -1,0 +1,150 @@
+"""Unit tests for repro.cells.power and repro.cells.liberty_io."""
+
+import pytest
+
+from repro.cells import (
+    PowerReport,
+    estimate_power,
+    from_liberty,
+    poor_asic_library,
+    power_ratio_domino_vs_static,
+    rich_asic_library,
+    switching_energy_fj,
+    switching_power_uw,
+    to_liberty,
+)
+from repro.netlist import Module
+from repro.tech import CMOS250_ASIC
+
+
+@pytest.fixture(scope="module")
+def rich():
+    return rich_asic_library(CMOS250_ASIC)
+
+
+def inv_chain(library, n=4) -> Module:
+    m = Module("chain")
+    prev = m.add_input("a")
+    inv = library.smallest("INV").name
+    for i in range(n):
+        out = f"w{i}"
+        m.add_instance(f"i{i}", inv, inputs={"A": prev}, outputs={"Y": out})
+        prev = out
+    m.add_output("y")
+    m.add_instance("last", inv, inputs={"A": prev}, outputs={"Y": "y"})
+    return m
+
+
+class TestSwitchingMath:
+    def test_energy_quadratic_in_vdd(self):
+        assert switching_energy_fj(10.0, 2.0) == pytest.approx(40.0)
+        assert switching_energy_fj(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_power_linear_in_frequency(self):
+        p1 = switching_power_uw(10.0, 2.5, 100.0)
+        p2 = switching_power_uw(10.0, 2.5, 200.0)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            switching_energy_fj(-1.0, 2.5)
+        with pytest.raises(ValueError):
+            switching_power_uw(1.0, 2.5, -100.0)
+
+
+class TestNetlistPower:
+    def test_power_scales_with_frequency(self, rich):
+        m = inv_chain(rich)
+        slow = estimate_power(m, rich, 100.0)
+        fast = estimate_power(m, rich, 200.0)
+        assert fast.dynamic_uw == pytest.approx(2 * slow.dynamic_uw)
+        assert fast.leakage_uw == pytest.approx(slow.leakage_uw)
+
+    def test_report_totals(self):
+        report = PowerReport(dynamic_uw=100.0, clock_uw=50.0, leakage_uw=10.0)
+        assert report.total_uw == pytest.approx(160.0)
+        assert report.total_mw == pytest.approx(0.16)
+
+    def test_flops_add_clock_power(self, rich):
+        m = inv_chain(rich, 2)
+        m_ff = inv_chain(rich, 2)
+        m_ff.add_input("clk")
+        ff = rich.flip_flop().name
+        m_ff.add_instance(
+            "ff", ff, inputs={"D": "y", "CK": "clk"}, outputs={"Q": "q"}
+        )
+        base = estimate_power(m, rich, 100.0)
+        with_ff = estimate_power(m_ff, rich, 100.0)
+        assert with_ff.clock_uw > base.clock_uw
+
+    def test_domino_power_penalty(self, rich):
+        # Same topology mapped to domino burns more power: activity ~1 plus
+        # the precharge clock (Section 7.1).
+        from repro.cells import domino_library
+        from repro.tech import CMOS250_CUSTOM
+
+        dom = domino_library(CMOS250_CUSTOM)
+        m_static = Module("s")
+        m_static.add_input("a")
+        m_static.add_input("b")
+        m_static.add_output("y")
+        m_static.add_instance(
+            "g", "AND2_X1", inputs={"A": "a", "B": "b"}, outputs={"Y": "y"}
+        )
+        m_domino = Module("d")
+        m_domino.add_input("a")
+        m_domino.add_input("b")
+        m_domino.add_output("y")
+        m_domino.add_instance(
+            "g", "DAND2_X1", inputs={"A": "a", "B": "b"}, outputs={"Y": "y"}
+        )
+        p_static = estimate_power(m_static, rich, 250.0)
+        p_domino = estimate_power(m_domino, dom, 250.0)
+        ratio = power_ratio_domino_vs_static(p_static, p_domino)
+        assert ratio > 1.5
+
+
+class TestLibertyRoundTrip:
+    def test_round_trip_preserves_cells(self, rich):
+        text = to_liberty(rich)
+        back = from_liberty(text)
+        assert len(back) == len(rich)
+        assert back.bases() == rich.bases()
+
+    def test_round_trip_preserves_timing(self, rich):
+        back = from_liberty(to_liberty(rich))
+        for name in ("NAND2_X4", "XOR2_X1", "AOI21_X8"):
+            orig = rich.get(name)
+            copy = back.get(name)
+            assert copy.delay_ps("A", 7.0, 20.0) == pytest.approx(
+                orig.delay_ps("A", 7.0, 20.0)
+            )
+            assert copy.input_cap_ff("A") == pytest.approx(orig.input_cap_ff("A"))
+            assert copy.inverting == orig.inverting
+
+    def test_round_trip_preserves_sequential(self, rich):
+        back = from_liberty(to_liberty(rich))
+        orig_ff = rich.flip_flop()
+        copy_ff = back.get(orig_ff.name)
+        assert copy_ff.sequential.setup_ps == pytest.approx(
+            orig_ff.sequential.setup_ps
+        )
+        assert copy_ff.sequential.clock_pin == orig_ff.sequential.clock_pin
+        latch = back.get(rich.latch().name)
+        assert latch.sequential.transparent
+
+    def test_poor_library_round_trip(self):
+        poor = poor_asic_library(CMOS250_ASIC)
+        back = from_liberty(to_liberty(poor))
+        assert back.drive_count("NAND2") == 2
+
+    def test_parse_rejects_garbage(self):
+        from repro.cells import LibertyError
+
+        with pytest.raises(LibertyError):
+            from_liberty("this is not a library")
+
+    def test_functions_survive(self, rich):
+        back = from_liberty(to_liberty(rich))
+        cell = back.get("MUX2_X1")
+        assert cell.evaluate({"A": False, "B": True, "S": True}) is True

@@ -1,0 +1,204 @@
+"""Unit tests for the circuit substrate: families, domino mapping, noise."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import LogicFamily, domino_library, rich_asic_library
+from repro.circuit import (
+    DOMINO_PROFILE,
+    FamilyError,
+    NoiseEnvironment,
+    STATIC_PROFILE,
+    audit_noise,
+    domino_map,
+    dual_rail_stimulus,
+    is_monotone,
+    max_safe_coupling,
+    noise_margin_v,
+    profile_of,
+    sequential_speedup_from_combinational,
+    to_negation_normal_form,
+)
+from repro.synth import (
+    SynthesisError,
+    map_design,
+    parse_expression,
+    simulate_combinational,
+)
+from repro.tech import CMOS250_ASIC, CMOS250_CUSTOM
+
+RICH = rich_asic_library(CMOS250_ASIC)
+DOMINO = domino_library(CMOS250_CUSTOM)
+
+
+class TestProfiles:
+    def test_domino_speed_band(self):
+        # Section 7.1: 50-100% faster combinational, ~50% sequential.
+        assert 1.5 <= DOMINO_PROFILE.combinational_speedup <= 2.0
+        assert DOMINO_PROFILE.sequential_speedup == pytest.approx(1.5, abs=0.1)
+
+    def test_domino_tradeoffs(self):
+        assert DOMINO_PROFILE.relative_noise_margin < 1.0
+        assert DOMINO_PROFILE.relative_power > 1.0
+        assert DOMINO_PROFILE.relative_area < 1.0
+        assert DOMINO_PROFILE.requires_monotone
+        assert not DOMINO_PROFILE.synthesizable
+        assert STATIC_PROFILE.synthesizable
+
+    def test_profile_lookup(self):
+        assert profile_of(LogicFamily.DOMINO) is DOMINO_PROFILE
+
+    def test_sequential_dilution(self):
+        # 2x combinational with 75% logic fraction -> ~1.6x sequential.
+        s = sequential_speedup_from_combinational(2.0, 0.75)
+        assert 1.4 < s < 1.7
+        # 1.5x combinational -> ~1.3x.
+        s = sequential_speedup_from_combinational(1.5, 0.75)
+        assert 1.2 < s < 1.45
+
+    def test_dilution_validation(self):
+        with pytest.raises(FamilyError):
+            sequential_speedup_from_combinational(0.0)
+        with pytest.raises(FamilyError):
+            sequential_speedup_from_combinational(2.0, 0.0)
+
+
+class TestNNF:
+    def test_pushes_negation(self):
+        expr = parse_expression("~(a & b)")
+        nnf = to_negation_normal_form(expr)
+        assert is_monotone(nnf)
+
+    def test_xor_expanded(self):
+        nnf = to_negation_normal_form(parse_expression("a ^ b"))
+        assert is_monotone(nnf)
+
+    def test_semantics_preserved(self):
+        text = "~((a | ~b) & (c ^ a))"
+        expr = parse_expression(text)
+        nnf = to_negation_normal_form(expr)
+        for bits in range(8):
+            env = {
+                "a": bool(bits & 1), "b": bool(bits & 2), "c": bool(bits & 4)
+            }
+            assert nnf.evaluate(env) == expr.evaluate(env)
+
+    def test_non_monotone_detection(self):
+        assert not is_monotone(parse_expression("a ^ b"))
+        assert not is_monotone(parse_expression("~(a & b)"))
+        assert is_monotone(parse_expression("a & ~b"))
+
+
+class TestDominoMap:
+    @pytest.mark.parametrize(
+        "text",
+        ["a & b", "~(a & b)", "(a ^ b) | c", "~((a | b) & (c | ~d))"],
+    )
+    def test_domino_map_correct(self, text):
+        expr = parse_expression(text)
+        module = domino_map({"y": expr}, DOMINO)
+        module.assert_well_formed()
+        variables = sorted(expr.variables())
+        for bits in range(1 << len(variables)):
+            single = {v: bool((bits >> i) & 1) for i, v in enumerate(variables)}
+            vec = dual_rail_stimulus(single)
+            vec = {k: v for k, v in vec.items() if k in module.inputs()}
+            out = simulate_combinational(module, DOMINO, vec)
+            assert out["y"] == expr.evaluate(single), (text, single)
+
+    def test_all_gates_are_domino(self):
+        module = domino_map({"y": parse_expression("(a & b) | ~c")}, DOMINO)
+        for inst in module.iter_instances():
+            assert DOMINO.get(inst.cell_name).family is LogicFamily.DOMINO
+
+    def test_dual_rail_ports(self):
+        module = domino_map({"y": parse_expression("a & ~b")}, DOMINO)
+        assert "a" in module.inputs() and "a_n" in module.inputs()
+        assert "b_n" in module.inputs()
+
+    def test_static_library_rejected(self):
+        with pytest.raises(SynthesisError, match="not a domino"):
+            domino_map({"y": parse_expression("a & b")}, RICH)
+
+    def test_constant_rejected(self):
+        with pytest.raises(SynthesisError):
+            domino_map({"y": parse_expression("a & ~a")}, DOMINO)
+
+    def test_domino_faster_than_static_for_same_function(self):
+        from repro.sta import analyze, asic_clock
+
+        text = "(a & b & c & d) | (e & f & g & h)"
+        expr = parse_expression(text)
+        static_mod = map_design({"y": expr}, RICH)
+        domino_mod = domino_map({"y": expr}, DOMINO)
+        clk = asic_clock(10000.0)
+        r_static = analyze(static_mod, RICH, clk)
+        r_domino = analyze(domino_mod, DOMINO, clk)
+        # Normalise out the different FO4s: compare in FO4 of each tech.
+        static_fo4 = r_static.min_period_ps / CMOS250_ASIC.fo4_delay_ps
+        domino_fo4 = r_domino.min_period_ps / CMOS250_CUSTOM.fo4_delay_ps
+        assert static_fo4 / domino_fo4 > 1.5
+
+
+_VARS = ["a", "b", "c"]
+
+
+@st.composite
+def small_expr(draw, depth=0):
+    if depth > 2 or (depth > 0 and draw(st.booleans())):
+        return draw(st.sampled_from(_VARS))
+    kind = draw(st.integers(0, 3))
+    left = draw(small_expr(depth=depth + 1))
+    right = draw(small_expr(depth=depth + 1))
+    if kind == 0:
+        return f"~({left})"
+    op = {1: "&", 2: "|", 3: "^"}[kind]
+    return f"({left} {op} {right})"
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_expr())
+def test_domino_map_random_equivalence(text):
+    expr = parse_expression(text)
+    try:
+        module = domino_map({"y": expr}, DOMINO)
+    except SynthesisError:
+        return  # constant expression
+    for bits in range(8):
+        single = {v: bool((bits >> i) & 1) for i, v in enumerate(_VARS)}
+        vec = dual_rail_stimulus(single)
+        vec = {k: v for k, v in vec.items() if k in module.inputs()}
+        out = simulate_combinational(module, DOMINO, vec)
+        assert out["y"] == expr.evaluate(single)
+
+
+class TestNoise:
+    def test_domino_margin_thinner(self):
+        assert noise_margin_v(2.5, LogicFamily.DOMINO) < noise_margin_v(
+            2.5, LogicFamily.STATIC
+        )
+
+    def test_typical_environment_breaks_domino_not_static(self):
+        env = NoiseEnvironment(coupling_fraction=0.15,
+                               supply_bounce_fraction=0.05)
+        static_mod = map_design({"y": parse_expression("a & b")}, RICH)
+        domino_mod = domino_map({"y": parse_expression("a & b")}, DOMINO)
+        assert audit_noise(static_mod, RICH, env) == []
+        assert audit_noise(domino_mod, DOMINO, env)
+
+    def test_violation_ratio(self):
+        env = NoiseEnvironment(coupling_fraction=0.2)
+        domino_mod = domino_map({"y": parse_expression("a & b")}, DOMINO)
+        violations = audit_noise(domino_mod, DOMINO, env)
+        assert all(v.ratio > 1.0 for v in violations)
+
+    def test_max_safe_coupling_ordering(self):
+        assert max_safe_coupling(LogicFamily.STATIC) > max_safe_coupling(
+            LogicFamily.DOMINO
+        )
+
+    def test_environment_validation(self):
+        from repro.circuit import NoiseError
+
+        with pytest.raises(NoiseError):
+            NoiseEnvironment(coupling_fraction=1.5)

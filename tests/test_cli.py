@@ -1,0 +1,88 @@
+"""Tests for the repro-gap command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        commands = set(sub.choices)
+        assert {
+            "survey", "factors", "flow", "gap", "roadmap", "library",
+            "variation",
+        } <= commands
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_flow_style_validated(self):
+        with pytest.raises(SystemExit):
+            main(["flow", "fpga"])
+
+
+class TestCommands:
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Alpha 21264A" in out
+        assert "gap" in out
+
+    def test_factors(self, capsys):
+        assert main(["factors"]) == 0
+        out = capsys.readouterr().out
+        assert "17.8" in out
+        assert "residual" in out
+
+    def test_roadmap(self, capsys):
+        assert main(["roadmap", "--generations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "asymptote" in out
+        assert "generation" in out
+
+    def test_variation(self, capsys):
+        assert main(["variation", "--count", "2000", "--process",
+                     "mature"]) == 0
+        out = capsys.readouterr().out
+        assert "flagship" in out
+        assert "quote" in out
+
+    def test_library_summary_and_export(self, tmp_path, capsys):
+        target = tmp_path / "out.lib"
+        assert main(["library", "--kind", "poor", "--liberty",
+                     str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "asic_poor" in out
+        assert target.exists()
+        from repro.cells import from_liberty
+
+        library = from_liberty(target.read_text())
+        assert library.drive_count("NAND2") == 2
+
+    def test_flow_asic(self, capsys):
+        assert main([
+            "flow", "asic", "--bits", "4", "--sizing-moves", "5",
+            "--workload", "adder_ripple",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "asic" in out
+        assert "MHz" in out
+
+    def test_flow_custom(self, capsys):
+        assert main([
+            "flow", "custom", "--bits", "4", "--sizing-moves", "5",
+            "--workload", "adder_kogge_stone", "--stages", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "custom" in out
+
+    def test_gap(self, capsys):
+        assert main(["gap", "--bits", "4", "--sizing-moves", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "total quoted-frequency ratio" in out

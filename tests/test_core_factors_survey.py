@@ -1,0 +1,175 @@
+"""Unit tests for the core factor model, cycle-time model and survey."""
+
+import pytest
+
+from repro.core import (
+    ALPHA_21264A_ENTRY,
+    ALPHA_CYCLE,
+    CycleTimeError,
+    CycleTimeModel,
+    DesignStyle,
+    Factor,
+    FactorError,
+    FactorModel,
+    IBM_POWERPC_ENTRY,
+    PAPER_FACTORS,
+    POWERPC_CYCLE,
+    SURVEY,
+    TYPICAL_ASIC_CYCLE,
+    XTENSA_CYCLE,
+    XTENSA_ENTRY,
+    fastest,
+    gap_summary,
+    headline_gap,
+    measured_model,
+)
+from repro.tech import CMOS250_ASIC, CMOS250_CUSTOM
+
+
+class TestFactorModel:
+    def test_paper_product_is_about_18(self):
+        # Section 3: "custom circuits could run 18x faster".
+        model = FactorModel()
+        assert model.total_product() == pytest.approx(17.8, abs=0.05)
+
+    def test_factor_values_match_paper(self):
+        model = FactorModel()
+        assert model.get("microarchitecture").max_contribution == 4.00
+        assert model.get("floorplanning").max_contribution == 1.25
+        assert model.get("sizing").max_contribution == 1.25
+        assert model.get("dynamic_logic").max_contribution == 1.50
+        assert model.get("process_variation").max_contribution == 1.90
+
+    def test_section9_residuals(self):
+        model = FactorModel()
+        # Pipelining + variation leave "about 2 to 3x".
+        residual = model.residual_after(
+            ["microarchitecture", "process_variation"]
+        )
+        assert 2.0 < residual < 3.0
+        # Adding dynamic logic leaves "about 1.6x".
+        residual = model.residual_after(
+            ["microarchitecture", "process_variation", "dynamic_logic"]
+        )
+        assert residual == pytest.approx(1.56, abs=0.05)
+
+    def test_gap_equivalent_to_seven_generations_max(self):
+        # The 18x maximum is ~7 generations; the observed 6-8x is ~5
+        # (Section 2).
+        model = FactorModel()
+        assert 6.5 < model.gap_in_generations() < 7.5
+
+    def test_ranked_order(self):
+        ranked = FactorModel().ranked()
+        assert ranked[0].name == "microarchitecture"
+        assert ranked[1].name == "process_variation"
+
+    def test_explained_fraction(self):
+        model = FactorModel()
+        top_two = model.explained_fraction(
+            ["microarchitecture", "process_variation"]
+        )
+        assert 0.6 < top_two < 0.8
+        assert model.explained_fraction(
+            [f.name for f in PAPER_FACTORS]
+        ) == pytest.approx(1.0)
+
+    def test_table_lists_product(self):
+        text = FactorModel().table()
+        assert "product" in text
+        assert "17.8" in text
+
+    def test_measured_model(self):
+        model = measured_model({"microarchitecture": 3.0, "sizing": 1.1})
+        assert model.total_product() == pytest.approx(3.3)
+        assert model.get("microarchitecture").section == "4"
+
+    def test_validation(self):
+        with pytest.raises(FactorError):
+            Factor("bad", 0.5, "", "-")
+        with pytest.raises(FactorError):
+            FactorModel([])
+        with pytest.raises(FactorError):
+            FactorModel().get("nonexistent")
+
+
+class TestCycleTimeModel:
+    def test_alpha_is_15_fo4(self):
+        assert ALPHA_CYCLE.cycle_fo4 == pytest.approx(15.0, abs=0.2)
+
+    def test_powerpc_is_13_fo4(self):
+        assert POWERPC_CYCLE.cycle_fo4 == pytest.approx(13.0, abs=0.2)
+
+    def test_xtensa_is_44_fo4(self):
+        assert XTENSA_CYCLE.cycle_fo4 == pytest.approx(44.0, abs=0.5)
+
+    def test_alpha_latch_share_matches_paper(self):
+        # Section 4.1: latches take 15% of the Alpha cycle.
+        share = ALPHA_CYCLE.latch_fo4 / ALPHA_CYCLE.cycle_fo4
+        assert 0.13 < share < 0.17
+
+    def test_frequencies(self):
+        # The Alpha's 750 MHz at 15 FO4 implies an FO4 of ~89 ps, i.e.
+        # Leff ~ 0.178 um by the paper's rule -- its process file sits
+        # between our ASIC and PowerPC-class technologies.
+        alpha_tech = CMOS250_CUSTOM.scaled(leff_um=0.178)
+        assert ALPHA_CYCLE.frequency_mhz(alpha_tech) == pytest.approx(
+            750.0, rel=0.05
+        )
+        assert POWERPC_CYCLE.frequency_mhz(CMOS250_CUSTOM) == pytest.approx(
+            1000.0, rel=0.05
+        )
+        assert XTENSA_CYCLE.frequency_mhz(CMOS250_ASIC) == pytest.approx(
+            250.0, rel=0.05
+        )
+
+    def test_asic_overhead_larger(self):
+        assert (
+            XTENSA_CYCLE.overhead_fraction > POWERPC_CYCLE.overhead_fraction
+        )
+
+    def test_speedup_over(self):
+        assert TYPICAL_ASIC_CYCLE.speedup_over(ALPHA_CYCLE) < 1.0
+        assert ALPHA_CYCLE.speedup_over(TYPICAL_ASIC_CYCLE) > 4.0
+
+    def test_with_logic(self):
+        halved = XTENSA_CYCLE.with_logic(XTENSA_CYCLE.logic_fo4 / 2)
+        assert halved.cycle_fo4 < XTENSA_CYCLE.cycle_fo4
+        assert halved.latch_fo4 == XTENSA_CYCLE.latch_fo4
+
+    def test_validation(self):
+        with pytest.raises(CycleTimeError):
+            CycleTimeModel(logic_fo4=0.0)
+        with pytest.raises(CycleTimeError):
+            CycleTimeModel(logic_fo4=10.0, skew_fraction=1.0)
+
+
+class TestSurvey:
+    def test_headline_gap_is_6_to_8(self):
+        low, high = headline_gap()
+        assert low == pytest.approx(6.7, abs=0.1)
+        assert high == pytest.approx(8.3, abs=0.1)
+
+    def test_fastest_by_style(self):
+        assert fastest(DesignStyle.CUSTOM) is IBM_POWERPC_ENTRY
+        assert fastest(DesignStyle.ASIC) is XTENSA_ENTRY
+
+    def test_survey_datapoints(self):
+        assert ALPHA_21264A_ENTRY.frequency_mhz == 750.0
+        assert ALPHA_21264A_ENTRY.power_w == 90.0
+        assert ALPHA_21264A_ENTRY.area_mm2 == 225.0  # 2.25 cm^2
+        assert IBM_POWERPC_ENTRY.area_mm2 == pytest.approx(9.8)
+        assert XTENSA_ENTRY.pipeline_stages == 5
+
+    def test_implied_fo4_consistent(self):
+        # The FO4 rule and the quoted frequencies must roughly agree with
+        # the quoted FO4 depths (within ~20%).
+        for entry in (IBM_POWERPC_ENTRY, XTENSA_ENTRY):
+            implied = entry.implied_fo4_depth()
+            assert abs(implied - entry.fo4_depth) / entry.fo4_depth < 0.20
+
+    def test_summary_text(self):
+        text = gap_summary()
+        assert "Alpha" in text
+        assert "gap" in text
+        assert len(SURVEY) == 5

@@ -1,0 +1,68 @@
+"""Tests for the factor-sensitivity analysis (Section 9's judgements)."""
+
+import math
+
+import pytest
+
+from repro.core import FactorModel, FactorError, measured_model
+from repro.core.sensitivity import (
+    overstatement_test,
+    sensitivity_analysis,
+    tornado_table,
+)
+
+
+class TestSensitivity:
+    def test_pipelining_dominates(self):
+        rows = sensitivity_analysis()
+        assert rows[0].name == "microarchitecture"
+        assert rows[1].name == "process_variation"
+
+    def test_shares_sum_to_one(self):
+        rows = sensitivity_analysis()
+        assert sum(r.log_share for r in rows) == pytest.approx(1.0)
+
+    def test_halved_between_removed_and_total(self):
+        model = FactorModel()
+        total = model.total_product()
+        for row in sensitivity_analysis(model):
+            assert row.total_if_removed < row.total_if_halved < total
+
+    def test_minor_factors_are_minor(self):
+        # Section 9: floorplanning and circuit design "probably
+        # overstated" -- together they carry well under a quarter of the
+        # log gap.
+        share = overstatement_test()
+        assert share < 0.25
+        # Removing both entirely still leaves a >11x story.
+        model = FactorModel()
+        residual = model.residual_after(["floorplanning", "sizing"])
+        assert residual > 11.0
+
+    def test_major_factors_are_major(self):
+        share = overstatement_test(
+            minor_factors=("microarchitecture", "process_variation")
+        )
+        assert share > 0.6
+
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(FactorError):
+            overstatement_test(minor_factors=("wizardry",))
+
+    def test_tornado_table(self):
+        text = tornado_table()
+        assert "microarchitecture" in text
+        assert "#" in text
+
+    def test_measured_model_supported(self):
+        model = measured_model(
+            {"microarchitecture": 3.5, "process_variation": 1.8}
+        )
+        rows = sensitivity_analysis(model)
+        assert len(rows) == 2
+        assert rows[0].name == "microarchitecture"
+
+    def test_degenerate_model_rejected(self):
+        flat = measured_model({"microarchitecture": 1.0})
+        with pytest.raises(FactorError):
+            sensitivity_analysis(flat)

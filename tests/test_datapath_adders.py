@@ -1,0 +1,116 @@
+"""Unit and property tests for repro.datapath.adders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import poor_asic_library, rich_asic_library
+from repro.datapath import (
+    carry_lookahead_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+    simulate_adder,
+)
+from repro.netlist import logic_depth
+from repro.synth import SynthesisError
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+POOR = poor_asic_library(CMOS250_ASIC)
+
+GENERATORS = {
+    "ripple": ripple_carry_adder,
+    "cla": carry_lookahead_adder,
+    "csel": carry_select_adder,
+    "ks": kogge_stone_adder,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+@pytest.mark.parametrize("bits", [1, 2, 4, 5, 8])
+def test_adders_exhaustive_small(kind, bits):
+    if kind in ("cla", "csel", "ks") and bits == 1:
+        if kind == "ks":
+            pass  # kogge-stone degenerates fine at 1 bit
+    module = GENERATORS[kind](bits, RICH)
+    module.assert_well_formed()
+    limit = 1 << bits
+    step = max(1, limit // 8)
+    for a in range(0, limit, step):
+        for b in range(0, limit, step):
+            for cin in (0, 1):
+                total, cout = simulate_adder(module, RICH, bits, a, b, cin)
+                expected = a + b + cin
+                assert total == expected % limit, (kind, bits, a, b, cin)
+                assert cout == expected // limit, (kind, bits, a, b, cin)
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_adders_on_poor_library(kind):
+    module = GENERATORS[kind](4, POOR)
+    module.assert_well_formed()
+    total, cout = simulate_adder(module, POOR, 4, 11, 7, 1)
+    assert (total, cout) == ((11 + 7 + 1) % 16, (11 + 7 + 1) // 16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(0, 255),
+    b=st.integers(0, 255),
+    cin=st.integers(0, 1),
+)
+def test_kogge_stone_8bit_random(a, b, cin):
+    module = _KS8
+    total, cout = simulate_adder(module, RICH, 8, a, b, cin)
+    expected = a + b + cin
+    assert total == expected % 256
+    assert cout == expected // 256
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(0, 255),
+    b=st.integers(0, 255),
+    cin=st.integers(0, 1),
+)
+def test_cla_8bit_random(a, b, cin):
+    total, cout = simulate_adder(_CLA8, RICH, 8, a, b, cin)
+    expected = a + b + cin
+    assert total == expected % 256
+    assert cout == expected // 256
+
+
+_KS8 = kogge_stone_adder(8, RICH)
+_CLA8 = carry_lookahead_adder(8, RICH)
+
+
+class TestDepth:
+    def test_fast_adders_shallower_than_ripple(self):
+        bits = 16
+        ripple = ripple_carry_adder(bits, RICH)
+        ks = kogge_stone_adder(bits, RICH)
+        cla = carry_lookahead_adder(bits, RICH)
+        csel = carry_select_adder(bits, RICH)
+        d_ripple = logic_depth(ripple)
+        assert logic_depth(ks) < d_ripple
+        assert logic_depth(cla) < d_ripple
+        assert logic_depth(csel) < d_ripple
+
+    def test_ripple_depth_linear(self):
+        d8 = logic_depth(ripple_carry_adder(8, RICH))
+        d16 = logic_depth(ripple_carry_adder(16, RICH))
+        assert d16 > d8 + 4  # roughly 2 gates per bit
+
+    def test_kogge_stone_depth_logarithmic(self):
+        d8 = logic_depth(kogge_stone_adder(8, RICH))
+        d32 = logic_depth(kogge_stone_adder(32, RICH))
+        assert d32 <= d8 + 5  # two extra prefix levels plus margin
+
+    def test_invalid_width(self):
+        with pytest.raises(SynthesisError):
+            ripple_carry_adder(0, RICH)
+
+    def test_operand_range_check(self):
+        module = ripple_carry_adder(4, RICH)
+        with pytest.raises(SynthesisError):
+            simulate_adder(module, RICH, 4, 16, 0)

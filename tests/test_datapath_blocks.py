@@ -1,0 +1,145 @@
+"""Unit tests for shifter, multipliers, comparators and ALU generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import rich_asic_library
+from repro.datapath import (
+    alu,
+    array_multiplier,
+    barrel_shifter,
+    equality_comparator,
+    magnitude_comparator,
+    parity_tree,
+    simulate_alu,
+    simulate_comparator,
+    simulate_multiplier,
+    simulate_shifter,
+    wallace_multiplier,
+)
+from repro.netlist import logic_depth
+from repro.synth import expand_macro, get_macro, list_macros, simulate_combinational
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+
+
+class TestShifter:
+    def test_exhaustive_8bit(self):
+        module = barrel_shifter(8, RICH)
+        module.assert_well_formed()
+        for value in (0, 1, 0x5A, 0xFF):
+            for shift in range(8):
+                got = simulate_shifter(module, RICH, 8, value, shift)
+                assert got == (value << shift) & 0xFF, (value, shift)
+
+    def test_non_power_of_two_width(self):
+        module = barrel_shifter(6, RICH)
+        for shift in range(6):
+            got = simulate_shifter(module, RICH, 6, 0b101011, shift)
+            assert got == (0b101011 << shift) & 0b111111
+
+    def test_depth_logarithmic(self):
+        d8 = logic_depth(barrel_shifter(8, RICH))
+        d32 = logic_depth(barrel_shifter(32, RICH))
+        assert d32 <= d8 + 3
+
+
+class TestMultipliers:
+    @pytest.mark.parametrize("gen", [array_multiplier, wallace_multiplier])
+    def test_exhaustive_4bit(self, gen):
+        module = gen(4, RICH)
+        module.assert_well_formed()
+        for a in range(16):
+            for b in range(16):
+                assert simulate_multiplier(module, RICH, 4, a, b) == a * b
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 63), b=st.integers(0, 63))
+    def test_wallace_6bit_random(self, a, b):
+        assert simulate_multiplier(_WM6, RICH, 6, a, b) == a * b
+
+    def test_wallace_shallower_than_array(self):
+        array = array_multiplier(8, RICH)
+        wallace = wallace_multiplier(8, RICH)
+        assert logic_depth(wallace) < logic_depth(array)
+
+
+_WM6 = wallace_multiplier(6, RICH)
+
+
+class TestComparators:
+    def test_equality(self):
+        module = equality_comparator(6, RICH)
+        assert simulate_comparator(module, RICH, 6, 37, 37, "eq") is True
+        assert simulate_comparator(module, RICH, 6, 37, 36, "eq") is False
+
+    def test_magnitude_exhaustive_4bit(self):
+        module = magnitude_comparator(4, RICH)
+        for a in range(16):
+            for b in range(16):
+                assert simulate_comparator(module, RICH, 4, a, b, "gt") == (a > b)
+
+    def test_parity(self):
+        module = parity_tree(8, RICH)
+        for value in (0, 1, 3, 0xFF, 0xA5):
+            vec = {f"d{i}": bool((value >> i) & 1) for i in range(8)}
+            out = simulate_combinational(module, RICH, vec)
+            assert out["p"] == (bin(value).count("1") % 2 == 1)
+
+
+class TestAlu:
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_operations_4bit(self, fast):
+        module = alu(4, RICH, fast_adder=fast)
+        module.assert_well_formed()
+        for a in range(0, 16, 3):
+            for b in range(0, 16, 5):
+                r, cout, zero = simulate_alu(module, RICH, 4, a, b, op=0)
+                assert r == (a + b) % 16
+                assert cout == (a + b) // 16
+                r, _, _ = simulate_alu(module, RICH, 4, a, b, op=0, sub=1)
+                assert r == (a - b) % 16
+                r, _, _ = simulate_alu(module, RICH, 4, a, b, op=1)
+                assert r == (a & b)
+                r, _, _ = simulate_alu(module, RICH, 4, a, b, op=2)
+                assert r == (a | b)
+                r, _, zero = simulate_alu(module, RICH, 4, a, b, op=3)
+                assert r == (a ^ b)
+                assert zero == (r == 0)
+
+    def test_fast_adder_cuts_depth(self):
+        slow = alu(16, RICH, fast_adder=False)
+        fast = alu(16, RICH, fast_adder=True)
+        assert logic_depth(fast) < logic_depth(slow)
+
+
+class TestMacroRegistry:
+    def test_all_macros_registered(self):
+        names = {spec.name for spec in list_macros()}
+        assert {
+            "adder_ripple", "adder_cla", "adder_carry_select",
+            "adder_kogge_stone", "barrel_shifter", "multiplier_array",
+            "multiplier_wallace", "comparator_eq", "comparator_gt",
+            "parity_tree", "alu",
+        } <= names
+
+    def test_expand_macro(self):
+        module = expand_macro("adder_kogge_stone", 8, RICH)
+        module.assert_well_formed()
+        from repro.datapath import simulate_adder
+
+        assert simulate_adder(module, RICH, 8, 200, 55, 1) == (0, 1)
+
+    def test_category_filter(self):
+        adders = {m.name for m in list_macros(category="adder")}
+        assert {
+            "adder_ripple", "adder_cla", "adder_carry_select",
+            "adder_kogge_stone", "incrementer",
+        } == adders
+
+    def test_unknown_macro(self):
+        from repro.synth import SynthesisError
+
+        with pytest.raises(SynthesisError, match="registered"):
+            get_macro("nonexistent_macro")

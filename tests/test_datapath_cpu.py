@@ -1,0 +1,99 @@
+"""Tests for the CPU execute-stage generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import rich_asic_library
+from repro.datapath.cpu import (
+    cpu_execute_stage,
+    reference_execute,
+    simulate_execute_stage,
+)
+from repro.netlist import logic_depth
+from repro.synth import SynthesisError
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+BITS = 6
+_STAGE = cpu_execute_stage(BITS, RICH)
+
+
+class TestExecuteStage:
+    def test_well_formed(self):
+        _STAGE.assert_well_formed()
+        assert len(_STAGE.outputs()) == 2 * BITS + 3
+
+    @pytest.mark.parametrize("op,sub", [(0, 0), (0, 1), (1, 0), (2, 0),
+                                        (3, 0)])
+    def test_alu_ops(self, op, sub):
+        for ra, rb in ((5, 9), (63, 1), (0, 0), (21, 42)):
+            got = simulate_execute_stage(
+                _STAGE, RICH, BITS, ra, rb, op=op, sub=sub
+            )
+            want = reference_execute(
+                BITS, ra, rb, 0, False, False, op, sub, 0, False, 0, False
+            )
+            assert got == want, (ra, rb, op, sub)
+
+    def test_bypass_network(self):
+        got = simulate_execute_stage(
+            _STAGE, RICH, BITS, ra=1, rb=2, fwd=30, bypa=True, op=0
+        )
+        assert got["res"] == (30 + 2) % (1 << BITS)
+        got = simulate_execute_stage(
+            _STAGE, RICH, BITS, ra=1, rb=2, fwd=30, bypb=True, op=0
+        )
+        assert got["res"] == (1 + 30) % (1 << BITS)
+
+    def test_shifted_operand(self):
+        got = simulate_execute_stage(
+            _STAGE, RICH, BITS, ra=0, rb=3, shift=2, use_shift=True, op=2
+        )
+        assert got["res"] == (3 << 2) & ((1 << BITS) - 1)
+
+    def test_branch_resolution(self):
+        taken = simulate_execute_stage(
+            _STAGE, RICH, BITS, ra=7, rb=7, op=0, sub=1, is_branch=True
+        )
+        assert taken["zero"] and taken["taken"]
+        not_taken = simulate_execute_stage(
+            _STAGE, RICH, BITS, ra=7, rb=6, op=0, sub=1, is_branch=True
+        )
+        assert not not_taken["taken"]
+
+    def test_next_pc(self):
+        for pc in (0, 13, (1 << BITS) - 1):
+            got = simulate_execute_stage(_STAGE, RICH, BITS, 0, 0, pc=pc)
+            assert got["npc"] == (pc + 1) % (1 << BITS)
+
+    def test_fast_adder_shallower(self):
+        slow = cpu_execute_stage(8, RICH, fast_adder=False)
+        fast = cpu_execute_stage(8, RICH, fast_adder=True)
+        assert logic_depth(fast) < logic_depth(slow)
+
+    def test_width_validation(self):
+        with pytest.raises(SynthesisError):
+            cpu_execute_stage(2, RICH)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ra=st.integers(0, 63), rb=st.integers(0, 63), fwd=st.integers(0, 63),
+    bypa=st.booleans(), bypb=st.booleans(),
+    op=st.integers(0, 3), sub=st.integers(0, 1),
+    shift=st.integers(0, 7), use_shift=st.booleans(),
+    pc=st.integers(0, 63), is_branch=st.booleans(),
+)
+def test_execute_stage_matches_reference(
+    ra, rb, fwd, bypa, bypb, op, sub, shift, use_shift, pc, is_branch
+):
+    got = simulate_execute_stage(
+        _STAGE, RICH, BITS, ra, rb, fwd=fwd, bypa=bypa, bypb=bypb,
+        op=op, sub=sub, shift=shift, use_shift=use_shift, pc=pc,
+        is_branch=is_branch,
+    )
+    want = reference_execute(
+        BITS, ra, rb, fwd, bypa, bypb, op, sub, shift, use_shift, pc,
+        is_branch,
+    )
+    assert got == want

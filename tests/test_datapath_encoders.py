@@ -1,0 +1,114 @@
+"""Tests for the encoder-family datapath generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import poor_asic_library, rich_asic_library
+from repro.datapath import (
+    incrementer,
+    leading_zero_counter,
+    priority_encoder,
+    simulate_encoder,
+    simulate_incrementer,
+    simulate_lzc,
+)
+from repro.synth import SynthesisError, list_macros
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+POOR = poor_asic_library(CMOS250_ASIC)
+
+
+def reference_priority(bits, value):
+    for i in range(bits):
+        if (value >> i) & 1:
+            return i, True
+    return 0, False
+
+
+def reference_lzc(bits, value):
+    count = 0
+    for i in range(bits - 1, -1, -1):
+        if (value >> i) & 1:
+            break
+        count += 1
+    return count
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("bits", [2, 4, 5, 8])
+    def test_exhaustive(self, bits):
+        module = priority_encoder(bits, RICH)
+        module.assert_well_formed()
+        for value in range(1 << bits):
+            index, valid = simulate_encoder(module, RICH, bits, value)
+            ref_index, ref_valid = reference_priority(bits, value)
+            assert valid == ref_valid, value
+            if valid:
+                assert index == ref_index, value
+
+    def test_poor_library(self):
+        module = priority_encoder(4, POOR)
+        index, valid = simulate_encoder(module, POOR, 4, 0b1100)
+        assert (index, valid) == (2, True)
+
+    def test_width_validation(self):
+        with pytest.raises(SynthesisError):
+            priority_encoder(1, RICH)
+
+
+class TestLeadingZeroCounter:
+    @pytest.mark.parametrize("bits", [2, 4, 7, 8])
+    def test_exhaustive(self, bits):
+        module = leading_zero_counter(bits, RICH)
+        module.assert_well_formed()
+        for value in range(1 << bits):
+            assert simulate_lzc(module, RICH, bits, value) == reference_lzc(
+                bits, value
+            ), value
+
+    def test_all_zero_gives_width(self):
+        module = leading_zero_counter(8, RICH)
+        assert simulate_lzc(module, RICH, 8, 0) == 8
+
+
+class TestIncrementer:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_exhaustive(self, bits):
+        module = incrementer(bits, RICH)
+        module.assert_well_formed()
+        for value in range(1 << bits):
+            q, cout = simulate_incrementer(module, RICH, bits, value)
+            expected = value + 1
+            assert q == expected % (1 << bits), value
+            assert cout == expected >> bits, value
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(0, (1 << 12) - 1))
+    def test_random_12bit(self, value):
+        q, cout = simulate_incrementer(_INC12, RICH, 12, value)
+        expected = value + 1
+        assert q == expected % (1 << 12)
+        assert cout == expected >> 12
+
+    def test_logarithmic_depth(self):
+        from repro.netlist import logic_depth
+
+        d8 = logic_depth(incrementer(8, RICH))
+        d32 = logic_depth(incrementer(32, RICH))
+        assert d32 <= d8 + 3
+
+
+_INC12 = incrementer(12, RICH)
+
+
+class TestRegistry:
+    def test_new_macros_registered(self):
+        names = {spec.name for spec in list_macros()}
+        assert {
+            "priority_encoder", "leading_zero_counter", "incrementer"
+        } <= names
+
+    def test_encoder_category(self):
+        encoders = list_macros(category="encoder")
+        assert len(encoders) == 2

@@ -1,0 +1,163 @@
+"""Tests for joint gate+wire sizing, down-binning, and the gap roadmap."""
+
+import pytest
+
+from repro.core import (
+    FactorError,
+    asymptotic_gap,
+    project_gap,
+    roadmap_table,
+)
+from repro.sizing import (
+    SizingError,
+    joint_size,
+    path_delay_ps,
+    sequential_size,
+)
+from repro.tech import CMOS250_ASIC
+from repro.variation import (
+    NEW_PROCESS,
+    VariationError,
+    overclocking_headroom,
+    sample_chip_speeds,
+    ship_against_demand,
+)
+
+
+class TestJointSizing:
+    def test_joint_beats_sequential(self):
+        # The point of reference [6]: co-optimisation wins.
+        for length in (2000.0, 5000.0, 10000.0):
+            joint = joint_size(CMOS250_ASIC, length, 20.0)
+            seq = sequential_size(CMOS250_ASIC, length, 20.0)
+            assert joint.delay_ps <= seq.delay_ps + 1e-9, length
+
+    def test_longer_wires_get_wider(self):
+        short = joint_size(CMOS250_ASIC, 500.0, 10.0)
+        long = joint_size(CMOS250_ASIC, 10000.0, 10.0)
+        assert long.wire_width_um >= short.wire_width_um
+        assert long.gate_size > short.gate_size
+
+    def test_area_weight_trades_speed_for_area(self):
+        cheap = joint_size(CMOS250_ASIC, 5000.0, 20.0, area_weight=5.0)
+        fast = joint_size(CMOS250_ASIC, 5000.0, 20.0, area_weight=0.05)
+        assert fast.delay_ps < cheap.delay_ps
+        assert fast.area_cost > cheap.area_cost
+
+    def test_convergence(self):
+        result = joint_size(CMOS250_ASIC, 5000.0, 20.0)
+        assert result.iterations <= 25
+        # Perturbing either coordinate must not improve the delay+area
+        # objective (local optimality of the fixed point).
+        lam = 0.5
+        base = result.delay_ps + lam * (
+            result.gate_size
+            + (result.wire_width_um - CMOS250_ASIC.interconnect.min_width_um)
+            * 5000.0 / 1000.0
+        )
+        for bump in (0.9, 1.1):
+            perturbed = path_delay_ps(
+                CMOS250_ASIC, result.gate_size * bump,
+                result.wire_width_um, 5000.0, 20.0,
+            ) + lam * (
+                result.gate_size * bump
+                + (result.wire_width_um
+                   - CMOS250_ASIC.interconnect.min_width_um) * 5.0
+            )
+            assert perturbed >= base - 0.5
+
+    def test_validation(self):
+        with pytest.raises(SizingError):
+            joint_size(CMOS250_ASIC, -1.0, 20.0)
+        with pytest.raises(SizingError):
+            joint_size(CMOS250_ASIC, 100.0, 20.0, area_weight=0.0)
+        with pytest.raises(SizingError):
+            path_delay_ps(CMOS250_ASIC, 0.0, 0.32, 100.0, 1.0)
+
+
+class TestOverclocking:
+    @pytest.fixture(scope="class")
+    def dist(self):
+        return sample_chip_speeds(400.0, NEW_PROCESS, count=10000, seed=9)
+
+    def test_down_binning_under_slow_demand(self, dist):
+        edges = [dist.percentile(5), dist.percentile(40), dist.percentile(80)]
+        outcome = ship_against_demand(dist, edges, [0.6, 0.25, 0.1])
+        # Heavy demand for the slow grade forces fast dies downward.
+        assert outcome.down_binned_fraction > 0.05
+        assert outcome.mean_headroom > 1.0
+        assert outcome.p90_headroom > outcome.mean_headroom
+
+    def test_natural_demand_no_down_binning(self, dist):
+        edges = [dist.percentile(5), dist.percentile(40), dist.percentile(80)]
+        # Demand matching natural supply: ~35% / 40% / 20%.
+        outcome = ship_against_demand(dist, edges, [0.34, 0.39, 0.19])
+        assert outcome.down_binned_fraction < 0.06
+
+    def test_part_accounting(self, dist):
+        edges = [dist.percentile(10), dist.percentile(60)]
+        outcome = ship_against_demand(dist, edges, [0.5, 0.3])
+        total = sum(outcome.parts_per_bin.values())
+        sellable = int(
+            (dist.frequencies_mhz >= edges[0]).sum()
+        )
+        assert total == sellable
+
+    def test_overclocking_headroom(self, dist):
+        # Everything sold at a conservative grade: median die has margin.
+        headroom = overclocking_headroom(dist, dist.percentile(5))
+        assert 1.05 < headroom < 1.5
+
+    def test_validation(self, dist):
+        with pytest.raises(VariationError):
+            ship_against_demand(dist, [], [])
+        with pytest.raises(VariationError):
+            ship_against_demand(dist, [300.0], [0.5, 0.5])
+        with pytest.raises(VariationError):
+            ship_against_demand(dist, [300.0, 200.0], [0.5, 0.4])
+        with pytest.raises(VariationError):
+            overclocking_headroom(dist, -1.0)
+        with pytest.raises(VariationError):
+            overclocking_headroom(dist, 10 * dist.percentile(99.9))
+
+
+class TestRoadmap:
+    def test_gap_shrinks_but_persists(self):
+        points = project_gap(generations=4, initial_gap=8.0)
+        gaps = [p.gap for p in points]
+        assert gaps == sorted(gaps, reverse=True)
+        # Section 9 pessimism: still a large gap after four generations.
+        assert gaps[-1] > 3.0
+        assert gaps[-1] < gaps[0]
+
+    def test_asymptote_is_custom_only_share(self):
+        # Pipelining + dynamic logic survive perfect tools.
+        asymptote = asymptotic_gap(8.0)
+        assert 3.0 < asymptote < 5.0
+        deep_points = project_gap(
+            generations=30, initial_gap=8.0,
+            tool_recovery_per_generation=0.9,
+            partial_recovery_per_generation=0.9,
+        )
+        assert deep_points[-1].gap == pytest.approx(asymptote, rel=0.02)
+
+    def test_recovered_factor_accumulates(self):
+        points = project_gap(generations=3)
+        recovered = [p.recovered for p in points]
+        assert recovered == sorted(recovered)
+        # Consistency: gap x recovered == initial gap (log bookkeeping).
+        for point in points:
+            assert point.gap * point.recovered == pytest.approx(
+                points[0].gap, rel=1e-6
+            )
+
+    def test_table_renders(self):
+        text = roadmap_table(project_gap(2))
+        assert "generation" in text
+        assert "1.00x" in text
+
+    def test_validation(self):
+        with pytest.raises(FactorError):
+            project_gap(initial_gap=0.9)
+        with pytest.raises(FactorError):
+            project_gap(tool_recovery_per_generation=1.5)

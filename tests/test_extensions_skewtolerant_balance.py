@@ -1,0 +1,136 @@
+"""Tests for the extension modules: skew-tolerant domino and delay-balanced
+pipelining (the paper's Sections 7/4.1 'what can we do' directions)."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.circuit import FamilyError
+from repro.circuit.skewtolerant import (
+    SkewTolerantClocking,
+    conventional_cycle_fo4,
+    skew_tolerance_speedup,
+)
+from repro.datapath import alu, ripple_carry_adder, simulate_adder
+from repro.pipeline import PipelineError, pipeline_module
+from repro.pipeline.balance import (
+    balanced_stage_assignment,
+    estimate_gate_delays,
+    pipeline_module_balanced,
+)
+from repro.sta import asic_clock, solve_min_period
+from repro.synth import simulate_sequential
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+CLK = asic_clock(20000.0)
+
+
+class TestSkewTolerantDomino:
+    def test_absorbs_skew_and_latch(self):
+        # 10 FO4 logic, 3 FO4 flop, 10% skew: conventional = 14.4 FO4;
+        # skew-tolerant domino ~ 10.1 FO4.
+        conventional = conventional_cycle_fo4(10.0, 0.10, 3.0)
+        plan = SkewTolerantClocking()
+        tolerant = plan.cycle_fo4(10.0, 0.10)
+        assert conventional == pytest.approx(14.44, abs=0.05)
+        assert tolerant < 10.5
+        assert tolerant >= 10.0
+
+    def test_speedup_magnitude(self):
+        # Removing ~30% overhead buys ~1.4x -- part of how custom domino
+        # pipelines reached 13-15 FO4.
+        speedup = skew_tolerance_speedup(10.0)
+        assert 1.25 < speedup < 1.55
+
+    def test_partial_absorption(self):
+        # With huge skew only part is absorbed.
+        plan = SkewTolerantClocking(phases=4, overlap_fraction=0.4,
+                                    hold_guard_fraction=0.1)
+        budget = plan.skew_budget_fraction()
+        cycle = plan.cycle_fo4(10.0, skew_fraction=budget + 0.05)
+        assert cycle == pytest.approx(10.0 / (1.0 - 0.05), rel=1e-6)
+
+    def test_more_phases_less_budget_each(self):
+        few = SkewTolerantClocking(phases=2)
+        many = SkewTolerantClocking(phases=8)
+        assert few.skew_budget_fraction() > many.skew_budget_fraction()
+
+    def test_validation(self):
+        with pytest.raises(FamilyError):
+            SkewTolerantClocking(phases=1)
+        with pytest.raises(FamilyError):
+            SkewTolerantClocking(overlap_fraction=0.0)
+        with pytest.raises(FamilyError):
+            SkewTolerantClocking(hold_guard_fraction=0.9)
+        with pytest.raises(FamilyError):
+            conventional_cycle_fo4(-1.0, 0.1, 3.0)
+        plan = SkewTolerantClocking()
+        with pytest.raises(FamilyError):
+            plan.cycle_fo4(10.0, skew_fraction=1.0)
+
+
+class TestBalancedPipelining:
+    def test_gate_delay_estimates_positive(self):
+        module = ripple_carry_adder(8, RICH)
+        delays = estimate_gate_delays(module, RICH)
+        assert set(delays) == set(module.instances)
+        assert all(d > 0 for d in delays.values())
+
+    def test_assignment_monotone_along_edges(self):
+        module = ripple_carry_adder(8, RICH)
+        report = balanced_stage_assignment(module, RICH, 4)
+        from repro.netlist import instance_graph
+
+        graph = instance_graph(module)
+        for u, v in graph.edges:
+            assert report.stage_of[v] >= report.stage_of[u]
+        assert report.stages == 4
+        assert len(report.stage_delays_ps) == 4
+
+    def test_balanced_beats_unit_level_on_uneven_logic(self):
+        # The ALU has uneven per-level delay (XOR-heavy adder vs cheap
+        # mux levels): delay balancing should not be worse than unit
+        # bucketing, and usually wins.
+        comb_a = alu(8, RICH, fast_adder=False)
+        comb_b = alu(8, RICH, fast_adder=False)
+        unit = pipeline_module(comb_a, RICH, stages=4)
+        balanced = pipeline_module_balanced(comb_b, RICH, stages=4)
+        p_unit = solve_min_period(unit.module, RICH, CLK).min_period_ps
+        p_bal = solve_min_period(balanced.module, RICH, CLK).min_period_ps
+        assert p_bal <= p_unit * 1.05  # never meaningfully worse
+        assert balanced.stages == 4
+
+    def test_balanced_pipeline_functionally_correct(self):
+        bits = 4
+        adder = ripple_carry_adder(bits, RICH)
+        report = pipeline_module_balanced(adder, RICH, stages=3)
+        piped = report.module
+        cases = [(5, 9, 0), (15, 15, 1), (0, 7, 1)]
+        stream = []
+        for a, b, cin in cases:
+            vec = {f"a{i}": bool((a >> i) & 1) for i in range(bits)}
+            vec.update({f"b{i}": bool((b >> i) & 1) for i in range(bits)})
+            vec["cin"] = bool(cin)
+            stream.append(vec)
+        idle = {k: False for k in stream[0]}
+        stream += [idle] * report.latency_cycles
+        trace = simulate_sequential(piped, RICH, stream)
+        for idx, (a, b, cin) in enumerate(cases):
+            out = trace[idx + report.latency_cycles]
+            total = sum(1 << i for i in range(bits) if out[f"s{i}"])
+            expected = a + b + cin
+            assert total == expected % (1 << bits)
+            assert out["cout"] == bool(expected >> bits)
+
+    def test_imbalance_metric(self):
+        module = ripple_carry_adder(8, RICH)
+        report = balanced_stage_assignment(module, RICH, 4)
+        assert report.imbalance >= 1.0
+        assert report.imbalance < 3.0
+
+    def test_validation(self):
+        module = ripple_carry_adder(4, RICH)
+        with pytest.raises(PipelineError):
+            balanced_stage_assignment(module, RICH, 0)
+        with pytest.raises(PipelineError):
+            pipeline_module_balanced(module, RICH, 0)

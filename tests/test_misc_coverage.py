@@ -1,0 +1,155 @@
+"""Edge-path tests for modules whose error handling deserves coverage:
+Verilog I/O failure modes, liberty parsing, power validation, routing,
+and report formatting."""
+
+import pytest
+
+from repro.cells import (
+    CellError,
+    LibertyError,
+    from_liberty,
+    rich_asic_library,
+    to_liberty,
+)
+from repro.netlist import (
+    Module,
+    NetlistError,
+    from_verilog,
+    to_verilog,
+)
+from repro.physical import CongestionModel, GeometryError
+from repro.sta import analyze, asic_clock, format_report
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+
+
+class TestVerilogErrors:
+    def test_missing_module_header(self):
+        with pytest.raises(NetlistError, match="module header"):
+            from_verilog("wire x;", {})
+
+    def test_missing_endmodule(self):
+        with pytest.raises(NetlistError, match="endmodule"):
+            from_verilog("module m (a); input a;", {})
+
+    def test_unknown_cell(self):
+        text = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  MYSTERY_X1 u1 (.A(a), .Y(y));\nendmodule\n"
+        )
+        with pytest.raises(NetlistError, match="unknown cell"):
+            from_verilog(text, {"INV_X1": {"Y"}})
+
+    def test_comments_stripped(self):
+        text = (
+            "// header comment\nmodule m (a, y);\n"
+            "  input a; /* block\ncomment */\n  output y;\n"
+            "  INV_X1 u1 (.A(a), .Y(y));\nendmodule\n"
+        )
+        module = from_verilog(text, {"INV_X1": {"Y"}})
+        assert module.instance_count() == 1
+
+    def test_writer_output_parses_with_library_pinmap(self):
+        m = Module("t")
+        m.add_input("a")
+        m.add_output("y")
+        m.add_instance("g", "INV_X1", inputs={"A": "a"}, outputs={"Y": "y"})
+        text = to_verilog(m)
+        back = from_verilog(text, RICH.output_pin_map())
+        assert back.cell_counts() == m.cell_counts()
+
+
+class TestLibertyErrors:
+    def test_nldm_not_serialisable(self):
+        nldm = rich_asic_library(CMOS250_ASIC, use_nldm=True)
+        with pytest.raises(LibertyError, match="linear"):
+            to_liberty(nldm)
+
+    def test_missing_technology(self):
+        with pytest.raises(LibertyError, match="technology"):
+            from_liberty("library (x) { }")
+
+    def test_unknown_technology(self):
+        with pytest.raises(KeyError):
+            from_liberty("library (x) { technology : mars_7nm; }")
+
+    def test_bad_kind_value(self):
+        text = (
+            "library (x) {\n  technology : cmos250_asic;\n"
+            "  cell (Z_X1) {\n    kind : quantum;\n  }\n}"
+        )
+        with pytest.raises(LibertyError):
+            from_liberty(text)
+
+
+class TestPowerValidation:
+    def test_estimate_power_empty_module(self):
+        from repro.cells import estimate_power
+
+        m = Module("empty")
+        m.add_input("a")
+        report = estimate_power(m, RICH, 100.0)
+        assert report.total_uw == 0.0
+
+    def test_power_ratio_guard(self):
+        from repro.cells import PowerReport, power_ratio_domino_vs_static
+
+        zero = PowerReport(0.0, 0.0, 0.0)
+        some = PowerReport(1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            power_ratio_domino_vs_static(zero, some)
+
+
+class TestRoutingValidation:
+    def test_negative_utilisation(self):
+        with pytest.raises(GeometryError):
+            CongestionModel().detour_factor(-0.1)
+
+    def test_steiner_single_pin(self):
+        from repro.physical import steiner_length_um
+        from repro.physical.geometry import Point
+
+        assert steiner_length_um([Point(0, 0)]) == 0.0
+
+
+class TestReportFormatting:
+    def test_long_path_elided(self):
+        m = Module("chain")
+        prev = m.add_input("a")
+        for i in range(30):
+            nxt = f"w{i}"
+            m.add_instance(f"i{i}", "INV_X2", inputs={"A": prev},
+                           outputs={"Y": nxt})
+            prev = nxt
+        m.add_output("y")
+        m.add_instance("last", "INV_X2", inputs={"A": prev},
+                       outputs={"Y": "y"})
+        report = analyze(m, RICH, asic_clock(30000.0))
+        text = format_report(report, CMOS250_ASIC, max_path_steps=5)
+        assert "elided" in text
+
+    def test_violated_flag(self):
+        m = Module("slow")
+        m.add_input("a")
+        m.add_output("y")
+        m.add_instance("g", "INV_X1", inputs={"A": "a"}, outputs={"Y": "y"})
+        report = analyze(m, RICH, asic_clock(1.0))
+        assert "VIOLATED" in format_report(report)
+
+
+class TestCellEdgeCases:
+    def test_worst_delay_requires_arcs(self):
+        ff = RICH.flip_flop()
+        with pytest.raises(CellError):
+            ff.worst_delay_ps(1.0)
+
+    def test_latch_lookup(self):
+        latch = RICH.latch()
+        assert latch.sequential.transparent
+        assert latch.base_name == "LATCH"
+
+    def test_library_len_and_contains(self):
+        assert len(RICH) > 100
+        assert "INV_X1" in RICH
+        assert "WARP_X9" not in RICH

@@ -1,0 +1,157 @@
+"""Unit tests for repro.netlist.module and repro.netlist.nets."""
+
+import pytest
+
+from repro.netlist import (
+    Instance,
+    Module,
+    NetlistError,
+    Port,
+    PortDirection,
+    is_port_ref,
+    port_ref,
+    port_ref_name,
+)
+
+
+def small_module() -> Module:
+    m = Module("m")
+    m.add_input("a")
+    m.add_input("b")
+    m.add_output("y")
+    m.add_instance("g1", "NAND2_X1", inputs={"A": "a", "B": "b"}, outputs={"Y": "n"})
+    m.add_instance("g2", "INV_X1", inputs={"A": "n"}, outputs={"Y": "y"})
+    return m
+
+
+class TestPorts:
+    def test_directions(self):
+        m = small_module()
+        assert m.inputs() == ["a", "b"]
+        assert m.outputs() == ["y"]
+
+    def test_duplicate_port_rejected(self):
+        m = Module("m")
+        m.add_input("a")
+        with pytest.raises(NetlistError):
+            m.add_input("a")
+        with pytest.raises(NetlistError):
+            m.add_output("a")
+
+    def test_input_port_drives_its_net(self):
+        m = small_module()
+        assert m.driver_of("a") == port_ref("a")
+
+    def test_output_port_is_a_sink(self):
+        m = small_module()
+        assert port_ref("y") in m.sinks_of("y")
+
+    def test_port_ref_helpers(self):
+        ref = port_ref("clk")
+        assert is_port_ref(ref)
+        assert not is_port_ref(("inst", "pin"))
+        assert port_ref_name(ref) == "clk"
+        with pytest.raises(NetlistError):
+            port_ref_name("not_a_ref")
+
+
+class TestInstances:
+    def test_wiring_indices(self):
+        m = small_module()
+        assert m.driver_of("n") == ("g1", "Y")
+        assert ("g2", "A") in m.sinks_of("n")
+
+    def test_duplicate_instance_rejected(self):
+        m = small_module()
+        with pytest.raises(NetlistError):
+            m.add_instance("g1", "INV_X1", inputs={"A": "a"}, outputs={"Y": "z"})
+
+    def test_double_driver_rejected(self):
+        m = small_module()
+        with pytest.raises(NetlistError, match="already driven"):
+            m.add_instance("g3", "INV_X1", inputs={"A": "a"}, outputs={"Y": "n"})
+
+    def test_auto_names_unique(self):
+        m = Module("m")
+        m.add_input("a")
+        names = set()
+        for _ in range(20):
+            inst = m.add_instance(None, "INV_X1", inputs={"A": "a"}, outputs={"Y": m.add_net()})
+            names.add(inst.name)
+        assert len(names) == 20
+
+    def test_pin_overlap_rejected(self):
+        with pytest.raises(NetlistError):
+            Instance("i", "C", inputs={"A": "x"}, outputs={"A": "y"})
+
+    def test_net_on(self):
+        m = small_module()
+        g1 = m.instance("g1")
+        assert g1.net_on("A") == "a"
+        assert g1.net_on("Y") == "n"
+        with pytest.raises(NetlistError):
+            g1.net_on("Z")
+
+    def test_remove_instance_detaches(self):
+        m = small_module()
+        m.remove_instance("g2")
+        assert m.driver_of("y") is None
+        assert ("g2", "A") not in m.sinks_of("n")
+
+    def test_replace_cell(self):
+        m = small_module()
+        m.replace_cell("g2", "INV_X4")
+        assert m.instance("g2").cell_name == "INV_X4"
+        # Topology unchanged.
+        assert m.driver_of("y") == ("g2", "Y")
+
+    def test_attributes_stored(self):
+        m = Module("m")
+        m.add_input("a")
+        inst = m.add_instance(
+            "g", "INV_X1", inputs={"A": "a"}, outputs={"Y": "y"}, x_um=3.0
+        )
+        assert inst.attributes["x_um"] == 3.0
+
+    def test_bad_identifiers_rejected(self):
+        with pytest.raises(NetlistError):
+            Port("", PortDirection.INPUT)
+        with pytest.raises(NetlistError):
+            Port("3bad", PortDirection.INPUT)
+        with pytest.raises(NetlistError):
+            Port("has space", PortDirection.INPUT)
+
+
+class TestIntegrity:
+    def test_well_formed_module_checks_clean(self):
+        m = small_module()
+        assert m.check() == []
+        m.assert_well_formed()
+
+    def test_undriven_net_flagged(self):
+        m = Module("m")
+        m.add_net("floating")
+        problems = m.check()
+        assert any("no driver" in p for p in problems)
+
+    def test_assert_raises_on_problems(self):
+        m = Module("m")
+        m.add_net("floating")
+        with pytest.raises(NetlistError):
+            m.assert_well_formed()
+
+    def test_cell_counts(self):
+        m = small_module()
+        assert m.cell_counts() == {"NAND2_X1": 1, "INV_X1": 1}
+
+    def test_clone_independent(self):
+        m = small_module()
+        c = m.clone("copy")
+        assert c.name == "copy"
+        assert c.instance_count() == m.instance_count()
+        assert c.check() == []
+        c.replace_cell("g2", "INV_X8")
+        assert m.instance("g2").cell_name == "INV_X1"
+
+    def test_repr_mentions_counts(self):
+        assert "instances=2" in repr(small_module())

@@ -1,0 +1,119 @@
+"""Hypothesis property tests for the netlist substrate.
+
+The generator builds random DAG-shaped netlists; the properties assert the
+invariants every downstream tool relies on: single drivership, index
+consistency, acyclicity of generated DAGs, level monotonicity, clone
+fidelity and Verilog round-tripping.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    Module,
+    from_verilog,
+    instance_graph,
+    levelize,
+    logic_depth,
+    to_verilog,
+    topological_order,
+)
+
+CELLS = {
+    "INV_X1": 1,
+    "BUF_X2": 1,
+    "NAND2_X1": 2,
+    "NOR2_X1": 2,
+    "NAND3_X1": 3,
+}
+OUTPUT_PINS = {name: {"Y"} for name in CELLS}
+PIN_NAMES = ["A", "B", "C"]
+
+
+@st.composite
+def random_dag_module(draw) -> Module:
+    """A random acyclic netlist: gate i only reads nets produced earlier."""
+    n_inputs = draw(st.integers(min_value=1, max_value=4))
+    n_gates = draw(st.integers(min_value=1, max_value=25))
+    m = Module("rand")
+    available = [m.add_input(f"in{i}") for i in range(n_inputs)]
+    for g in range(n_gates):
+        cell = draw(st.sampled_from(sorted(CELLS)))
+        arity = CELLS[cell]
+        picks = [
+            available[draw(st.integers(min_value=0, max_value=len(available) - 1))]
+            for _ in range(arity)
+        ]
+        out = f"w{g}"
+        m.add_instance(
+            f"g{g}",
+            cell,
+            inputs={PIN_NAMES[i]: net for i, net in enumerate(picks)},
+            outputs={"Y": out},
+        )
+        available.append(out)
+    m.add_output("out")
+    m.add_instance("sink", "BUF_X2", inputs={"A": available[-1]}, outputs={"Y": "out"})
+    return m
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag_module())
+def test_generated_modules_are_well_formed(m: Module):
+    assert m.check() == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag_module())
+def test_every_net_has_at_most_one_driver(m: Module):
+    for net in m.nets.values():
+        drivers = [net.driver] if net.driver is not None else []
+        assert len(drivers) <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag_module())
+def test_topological_order_is_a_permutation_respecting_edges(m: Module):
+    order = topological_order(m)
+    assert sorted(order) == sorted(m.instances)
+    pos = {name: i for i, name in enumerate(order)}
+    graph = instance_graph(m)
+    for u, v in graph.edges:
+        assert pos[u] < pos[v]
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag_module())
+def test_levels_bound_depth(m: Module):
+    levels = levelize(m)
+    depth = logic_depth(m)
+    assert depth == max(levels.values()) + 1
+    graph = instance_graph(m)
+    for u, v in graph.edges:
+        assert levels[v] >= levels[u] + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag_module())
+def test_clone_preserves_structure(m: Module):
+    c = m.clone()
+    assert c.cell_counts() == m.cell_counts()
+    assert set(c.nets) == set(m.nets)
+    assert logic_depth(c) == logic_depth(m)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dag_module())
+def test_verilog_round_trip(m: Module):
+    text = to_verilog(m)
+    back = from_verilog(text, OUTPUT_PINS)
+    assert back.name == m.name
+    assert back.cell_counts() == m.cell_counts()
+    assert set(back.nets) == set(m.nets)
+    assert logic_depth(back) == logic_depth(m)
+    for name, inst in m.instances.items():
+        other = back.instance(name)
+        assert other.inputs == inst.inputs
+        assert other.outputs == inst.outputs

@@ -1,0 +1,153 @@
+"""Unit tests for repro.physical.wires and geometry."""
+
+import math
+
+import pytest
+
+from repro.physical import (
+    ChipWireModel,
+    GeometryError,
+    Point,
+    Rect,
+    bounding_box,
+    half_perimeter_wirelength,
+    optimal_repeater_plan,
+    optimal_segment_um,
+    unrepeated_wire_delay_ps,
+    wire_delay_ps,
+)
+from repro.tech import CMOS250_ASIC, TechnologyError
+
+
+class TestGeometry:
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+        assert Point(0, 0).euclidean_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_rect_properties(self):
+        r = Rect(1, 2, 4, 6)
+        assert r.area == 24
+        assert r.center == Point(3, 5)
+        assert r.aspect_ratio == pytest.approx(1.5)
+        assert r.contains(Point(3, 5))
+        assert not r.contains(Point(10, 10))
+
+    def test_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))  # shared edge is legal
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 1)
+
+    def test_hpwl(self):
+        pts = [Point(0, 0), Point(4, 1), Point(2, 5)]
+        assert half_perimeter_wirelength(pts) == pytest.approx(9.0)
+        with pytest.raises(GeometryError):
+            half_perimeter_wirelength([])
+
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(4, 5, 2, 2)])
+        assert (box.width, box.height) == (6, 7)
+
+
+class TestWireDelay:
+    def test_unrepeated_quadratic_in_length(self):
+        # With a strong driver the distributed RC term dominates and the
+        # delay grows quadratically with length.
+        d1 = unrepeated_wire_delay_ps(
+            CMOS250_ASIC, 5000.0, driver_resistance_ohm=50.0
+        )
+        d2 = unrepeated_wire_delay_ps(
+            CMOS250_ASIC, 10000.0, driver_resistance_ohm=50.0
+        )
+        assert 3.0 < d2 / d1 < 4.5
+
+    def test_unit_driver_dominated_regime_is_linear(self):
+        # With the unit driver, short wires are charge-limited: ~linear.
+        d1 = unrepeated_wire_delay_ps(CMOS250_ASIC, 500.0)
+        d2 = unrepeated_wire_delay_ps(CMOS250_ASIC, 1000.0)
+        assert 1.8 < d2 / d1 < 2.6
+
+    def test_repeaters_linearise_long_wires(self):
+        d5 = wire_delay_ps(CMOS250_ASIC, 5000.0)
+        d10 = wire_delay_ps(CMOS250_ASIC, 10000.0)
+        assert 1.6 < d10 / d5 < 2.4  # roughly linear
+
+    def test_repeaters_never_hurt(self):
+        for length in (50.0, 500.0, 5000.0, 20000.0):
+            assert wire_delay_ps(CMOS250_ASIC, length) <= (
+                unrepeated_wire_delay_ps(CMOS250_ASIC, length) + 1e-9
+            )
+
+    def test_short_wire_plan_has_no_repeaters(self):
+        plan = optimal_repeater_plan(CMOS250_ASIC, 100.0)
+        assert plan.num_repeaters == 0
+
+    def test_long_wire_plan_spacing_near_optimal(self):
+        seg = optimal_segment_um(CMOS250_ASIC)
+        plan = optimal_repeater_plan(CMOS250_ASIC, 10.0 * seg)
+        assert plan.num_repeaters >= 8
+        assert plan.segment_um == pytest.approx(seg, rel=0.25)
+
+    def test_wider_wire_is_faster_when_resistance_dominates(self):
+        # Section 6: widening cuts resistance; it pays off when the wire
+        # (not the driver) limits the delay -- i.e. with sized drivers.
+        tech = CMOS250_ASIC
+        wide_width = 4 * tech.interconnect.min_width_um
+        narrow = wire_delay_ps(tech, 8000.0)
+        wide = wire_delay_ps(tech, 8000.0, width_um=wide_width)
+        assert wide < narrow
+
+    def test_wider_wire_hurts_weak_drivers(self):
+        # The flip side: a unit driver sees mostly extra capacitance.
+        tech = CMOS250_ASIC
+        wide_width = 4 * tech.interconnect.min_width_um
+        narrow = unrepeated_wire_delay_ps(tech, 1000.0)
+        wide = unrepeated_wire_delay_ps(tech, 1000.0, width_um=wide_width)
+        assert wide > narrow
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TechnologyError):
+            unrepeated_wire_delay_ps(CMOS250_ASIC, -1.0)
+        with pytest.raises(TechnologyError):
+            optimal_repeater_plan(CMOS250_ASIC, -5.0)
+
+
+class TestChipModel:
+    def test_cross_chip_dominates_local(self):
+        chip = ChipWireModel(100.0, CMOS250_ASIC)
+        assert chip.cross_chip_delay_ps() > 3 * chip.module_local_delay_ps(1.0)
+
+    def test_cross_chip_wire_is_many_fo4(self):
+        # A repeated wire across a 100 mm^2 die costs on the order of ten
+        # FO4 -- the Section 5 premise that global wires dominate paths.
+        chip = ChipWireModel(100.0, CMOS250_ASIC)
+        fo4 = chip.cross_chip_delay_ps() / CMOS250_ASIC.fo4_delay_ps
+        assert 8.0 < fo4 < 25.0
+
+    def test_floorplanning_speedup_up_to_25_percent(self):
+        # Section 5.1: localising the critical path vs letting it cross a
+        # 100 mm^2 chip "may increase circuit speed by up to 25%".
+        chip = ChipWireModel(100.0, CMOS250_ASIC)
+        logic = 44.0 * CMOS250_ASIC.fo4_delay_ps  # a Xtensa-class path
+        speedup = chip.floorplanning_speedup(logic, module_area_mm2=0.5)
+        assert 1.10 < speedup < 1.45
+
+    def test_speedup_monotone_in_hops(self):
+        chip = ChipWireModel(100.0, CMOS250_ASIC)
+        logic = 2000.0
+        s1 = chip.floorplanning_speedup(logic, global_hops=1)
+        s2 = chip.floorplanning_speedup(logic, global_hops=2)
+        assert s2 > s1 > 1.0
+
+    def test_validation(self):
+        with pytest.raises(TechnologyError):
+            ChipWireModel(0.0, CMOS250_ASIC)
+        chip = ChipWireModel(100.0, CMOS250_ASIC)
+        with pytest.raises(TechnologyError):
+            chip.floorplanning_speedup(-1.0)
+        with pytest.raises(TechnologyError):
+            chip.module_local_delay_ps(0.0)

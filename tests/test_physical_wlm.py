@@ -1,0 +1,82 @@
+"""Tests for pre-layout wire load models and their placement accuracy."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.datapath import kogge_stone_adder
+from repro.physical import place
+from repro.physical.geometry import GeometryError
+from repro.physical.wlm import (
+    WLM_LARGE,
+    WLM_MEDIUM,
+    WLM_SMALL,
+    WireLoadModel,
+    compare_to_placement,
+    estimate_parasitics,
+    select_wlm,
+)
+from repro.sta import analyze, asic_clock
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+CLK = asic_clock(30000.0)
+
+
+class TestWlm:
+    def test_length_grows_with_fanout(self):
+        lengths = [WLM_MEDIUM.length_um(f) for f in range(1, 6)]
+        assert lengths == sorted(lengths)
+        assert WLM_MEDIUM.length_um(0) == 0.0
+
+    def test_model_ladder_ordered(self):
+        for fanout in (1, 3, 8):
+            assert (
+                WLM_SMALL.length_um(fanout)
+                < WLM_MEDIUM.length_um(fanout)
+                < WLM_LARGE.length_um(fanout)
+            )
+
+    def test_selection_by_size(self):
+        assert select_wlm(100) is WLM_SMALL
+        assert select_wlm(1000) is WLM_MEDIUM
+        assert select_wlm(50000) is WLM_LARGE
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            WireLoadModel("bad", -1.0, 1.0)
+        with pytest.raises(GeometryError):
+            WLM_SMALL.length_um(-1)
+        with pytest.raises(GeometryError):
+            select_wlm(-5)
+
+
+class TestEstimates:
+    def test_estimates_slow_timing(self):
+        module = kogge_stone_adder(8, RICH)
+        bare = analyze(module, RICH, CLK).min_period_ps
+        wire = estimate_parasitics(module, CMOS250_ASIC)
+        loaded = analyze(module, RICH, CLK, wire=wire).min_period_ps
+        assert loaded > bare
+
+    def test_estimates_cover_driven_nets(self):
+        module = kogge_stone_adder(8, RICH)
+        wire = estimate_parasitics(module, CMOS250_ASIC, WLM_MEDIUM)
+        assert len(wire.extra_cap_ff) > module.instance_count() / 2
+        assert all(v >= 0 for v in wire.extra_cap_ff.values())
+
+    def test_accuracy_against_placement(self):
+        module = kogge_stone_adder(8, RICH)
+        placement = place(module, RICH, quality="careful", seed=5)
+        accuracy = compare_to_placement(module, placement, WLM_SMALL)
+        assert accuracy.nets_compared > 10
+        # WLMs are blunt: the spread between best and worst net estimate
+        # spans well over an order of magnitude -- the Section 6.2 point
+        # that pre-layout loads "will differ from that in the final
+        # layout".
+        assert accuracy.worst_overestimate / accuracy.worst_underestimate > 3.0
+
+    def test_mean_ratio_order_of_magnitude(self):
+        module = kogge_stone_adder(8, RICH)
+        placement = place(module, RICH, quality="careful", seed=5)
+        accuracy = compare_to_placement(module, placement, WLM_SMALL)
+        assert 0.2 < accuracy.mean_ratio < 20.0

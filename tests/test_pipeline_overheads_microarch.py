@@ -1,0 +1,131 @@
+"""Unit tests for pipeline overhead arithmetic and the CPI model."""
+
+import pytest
+
+from repro.pipeline import (
+    ALPHA_21264A,
+    IBM_POWERPC_1GHZ,
+    MicroArchitecture,
+    PipelineBudget,
+    PipelineError,
+    TENSILICA_XTENSA,
+    TYPICAL_WORKLOAD,
+    UNPIPELINED_ASIC,
+    Workload,
+    best_pipeline_depth,
+    ideal_pipeline_speedup,
+    max_useful_stages,
+    pipeline_speedup_fo4,
+)
+from repro.tech import CMOS250_ASIC, CMOS250_CUSTOM
+
+
+class TestOverheadArithmetic:
+    def test_paper_tensilica_point(self):
+        # Section 4: 5 stages at ~30% overhead -> "about 3.8 times faster".
+        speedup = ideal_pipeline_speedup(5, 0.30)
+        assert speedup == pytest.approx(3.5)
+        # The paper's 3.8 corresponds to a ~24% effective overhead.
+        assert ideal_pipeline_speedup(5, 0.24) == pytest.approx(3.8)
+
+    def test_paper_powerpc_point(self):
+        # 4 stages at ~20% -> "about 3.4 times faster".
+        assert ideal_pipeline_speedup(4, 0.20) == pytest.approx(3.2)
+        assert ideal_pipeline_speedup(4, 0.15) == pytest.approx(3.4)
+
+    def test_fo4_budget_form(self):
+        # Xtensa-class: 55 FO4 of logic.  5 stages with 4 FO4 overhead:
+        # (55+4)/(11+4) = 3.93x -- the paper's "about 3.8" ballpark.
+        speedup = pipeline_speedup_fo4(55.0, 5, 4.0)
+        assert 3.5 < speedup < 4.2
+
+    def test_saturation(self):
+        # Speedup saturates at 1 + logic/overhead as stages -> inf.
+        limit = 1 + 55.0 / 4.0
+        deep = pipeline_speedup_fo4(55.0, 1000, 4.0)
+        assert deep < limit
+        assert deep > 0.9 * limit
+
+    def test_budget_dataclass(self):
+        budget = PipelineBudget(60.0, 5, 3.0)
+        assert budget.cycle_fo4 == pytest.approx(15.0)
+        assert budget.overhead_fraction == pytest.approx(0.2)
+        assert budget.speedup == pytest.approx(63.0 / 15.0)
+
+    def test_max_useful_stages(self):
+        shallow = max_useful_stages(55.0, 4.0, max_overhead_fraction=0.3)
+        deep = max_useful_stages(55.0, 2.0, max_overhead_fraction=0.3)
+        assert deep > shallow >= 1
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            ideal_pipeline_speedup(0, 0.3)
+        with pytest.raises(PipelineError):
+            ideal_pipeline_speedup(5, 1.0)
+        with pytest.raises(PipelineError):
+            pipeline_speedup_fo4(-1.0, 5, 3.0)
+        with pytest.raises(PipelineError):
+            max_useful_stages(55.0, 0.0)
+
+
+class TestMicroArchitecture:
+    def test_reference_frequencies(self):
+        # The reference organisations should land near the real chips:
+        # Alpha ~750 MHz and PowerPC ~1 GHz in custom 0.25 um, Xtensa
+        # ~250 MHz in ASIC 0.25 um.
+        alpha = ALPHA_21264A.frequency_mhz(CMOS250_CUSTOM)
+        ppc = IBM_POWERPC_1GHZ.frequency_mhz(CMOS250_CUSTOM)
+        xtensa = TENSILICA_XTENSA.frequency_mhz(CMOS250_ASIC)
+        assert 700 < alpha < 950
+        assert 900 < ppc < 1150
+        assert 220 < xtensa < 280
+
+    def test_cycle_fo4_matches_paper(self):
+        assert ALPHA_21264A.cycle_fo4 == pytest.approx(15.0)
+        assert IBM_POWERPC_1GHZ.cycle_fo4 == pytest.approx(12.6, abs=0.5)
+        assert TENSILICA_XTENSA.cycle_fo4 == pytest.approx(44.0, abs=0.5)
+        assert UNPIPELINED_ASIC.cycle_fo4 > 150
+
+    def test_deeper_pipeline_higher_cpi(self):
+        shallow = MicroArchitecture("s", stages=4)
+        deep = MicroArchitecture("d", stages=12)
+        assert deep.cpi() > shallow.cpi()
+
+    def test_wide_issue_lowers_cpi_until_ilp(self):
+        narrow = MicroArchitecture("n", stages=7, issue_width=1)
+        wide = MicroArchitecture("w", stages=7, issue_width=4)
+        wider = MicroArchitecture("ww", stages=7, issue_width=8)
+        assert wide.cpi() < narrow.cpi()
+        # Beyond the workload ILP there is no further gain.
+        assert wider.cpi() == pytest.approx(wide.cpi())
+
+    def test_alpha_beats_single_issue_on_ilp(self):
+        rich_ilp = Workload(branch_fraction=0.1, load_use_fraction=0.05,
+                            ilp=4.0)
+        speedup = ALPHA_21264A.speedup_over(
+            IBM_POWERPC_1GHZ, CMOS250_CUSTOM, rich_ilp
+        )
+        assert speedup > 1.5
+
+    def test_best_depth_is_interior(self):
+        stages, _mips = best_pipeline_depth(
+            60.0, 3.0, CMOS250_CUSTOM, max_stages=40
+        )
+        assert 4 <= stages <= 35
+
+    def test_better_predictor_allows_deeper_pipe(self):
+        bad, _ = best_pipeline_depth(
+            60.0, 3.0, CMOS250_CUSTOM, predictor_accuracy=0.7
+        )
+        good, _ = best_pipeline_depth(
+            60.0, 3.0, CMOS250_CUSTOM, predictor_accuracy=0.99
+        )
+        assert good >= bad
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            MicroArchitecture("x", stages=0)
+        with pytest.raises(PipelineError):
+            Workload(branch_fraction=1.5)
+        with pytest.raises(PipelineError):
+            Workload(ilp=0.5)

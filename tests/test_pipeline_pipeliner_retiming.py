@@ -1,0 +1,194 @@
+"""Unit tests for the netlist pipeliner and Leiserson-Saxe retiming."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.datapath import ripple_carry_adder, simulate_adder
+from repro.netlist import logic_depth
+from repro.pipeline import (
+    PipelineError,
+    clock_period,
+    feasible,
+    make_retiming_graph,
+    opt_period,
+    pipeline_module,
+    retime,
+)
+from repro.sta import analyze, asic_clock, solve_min_period
+from repro.synth import map_design, parse_expression, simulate_sequential
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+CLK = asic_clock(20000.0)
+
+
+class TestPipeliner:
+    def test_pipelining_reduces_period(self):
+        adder = ripple_carry_adder(8, RICH)
+        base = solve_min_period(
+            __import__("repro.sta.sequential", fromlist=["register_boundaries"])
+            .register_boundaries(adder, RICH),
+            RICH, CLK,
+        )
+        report = pipeline_module(ripple_carry_adder(8, RICH), RICH, stages=4)
+        piped = solve_min_period(report.module, RICH, CLK)
+        assert piped.min_period_ps < base.min_period_ps
+        assert report.stages == 4
+
+    def test_speedup_grows_with_stages_then_saturates(self):
+        periods = []
+        for stages in (1, 2, 4, 8):
+            report = pipeline_module(
+                ripple_carry_adder(12, RICH), RICH, stages=stages
+            )
+            result = solve_min_period(report.module, RICH, CLK)
+            periods.append(result.min_period_ps)
+        assert periods[1] < periods[0]
+        assert periods[2] < periods[1]
+        # Diminishing returns: the 4->8 gain is smaller than 1->2.
+        gain_12 = periods[0] / periods[1]
+        gain_48 = periods[2] / periods[3]
+        assert gain_48 < gain_12
+
+    def test_functional_correctness_through_pipeline(self):
+        bits = 4
+        adder = ripple_carry_adder(bits, RICH)
+        report = pipeline_module(adder, RICH, stages=3)
+        piped = report.module
+        # Feed a stream of operand pairs; outputs appear latency later.
+        cases = [(3, 9, 0), (15, 1, 1), (7, 8, 0), (0, 0, 1), (12, 5, 1)]
+        stream = []
+        for a, b, cin in cases:
+            vec = {f"a{i}": bool((a >> i) & 1) for i in range(bits)}
+            vec.update({f"b{i}": bool((b >> i) & 1) for i in range(bits)})
+            vec["cin"] = bool(cin)
+            stream.append(vec)
+        idle = {k: False for k in stream[0]}
+        stream += [idle] * report.latency_cycles
+        trace = simulate_sequential(piped, RICH, stream)
+        for idx, (a, b, cin) in enumerate(cases):
+            out = trace[idx + report.latency_cycles]
+            total = sum(1 << i for i in range(bits) if out[f"s{i}"])
+            expected = a + b + cin
+            assert total == expected % (1 << bits), (a, b, cin)
+            assert out["cout"] == bool(expected >> bits), (a, b, cin)
+
+    def test_stage_depths_cover_logic(self):
+        adder = ripple_carry_adder(8, RICH)
+        depth = logic_depth(adder)
+        report = pipeline_module(adder, RICH, stages=4)
+        assert len(report.stage_depths) == 4
+        assert max(report.stage_depths) < depth
+        assert report.balance >= 1.0
+
+    def test_stages_clamped_to_depth(self):
+        tiny = map_design({"y": parse_expression("a & b")}, RICH)
+        report = pipeline_module(tiny, RICH, stages=10)
+        assert report.stages <= logic_depth(tiny)
+
+    def test_rejects_sequential_input(self):
+        adder = ripple_carry_adder(4, RICH)
+        report = pipeline_module(adder, RICH, stages=2)
+        with pytest.raises(PipelineError, match="already contains"):
+            pipeline_module(report.module, RICH, stages=2)
+
+    def test_latch_pipelining(self):
+        report = pipeline_module(
+            ripple_carry_adder(4, RICH), RICH, stages=2, use_latches=True
+        )
+        latch = RICH.latch().name
+        assert any(
+            inst.cell_name == latch for inst in report.module.iter_instances()
+        )
+
+
+class TestRetiming:
+    def _correlator(self, host_weight=2):
+        # A Leiserson-Saxe style correlator: host (delay 0), comparators
+        # delay 3, adders delay 7; `host_weight` registers buffer the
+        # input stream.  Optimal periods below are brute-force verified.
+        delays = {
+            "host": 0.0,
+            "c1": 3.0, "c2": 3.0, "c3": 3.0, "c4": 3.0,
+            "a1": 7.0, "a2": 7.0, "a3": 7.0,
+        }
+        edges = [
+            ("host", "c1", host_weight),
+            ("c1", "c2", 1), ("c2", "c3", 1), ("c3", "c4", 1),
+            ("c1", "a1", 0), ("c2", "a1", 0),
+            ("a1", "a2", 0), ("c3", "a2", 0),
+            ("a2", "a3", 0), ("c4", "a3", 0),
+            ("a3", "host", 0),
+        ]
+        return make_retiming_graph(delays, edges)
+
+    def test_correlator_original_period(self):
+        graph = self._correlator()
+        assert clock_period(graph) == pytest.approx(24.0)
+
+    def test_correlator_optimal_period(self):
+        # Brute-force verified: two registers of input buffering allow
+        # retiming from 24 down to 14.
+        result = opt_period(self._correlator())
+        assert result.period == pytest.approx(14.0)
+        assert result.speedup == pytest.approx(24.0 / 14.0)
+        assert clock_period(result.graph) <= 14.0 + 1e-6
+
+    def test_register_starved_loop_cannot_improve(self):
+        # With a single register on the feedback loop, the cycle bound
+        # (delay 24 / weight 1) pins the optimum at the original period.
+        result = opt_period(self._correlator(host_weight=1))
+        assert result.period == pytest.approx(24.0)
+
+    def test_ring_example(self):
+        # Brute-force verified: 12 -> 8.
+        graph = make_retiming_graph(
+            {"x": 2.0, "y": 8.0, "z": 2.0},
+            [("x", "y", 0), ("y", "z", 0), ("z", "x", 2)],
+        )
+        assert clock_period(graph) == pytest.approx(12.0)
+        result = opt_period(graph)
+        assert result.period == pytest.approx(8.0)
+
+    def test_feasible_oracle(self):
+        graph = self._correlator()
+        assert feasible(graph, 14.0) is not None
+        assert feasible(graph, 13.0) is None
+        assert feasible(graph, 24.0) is not None
+
+    def test_retiming_preserves_register_counts_on_cycles(self):
+        graph = self._correlator()
+        result = opt_period(graph)
+        import networkx as nx
+
+        for cycle in nx.simple_cycles(graph):
+            before = sum(
+                graph[cycle[i]][cycle[(i + 1) % len(cycle)]]["weight"]
+                for i in range(len(cycle))
+            )
+            after = sum(
+                result.graph[cycle[i]][cycle[(i + 1) % len(cycle)]]["weight"]
+                for i in range(len(cycle))
+            )
+            assert before == after
+
+    def test_illegal_retiming_rejected(self):
+        graph = self._correlator()
+        with pytest.raises(PipelineError, match="negative"):
+            retime(graph, {"c1": -5})
+
+    def test_zero_weight_cycle_rejected(self):
+        with pytest.raises(PipelineError, match="zero-weight cycle"):
+            make_retiming_graph(
+                {"a": 1.0, "b": 1.0},
+                [("a", "b", 0), ("b", "a", 0)],
+            )
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            make_retiming_graph({"a": -1.0}, [])
+        with pytest.raises(PipelineError):
+            make_retiming_graph({"a": 1.0}, [("a", "zz", 0)])
+        graph = self._correlator()
+        with pytest.raises(PipelineError):
+            feasible(graph, 0.0)

@@ -1,0 +1,118 @@
+"""Tests for corner-aware STA (delay derating, Section 8's corner stack)."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.datapath import kogge_stone_adder
+from repro.sta import (
+    TimingError,
+    analyze,
+    asic_clock,
+    register_boundaries,
+)
+from repro.tech import CMOS250_ASIC, CornerType, get_corner
+
+RICH = rich_asic_library(CMOS250_ASIC)
+CLK = asic_clock(20000.0)
+
+
+@pytest.fixture(scope="module")
+def registered():
+    return register_boundaries(kogge_stone_adder(8, RICH), RICH)
+
+
+class TestCornerDerating:
+    def test_worst_case_slower_than_typical(self, registered):
+        tt = analyze(registered, RICH, CLK)
+        wc = analyze(
+            registered, RICH, CLK,
+            delay_derate=get_corner(CornerType.WORST_CASE).delay_derate,
+        )
+        assert wc.min_period_ps > tt.min_period_ps
+
+    def test_best_case_faster_than_typical(self, registered):
+        tt = analyze(registered, RICH, CLK)
+        bc = analyze(
+            registered, RICH, CLK,
+            delay_derate=get_corner(CornerType.BEST_CASE).delay_derate,
+        )
+        assert bc.min_period_ps < tt.min_period_ps
+
+    def test_derate_scales_everything_but_skew(self, registered):
+        tt = analyze(registered, RICH, CLK)
+        wc = analyze(registered, RICH, CLK, delay_derate=1.65)
+        # arrival and setup scale by exactly 1.65; skew stays fixed.
+        assert wc.critical.data_arrival_ps == pytest.approx(
+            1.65 * tt.critical.data_arrival_ps, rel=1e-6
+        )
+        assert wc.critical.capture_overhead_ps == pytest.approx(
+            1.65 * tt.critical.capture_overhead_ps, rel=1e-6
+        )
+        assert wc.critical.skew_ps == pytest.approx(tt.critical.skew_ps)
+
+    def test_corner_ordering_monotone(self, registered):
+        periods = []
+        for corner_type in (
+            CornerType.BEST_CASE, CornerType.FAST, CornerType.TYPICAL,
+            CornerType.SLOW, CornerType.WORST_CASE,
+        ):
+            derate = get_corner(corner_type).delay_derate
+            periods.append(
+                analyze(registered, RICH, CLK,
+                        delay_derate=derate).min_period_ps
+            )
+        assert periods == sorted(periods)
+
+    def test_fast_corner_worsens_hold(self):
+        # Direct flop-to-flop: less data delay at the fast corner means
+        # the same hold check is harder (or equal) to meet.
+        from repro.netlist import Module
+
+        m = Module("h")
+        m.add_input("clk")
+        m.add_input("d")
+        m.add_output("q")
+        ff = RICH.flip_flop().name
+        m.add_instance("f1", ff, inputs={"D": "d", "CK": "clk"},
+                       outputs={"Q": "mid"})
+        m.add_instance("f2", ff, inputs={"D": "mid", "CK": "clk"},
+                       outputs={"Q": "q"})
+        clk = asic_clock(5000.0)
+        tt = analyze(m, RICH, clk)
+        fast = analyze(
+            m, RICH, clk,
+            delay_derate=get_corner(CornerType.BEST_CASE).delay_derate,
+        )
+        def f2_violation(report):
+            return next(
+                v for v in report.hold_violations if v.endpoint == "f2.D"
+            )
+
+        assert tt.hold_violations and fast.hold_violations
+        # The register-launched path (f2.D) gets less data delay at the
+        # fast corner, so its hold slack worsens.
+        assert f2_violation(fast).slack_ps < f2_violation(tt).slack_ps
+
+    def test_invalid_derate(self, registered):
+        with pytest.raises(TimingError):
+            analyze(registered, RICH, CLK, delay_derate=0.0)
+
+    def test_wc_quote_consistency_with_binning(self, registered):
+        """The STA-at-WC-corner frequency and the binning module's quote
+        derate must tell the same story (same 1.65x derate stack)."""
+        from repro.variation import MATURE_PROCESS, sample_chip_speeds
+        from repro.variation.binning import asic_worst_case_quote
+
+        tt = analyze(registered, RICH, CLK)
+        wc = analyze(
+            registered, RICH, CLK,
+            delay_derate=get_corner(CornerType.WORST_CASE).delay_derate,
+        )
+        dist = sample_chip_speeds(
+            tt.max_frequency_mhz, MATURE_PROCESS, count=4000, seed=4
+        )
+        quote = asic_worst_case_quote(dist)
+        # Both ways of deriving the quote agree within the skew dilution
+        # and the process-floor detail.
+        sta_quote = wc.max_frequency_mhz
+        assert sta_quote / quote == pytest.approx(1.0, abs=0.45)

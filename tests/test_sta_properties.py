@@ -1,0 +1,140 @@
+"""Hypothesis property tests for the STA engine's invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import rich_asic_library
+from repro.netlist import Module
+from repro.sta import (
+    Clock,
+    WireParasitics,
+    analyze,
+    asic_clock,
+)
+from repro.synth import SynthesisError, map_design, parse_expression
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+CLK = asic_clock(50000.0)
+
+_VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def expr_text(draw, depth=0):
+    if depth > 3 or (depth > 0 and draw(st.booleans())):
+        return draw(st.sampled_from(_VARS))
+    kind = draw(st.integers(0, 3))
+    left = draw(expr_text(depth=depth + 1))
+    right = draw(expr_text(depth=depth + 1))
+    if kind == 0:
+        return f"~({left})"
+    op = {1: "&", 2: "|", 3: "^"}[kind]
+    return f"({left} {op} {right})"
+
+
+def _mapped(text):
+    try:
+        return map_design({"y": parse_expression(text)}, RICH)
+    except SynthesisError:
+        return None
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr_text())
+def test_arrivals_monotone_along_critical_path(text):
+    module = _mapped(text)
+    if module is None:
+        return
+    report = analyze(module, RICH, CLK)
+    arrivals = [step.arrival_ps for step in report.critical_path]
+    assert arrivals == sorted(arrivals)
+    assert all(step.delay_ps > 0 for step in report.critical_path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr_text())
+def test_min_period_at_least_one_gate_delay(text):
+    module = _mapped(text)
+    if module is None:
+        return
+    report = analyze(module, RICH, CLK)
+    assert report.min_period_ps > 0
+    if report.critical_path:
+        assert report.min_period_ps >= max(
+            s.delay_ps for s in report.critical_path
+        ) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr_text(), st.floats(1.0, 200.0))
+def test_extra_wire_cap_never_speeds_up(text, extra_cap):
+    module = _mapped(text)
+    if module is None:
+        return
+    base = analyze(module, RICH, CLK).min_period_ps
+    internal = [
+        n for n in module.nets
+        if n not in module.inputs() and n not in module.outputs()
+    ]
+    if not internal:
+        return
+    wire = WireParasitics(extra_cap_ff={internal[0]: extra_cap})
+    loaded = analyze(module, RICH, CLK, wire=wire).min_period_ps
+    assert loaded >= base - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr_text(), st.floats(0.0, 0.3))
+def test_skew_never_helps_registered_paths(text, skew_fraction):
+    from repro.sta import register_boundaries
+
+    module = _mapped(text)
+    if module is None:
+        return
+    wrapped = register_boundaries(module, RICH)
+    period = 50000.0
+    no_skew = analyze(
+        wrapped, RICH, Clock("c0", period, skew_ps=0.0)
+    ).min_period_ps
+    with_skew = analyze(
+        wrapped, RICH, Clock("c1", period, skew_ps=skew_fraction * period)
+    ).min_period_ps
+    assert with_skew >= no_skew - 1e-9
+    # The difference is exactly the skew (it adds at the endpoint).
+    assert with_skew - no_skew == pytest.approx(
+        skew_fraction * period, abs=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr_text())
+def test_endpoint_decomposition_identity(text):
+    from repro.sta import register_boundaries
+
+    module = _mapped(text)
+    if module is None:
+        return
+    wrapped = register_boundaries(module, RICH)
+    report = analyze(wrapped, RICH, asic_clock(30000.0))
+    crit = report.critical
+    assert report.min_period_ps == pytest.approx(
+        crit.data_arrival_ps
+        + crit.capture_overhead_ps
+        + crit.skew_ps
+        - crit.borrow_ps,
+        rel=1e-9,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(expr_text())
+def test_upsizing_critical_gate_with_sizer_never_worsens(text):
+    from repro.sizing import size_for_speed
+
+    module = _mapped(text)
+    if module is None or module.instance_count() < 2:
+        return
+    before = analyze(module, RICH, CLK).min_period_ps
+    result = size_for_speed(module, RICH, CLK, max_moves=3)
+    assert result.final_period_ps <= before + 1e-9

@@ -1,0 +1,101 @@
+"""Tests for netlist statistics and technology JSON I/O."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.datapath import kogge_stone_adder
+from repro.netlist.stats import (
+    collect_stats,
+    depth_histogram,
+    format_stats,
+)
+from repro.sta import register_boundaries
+from repro.tech import CMOS250_ASIC, CMOS180_CUSTOM, TechnologyError
+from repro.tech.io import (
+    load_technology,
+    save_technology,
+    technology_from_dict,
+    technology_to_dict,
+)
+
+RICH = rich_asic_library(CMOS250_ASIC)
+
+
+class TestNetlistStats:
+    @pytest.fixture(scope="class")
+    def adder(self):
+        return register_boundaries(kogge_stone_adder(8, RICH), RICH)
+
+    def test_counts(self, adder):
+        stats = collect_stats(adder, RICH)
+        assert stats.instances == adder.instance_count()
+        assert stats.nets == adder.net_count()
+        # input registers (a0-7, b0-7, cin) + output registers (s0-7, cout)
+        assert stats.sequential == 17 + 9
+        assert stats.depth > 5
+
+    def test_area_positive_with_library(self, adder):
+        stats = collect_stats(adder, RICH)
+        assert stats.area_um2 > 0
+        assert sum(stats.area_by_base.values()) == pytest.approx(
+            stats.area_um2
+        )
+
+    def test_without_library_parses_names(self, adder):
+        stats = collect_stats(adder)
+        assert stats.area_um2 == 0.0
+        assert stats.by_base.get("AND2", 0) > 0
+        assert 2.0 in stats.by_drive
+
+    def test_histogram_sums_to_instances(self, adder):
+        hist = depth_histogram(adder, RICH.sequential_cell_names())
+        assert sum(hist.values()) == adder.instance_count()
+
+    def test_format(self, adder):
+        text = format_stats(collect_stats(adder, RICH))
+        assert "instances" in text
+        assert "drives" in text
+        assert "um2" in text
+
+
+class TestTechnologyIO:
+    def test_round_trip_dict(self):
+        data = technology_to_dict(CMOS180_CUSTOM)
+        back = technology_from_dict(data)
+        assert back == CMOS180_CUSTOM
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "tech.json"
+        save_technology(CMOS250_ASIC, str(path))
+        back = load_technology(str(path))
+        assert back == CMOS250_ASIC
+        assert back.fo4_delay_ps == pytest.approx(90.0)
+
+    def test_missing_field(self):
+        data = technology_to_dict(CMOS250_ASIC)
+        del data["leff_um"]
+        with pytest.raises(TechnologyError, match="leff_um"):
+            technology_from_dict(data)
+
+    def test_bad_schema(self):
+        data = technology_to_dict(CMOS250_ASIC)
+        data["schema"] = 99
+        with pytest.raises(TechnologyError, match="schema"):
+            technology_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TechnologyError, match="invalid"):
+            load_technology(str(path))
+
+    def test_not_an_object(self):
+        with pytest.raises(TechnologyError):
+            technology_from_dict([1, 2, 3])
+
+    def test_loaded_technology_drives_library(self, tmp_path):
+        path = tmp_path / "tech.json"
+        save_technology(CMOS250_ASIC, str(path))
+        tech = load_technology(str(path))
+        library = rich_asic_library(tech)
+        assert len(library) > 100

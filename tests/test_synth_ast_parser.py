@@ -1,0 +1,122 @@
+"""Unit tests for repro.synth.ast and repro.synth.parser."""
+
+import pytest
+
+from repro.synth import (
+    And,
+    Const,
+    FALSE,
+    Not,
+    Or,
+    SynthesisError,
+    TRUE,
+    Var,
+    Xor,
+    majority3,
+    mux,
+    parse_design,
+    parse_expression,
+)
+
+
+class TestAst:
+    def test_evaluate_basics(self):
+        a, b = Var("a"), Var("b")
+        env = {"a": True, "b": False}
+        assert (a & b).evaluate(env) is False
+        assert (a | b).evaluate(env) is True
+        assert (a ^ b).evaluate(env) is True
+        assert (~a).evaluate(env) is False
+        assert TRUE.evaluate(env) is True
+        assert FALSE.evaluate(env) is False
+
+    def test_variables(self):
+        expr = (Var("a") & Var("b")) | ~Var("c")
+        assert expr.variables() == {"a", "b", "c"}
+
+    def test_depth_and_ops(self):
+        a, b, c = Var("a"), Var("b"), Var("c")
+        assert a.depth() == 0
+        assert (a & b).depth() == 1
+        assert ((a & b) | c).depth() == 2
+        assert ((a & b) | c).count_ops() == 2
+
+    def test_nary_requires_two(self):
+        with pytest.raises(SynthesisError):
+            And([Var("a")])
+
+    def test_missing_variable_value(self):
+        with pytest.raises(SynthesisError, match="no value"):
+            Var("z").evaluate({})
+
+    def test_mux_semantics(self):
+        m = mux(Var("s"), Var("a"), Var("b"))
+        assert m.evaluate({"s": True, "a": True, "b": False}) is True
+        assert m.evaluate({"s": False, "a": True, "b": False}) is False
+
+    def test_majority3_is_full_adder_carry(self):
+        m = majority3(Var("a"), Var("b"), Var("c"))
+        for bits in range(8):
+            env = {
+                "a": bool(bits & 1),
+                "b": bool(bits & 2),
+                "c": bool(bits & 4),
+            }
+            expected = sum(env.values()) >= 2
+            assert m.evaluate(env) == expected
+
+    def test_equality_and_hash(self):
+        e1 = And((Var("a"), Var("b")))
+        e2 = And((Var("a"), Var("b")))
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+        assert e1 != Or((Var("a"), Var("b")))
+
+
+class TestParser:
+    def test_precedence_not_and_xor_or(self):
+        # ~ binds tightest, then &, then ^, then |.
+        expr = parse_expression("a | b & c ^ d")
+        assert isinstance(expr, Or)
+        xor_part = expr.children[1]
+        assert isinstance(xor_part, Xor)
+        assert isinstance(xor_part.left, And)
+
+    def test_parentheses(self):
+        expr = parse_expression("(a | b) & c")
+        assert isinstance(expr, And)
+
+    def test_both_negation_styles(self):
+        for text in ("~a", "!a"):
+            expr = parse_expression(text)
+            assert isinstance(expr, Not)
+
+    def test_constants(self):
+        assert parse_expression("1") == TRUE
+        assert parse_expression("0") == FALSE
+
+    def test_nary_collection(self):
+        expr = parse_expression("a & b & c & d")
+        assert isinstance(expr, And)
+        assert len(expr.children) == 4
+
+    def test_round_trip_semantics(self):
+        text = "~(a & b) ^ (c | ~d)"
+        expr = parse_expression(text)
+        for bits in range(16):
+            env = {
+                "a": bool(bits & 1), "b": bool(bits & 2),
+                "c": bool(bits & 4), "d": bool(bits & 8),
+            }
+            expected = (not (env["a"] and env["b"])) != (env["c"] or not env["d"])
+            assert expr.evaluate(env) == expected
+
+    def test_errors(self):
+        for bad in ("", "a &", "& a", "(a", "a b", "a @ b"):
+            with pytest.raises(SynthesisError):
+                parse_expression(bad)
+
+    def test_parse_design(self):
+        design = parse_design({"s": "a ^ b", "c": "a & b"})
+        assert set(design) == {"s", "c"}
+        assert isinstance(design["s"], Xor)

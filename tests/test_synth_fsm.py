@@ -1,0 +1,167 @@
+"""Tests for FSM synthesis (the Section 4.1 control-logic substrate)."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.netlist import find_combinational_loop
+from repro.synth import SynthesisError, simulate_sequential
+from repro.synth.fsm import (
+    FsmSpec,
+    Transition,
+    bus_interface_spec,
+    next_state_expressions,
+    synthesize_fsm,
+)
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+
+
+def toggle_spec() -> FsmSpec:
+    return FsmSpec(
+        name="toggle",
+        states=["A", "B"],
+        inputs=["en"],
+        transitions=[
+            Transition("A", "B", "en"),
+            Transition("B", "A", "en"),
+        ],
+        outputs={"in_b": {"B"}},
+    )
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            FsmSpec("x", ["ONLY"], [], [])
+        with pytest.raises(SynthesisError):
+            FsmSpec("x", ["A", "A"], [], [])
+        with pytest.raises(SynthesisError):
+            FsmSpec("x", ["A", "B"], [],
+                    [Transition("A", "MISSING", "1")])
+        with pytest.raises(SynthesisError):
+            FsmSpec("x", ["A", "B"], [], [], outputs={"y": {"Z"}})
+
+    def test_state_bits(self):
+        assert toggle_spec().state_bits == 1
+        assert bus_interface_spec().state_bits == 2
+
+    def test_reference_simulation_toggle(self):
+        spec = toggle_spec()
+        stream = [{"en": v} for v in (True, False, True, True)]
+        trace = spec.simulate(stream)
+        assert [s for s, _ in trace] == ["A", "B", "B", "A"]
+        assert trace[1][1]["in_b"] is True
+
+    def test_hold_without_match(self):
+        spec = toggle_spec()
+        trace = spec.simulate([{"en": False}] * 3)
+        assert all(state == "A" for state, _ in trace)
+
+
+class TestNextStateLogic:
+    def test_expressions_match_reference(self):
+        spec = bus_interface_spec()
+        design = next_state_expressions(spec)
+        # Walk the reference machine and the expressions side by side.
+        state_index = 0
+        import itertools
+
+        for vec in itertools.product([False, True], repeat=4):
+            stimulus = dict(zip(spec.inputs, vec))
+            for start_index in range(len(spec.states)):
+                env = dict(stimulus)
+                env["s0"] = bool(start_index & 1)
+                env["s1"] = bool(start_index & 2)
+                # Reference next state.
+                spec_copy_state = spec.states[start_index]
+                nxt = spec_copy_state
+                for t in spec.transitions:
+                    if t.source != spec_copy_state:
+                        continue
+                    from repro.synth import parse_expression
+
+                    if parse_expression(t.condition).evaluate(stimulus):
+                        nxt = t.target
+                        break
+                nxt_index = spec.states.index(nxt)
+                assert design["ns0"].evaluate(env) == bool(nxt_index & 1), (
+                    spec_copy_state, stimulus
+                )
+                assert design["ns1"].evaluate(env) == bool(nxt_index & 2), (
+                    spec_copy_state, stimulus
+                )
+
+    def test_output_logic(self):
+        design = next_state_expressions(bus_interface_spec())
+        # busy asserted in REQ (index 1) and XFER (index 2).
+        env = {"s0": True, "s1": False}  # REQ
+        assert design["busy"].evaluate(env) is True
+        env = {"s0": False, "s1": False}  # IDLE
+        assert design["busy"].evaluate(env) is False
+        env = {"s0": True, "s1": True}  # DONE
+        assert design["ack"].evaluate(env) is True
+
+
+class TestSynthesis:
+    def test_netlist_matches_reference_bus_fsm(self):
+        spec = bus_interface_spec()
+        fsm = synthesize_fsm(spec, RICH)
+        stream = [
+            {"req": True, "gnt": False, "err": False, "last": False},
+            {"req": False, "gnt": True, "err": False, "last": False},
+            {"req": False, "gnt": False, "err": False, "last": False},
+            {"req": False, "gnt": False, "err": False, "last": True},
+            {"req": False, "gnt": False, "err": False, "last": False},
+            {"req": True, "gnt": False, "err": True, "last": False},
+        ]
+        reference = spec.simulate(stream)
+        trace = simulate_sequential(fsm, RICH, stream)
+        for cycle, (state, ref_outputs) in enumerate(reference):
+            for out, expected in ref_outputs.items():
+                assert trace[cycle][out] == expected, (cycle, state, out)
+
+    def test_netlist_matches_reference_toggle(self):
+        spec = toggle_spec()
+        fsm = synthesize_fsm(spec, RICH)
+        stream = [{"en": bool(i % 3 != 0)} for i in range(10)]
+        reference = spec.simulate(stream)
+        trace = simulate_sequential(fsm, RICH, stream)
+        for cycle, (_state, ref_outputs) in enumerate(reference):
+            assert trace[cycle]["in_b"] == ref_outputs["in_b"], cycle
+
+    def test_feedback_through_register_only(self):
+        fsm = synthesize_fsm(bus_interface_spec(), RICH)
+        # Combinational loop exists if registers are ignored...
+        assert find_combinational_loop(fsm) is not None
+        # ...but the registers legally break it.
+        assert find_combinational_loop(
+            fsm, RICH.sequential_cell_names()
+        ) is None
+
+    def test_fsm_cannot_be_pipelined(self):
+        from repro.pipeline import PipelineError, pipeline_module
+
+        fsm = synthesize_fsm(bus_interface_spec(), RICH)
+        with pytest.raises(PipelineError, match="already contains"):
+            pipeline_module(fsm, RICH, stages=2)
+
+    def test_retiming_bound_by_feedback_cycle(self):
+        """The Section 4.1 argument made exact: the state-feedback cycle
+        carries one register, so no retiming can beat the next-state
+        cone delay."""
+        from repro.pipeline import make_retiming_graph, opt_period
+
+        # Abstract the bus FSM: next-state cone delay 10, output cone 4,
+        # one register on the feedback loop.
+        graph = make_retiming_graph(
+            {"ns_logic": 10.0, "state_reg": 0.0, "out_logic": 4.0},
+            [
+                ("state_reg", "ns_logic", 0),
+                ("ns_logic", "state_reg", 1),
+                ("state_reg", "out_logic", 0),
+            ],
+        )
+        result = opt_period(graph)
+        # Cycle bound: delay 10 / weight 1.
+        assert result.period == pytest.approx(10.0)

@@ -1,0 +1,214 @@
+"""Unit tests for repro.synth.mapper and repro.synth.simulate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import poor_asic_library, rich_asic_library
+from repro.netlist import logic_depth
+from repro.synth import (
+    SimulationError,
+    SynthesisError,
+    TechnologyMapper,
+    Var,
+    exhaustive_equivalent,
+    map_design,
+    parse_expression,
+    simulate_combinational,
+    simulate_sequential,
+)
+from repro.tech import CMOS250_ASIC
+
+
+@pytest.fixture(scope="module")
+def rich():
+    return rich_asic_library(CMOS250_ASIC)
+
+
+@pytest.fixture(scope="module")
+def poor():
+    return poor_asic_library(CMOS250_ASIC)
+
+
+def check_against_expr(module, library, text):
+    """Mapped netlist must match the expression on all input vectors."""
+    expr = parse_expression(text)
+    ports = module.inputs()
+    for bits in range(1 << len(ports)):
+        vec = {p: bool((bits >> i) & 1) for i, p in enumerate(ports)}
+        out = simulate_combinational(module, library, vec)
+        assert out["y"] == expr.evaluate(vec), f"mismatch at {vec}"
+
+
+class TestMapping:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a & b",
+            "~(a & b)",
+            "a | b | c",
+            "a ^ b",
+            "~(a ^ b)",
+            "(a & b) | (~c & d)",
+            "~(a | b) & (c ^ d)",
+            "a & b & c & d",
+            "a",
+            "~a",
+        ],
+    )
+    def test_rich_mapping_is_correct(self, rich, text):
+        module = map_design({"y": parse_expression(text)}, rich)
+        module.assert_well_formed()
+        check_against_expr(module, rich, text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a & b",
+            "a | b | c",
+            "a ^ b",
+            "(a & b) | (~c & d)",
+            "a & b & c & d",
+        ],
+    )
+    def test_poor_mapping_is_correct(self, poor, text):
+        module = map_design({"y": parse_expression(text)}, poor)
+        module.assert_well_formed()
+        check_against_expr(module, poor, text)
+
+    def test_poor_library_needs_more_gates(self, rich, poor):
+        # AND must be built as NAND+INV without dual polarity.
+        text = "(a & b & c) | (d & e)"
+        expr = parse_expression(text)
+        rich_mod = map_design({"y": expr}, rich)
+        poor_mod = map_design({"y": expr}, poor)
+        assert poor_mod.instance_count() > rich_mod.instance_count()
+
+    def test_sharing_common_subexpressions(self, rich):
+        # (a&b) used twice should be built once.
+        expr = parse_expression("(a & b) ^ ((a & b) | c)")
+        module = map_design({"y": expr}, rich)
+        and_gates = [
+            i for i in module.iter_instances() if i.cell_name.startswith("AND2")
+        ]
+        assert len(and_gates) == 1
+
+    def test_multi_output_design(self, rich):
+        module = map_design(
+            {"s": parse_expression("a ^ b"), "c": parse_expression("a & b")},
+            rich,
+            name="half_adder",
+        )
+        out = simulate_combinational(module, rich, {"a": True, "b": True})
+        assert out == {"s": False, "c": True}
+
+    def test_constant_output_rejected(self, rich):
+        with pytest.raises(SynthesisError, match="constant"):
+            map_design({"y": parse_expression("a & ~a")}, rich)
+
+    def test_input_order_respected(self, rich):
+        mapper = TechnologyMapper(rich)
+        module = mapper.map_design(
+            {"y": parse_expression("a & b")}, input_order=["b", "a"]
+        )
+        assert module.inputs() == ["b", "a"]
+
+    def test_input_order_must_cover(self, rich):
+        mapper = TechnologyMapper(rich)
+        with pytest.raises(SynthesisError, match="omits"):
+            mapper.map_design({"y": parse_expression("a & b")}, input_order=["a"])
+
+    def test_wide_and_decomposed(self, rich):
+        expr = parse_expression("&".join(f"v{i}" for i in range(10)))
+        module = map_design({"y": expr}, rich)
+        module.assert_well_formed()
+        # Balanced tree of AND4/AND3/AND2: depth ~2-3 plus output buffer.
+        assert logic_depth(module) <= 5
+
+
+class TestSimulation:
+    def test_missing_input_raises(self, rich):
+        module = map_design({"y": parse_expression("a & b")}, rich)
+        with pytest.raises(SimulationError, match="missing input"):
+            simulate_combinational(module, rich, {"a": True})
+
+    def test_sequential_rejected_in_comb_sim(self, rich):
+        from repro.netlist import Module
+
+        m = Module("seq")
+        m.add_input("d")
+        m.add_input("clk")
+        m.add_output("q")
+        m.add_instance(
+            "ff", rich.flip_flop().name,
+            inputs={"D": "d", "CK": "clk"}, outputs={"Q": "q"},
+        )
+        with pytest.raises(SimulationError, match="sequential"):
+            simulate_combinational(m, rich, {"d": True, "clk": False})
+
+    def test_sequential_pipeline_delay(self, rich):
+        # y = register(a): output lags input by one cycle.
+        from repro.netlist import Module
+
+        m = Module("reg")
+        m.add_input("a")
+        m.add_input("clk")
+        m.add_output("q")
+        m.add_instance(
+            "ff", rich.flip_flop().name,
+            inputs={"D": "a", "CK": "clk"}, outputs={"Q": "q"},
+        )
+        stream = [{"a": bool(i % 2)} for i in range(6)]
+        trace = simulate_sequential(m, rich, stream)
+        assert [t["q"] for t in trace] == [False] + [bool(i % 2) for i in range(5)]
+
+    def test_exhaustive_equivalence_of_libraries(self, rich, poor):
+        text = "(a & b) | (c ^ d)"
+        expr = parse_expression(text)
+        mod_rich = map_design({"y": expr}, rich)
+        mod_poor = map_design({"y": expr}, poor)
+        assert exhaustive_equivalent(mod_rich, rich, mod_poor, poor)
+
+    def test_exhaustive_guard(self, rich):
+        wide = parse_expression("&".join(f"v{i}" for i in range(14)))
+        module = map_design({"y": wide}, rich)
+        with pytest.raises(SimulationError, match="exceeds"):
+            exhaustive_equivalent(module, rich, module, rich, max_inputs=12)
+
+
+# ----------------------------------------------------------------------
+# Property: mapping preserves semantics on random expressions
+# ----------------------------------------------------------------------
+
+_VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def expr_text(draw, depth=0):
+    if depth > 3 or (depth > 0 and draw(st.booleans())):
+        return draw(st.sampled_from(_VARS))
+    kind = draw(st.integers(0, 3))
+    left = draw(expr_text(depth=depth + 1))
+    right = draw(expr_text(depth=depth + 1))
+    if kind == 0:
+        return f"~({left})"
+    op = {1: "&", 2: "|", 3: "^"}[kind]
+    return f"({left} {op} {right})"
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr_text())
+def test_mapping_preserves_semantics_property(text):
+    rich = _RICH
+    expr = parse_expression(text)
+    try:
+        module = map_design({"y": expr}, rich)
+    except SynthesisError:
+        return  # constant-valued expression: legitimately unmappable
+    for bits in range(16):
+        env = {v: bool((bits >> i) & 1) for i, v in enumerate(_VARS)}
+        vec = {p: env[p] for p in module.inputs()}
+        out = simulate_combinational(module, rich, vec)
+        assert out["y"] == expr.evaluate(env)
+
+
+_RICH = rich_asic_library(CMOS250_ASIC)

@@ -1,0 +1,162 @@
+"""Unit tests for repro.synth.optimize."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth import (
+    And,
+    Const,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    Xor,
+    balance,
+    flatten,
+    optimize,
+    parse_expression,
+    simplify,
+)
+
+A, B, C, D = Var("a"), Var("b"), Var("c"), Var("d")
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(And((A, TRUE))) == A
+        assert simplify(And((A, FALSE))) == FALSE
+        assert simplify(Or((A, TRUE))) == TRUE
+        assert simplify(Or((A, FALSE))) == A
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(A))) == A
+        assert simplify(Not(Not(Not(A)))) == Not(A)
+
+    def test_xor_identities(self):
+        assert simplify(Xor(A, FALSE)) == A
+        assert simplify(Xor(A, TRUE)) == Not(A)
+        assert simplify(Xor(A, A)) == FALSE
+
+    def test_duplicate_removal(self):
+        assert simplify(And((A, A, B))) == And((A, B))
+        assert simplify(Or((A, A))) == A
+
+    def test_not_constant(self):
+        assert simplify(Not(TRUE)) == FALSE
+        assert simplify(Not(FALSE)) == TRUE
+
+
+class TestFlattenBalance:
+    def test_flatten_merges_nested(self):
+        nested = And((And((A, B)), And((C, D))))
+        flat = flatten(nested)
+        assert isinstance(flat, And)
+        assert len(flat.children) == 4
+
+    def test_balance_reduces_depth(self):
+        # Chain a & (b & (c & (d & ...))) over 8 vars.
+        vars_ = [Var(f"v{i}") for i in range(8)]
+        chain = vars_[0]
+        for v in vars_[1:]:
+            chain = And((chain, v))
+        assert chain.depth() == 7
+        balanced = optimize(chain)
+        assert balanced.depth() == 3  # ceil(log2(8))
+
+    def test_balance_respects_max_arity(self):
+        wide = And(tuple(Var(f"v{i}") for i in range(9)))
+        b2 = balance(wide, max_arity=2)
+        b4 = balance(wide, max_arity=4)
+        assert _max_arity(b2) <= 2
+        assert _max_arity(b4) <= 4
+        assert b4.depth() <= b2.depth()
+
+    def test_balance_rejects_arity_one(self):
+        with pytest.raises(Exception):
+            balance(And((A, B)), max_arity=1)
+
+
+def _max_arity(expr) -> int:
+    if isinstance(expr, (And, Or)):
+        return max(
+            [len(expr.children)] + [_max_arity(c) for c in expr.children]
+        )
+    if isinstance(expr, Not):
+        return _max_arity(expr.child)
+    if isinstance(expr, Xor):
+        return max(2, _max_arity(expr.left), _max_arity(expr.right))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Property: optimisation preserves semantics
+# ----------------------------------------------------------------------
+
+_VARS = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def random_expr(draw, depth=0):
+    if depth > 4 or draw(st.booleans()) and depth > 1:
+        choice = draw(st.integers(0, 5))
+        if choice == 0:
+            return TRUE
+        if choice == 1:
+            return FALSE
+        return Var(draw(st.sampled_from(_VARS)))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Not(draw(random_expr(depth=depth + 1)))
+    if kind == 1:
+        n = draw(st.integers(2, 4))
+        return And(tuple(draw(random_expr(depth=depth + 1)) for _ in range(n)))
+    if kind == 2:
+        n = draw(st.integers(2, 4))
+        return Or(tuple(draw(random_expr(depth=depth + 1)) for _ in range(n)))
+    return Xor(draw(random_expr(depth=depth + 1)), draw(random_expr(depth=depth + 1)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_expr())
+def test_optimize_preserves_semantics(expr):
+    optimised = optimize(expr)
+    for bits in range(32):
+        env = {v: bool((bits >> i) & 1) for i, v in enumerate(_VARS)}
+        assert optimised.evaluate(env) == expr.evaluate(env)
+
+
+def _chain(expr):
+    """Rewrite n-ary nodes as worst-case left-to-right 2-input chains."""
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Not):
+        return Not(_chain(expr.child))
+    if isinstance(expr, Xor):
+        return Xor(_chain(expr.left), _chain(expr.right))
+    op = type(expr)
+    acc = _chain(expr.children[0])
+    for child in expr.children[1:]:
+        acc = op((acc, _chain(child)))
+    return acc
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_expr())
+def test_optimize_no_deeper_than_chained_form(expr):
+    # Balancing must never do worse than naive chain decomposition to the
+    # same 2-input arity.
+    chained = _chain(flatten(simplify(expr)))
+    optimised = optimize(expr)
+    assert optimised.depth() <= max(chained.depth(), 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_expr())
+def test_optimize_idempotent(expr):
+    once = optimize(expr)
+    twice = optimize(once)
+    for bits in range(32):
+        env = {v: bool((bits >> i) & 1) for i, v in enumerate(_VARS)}
+        assert once.evaluate(env) == twice.evaluate(env)
+    assert twice.depth() <= once.depth()

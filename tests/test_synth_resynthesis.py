@@ -1,0 +1,188 @@
+"""Unit tests for repro.synth.resynthesis (the Section 6.2 passes)."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.netlist import Module, logic_depth
+from repro.sta import analyze, asic_clock
+from repro.synth import (
+    exhaustive_equivalent,
+    map_design,
+    parse_expression,
+    simulate_combinational,
+)
+from repro.synth.resynthesis import (
+    ResynthesisReport,
+    collapse_into_complex_gates,
+    pin_swap_late_arrivals,
+    remove_inverter_pairs,
+    resynthesize,
+)
+from repro.tech import CMOS250_ASIC
+
+RICH = rich_asic_library(CMOS250_ASIC)
+CLK = asic_clock(20000.0)
+
+
+def double_inverter_module():
+    m = Module("dbl")
+    m.add_input("a")
+    m.add_output("y")
+    m.add_instance("i1", "INV_X2", inputs={"A": "a"}, outputs={"Y": "w1"})
+    m.add_instance("i2", "INV_X2", inputs={"A": "w1"}, outputs={"Y": "w2"})
+    m.add_instance("g", "NAND2_X2", inputs={"A": "w2", "B": "a"},
+                   outputs={"Y": "y"})
+    return m
+
+
+def aoi_pattern_module():
+    m = Module("aoi")
+    for p in ("a", "b", "c"):
+        m.add_input(p)
+    m.add_output("y")
+    m.add_instance("and1", "AND2_X2", inputs={"A": "a", "B": "b"},
+                   outputs={"Y": "w"})
+    m.add_instance("nor1", "NOR2_X2", inputs={"A": "w", "B": "c"},
+                   outputs={"Y": "y"})
+    return m
+
+
+class TestInverterPairs:
+    def test_pair_removed(self):
+        m = double_inverter_module()
+        removed = remove_inverter_pairs(m, RICH)
+        assert removed == 1
+        assert m.instance_count() == 1
+        m.assert_well_formed()
+
+    def test_function_preserved(self):
+        m = double_inverter_module()
+        before = {
+            (a,): simulate_combinational(m, RICH, {"a": a})["y"]
+            for a in (False, True)
+        }
+        remove_inverter_pairs(m, RICH)
+        after = {
+            (a,): simulate_combinational(m, RICH, {"a": a})["y"]
+            for a in (False, True)
+        }
+        assert before == after
+
+    def test_single_inverter_kept(self):
+        m = Module("single")
+        m.add_input("a")
+        m.add_output("y")
+        m.add_instance("i1", "INV_X2", inputs={"A": "a"}, outputs={"Y": "w"})
+        m.add_instance("g", "BUF_X2", inputs={"A": "w"}, outputs={"Y": "y"})
+        assert remove_inverter_pairs(m, RICH) == 0
+        assert m.instance_count() == 2
+
+    def test_fanout_on_middle_net_blocks(self):
+        m = double_inverter_module()
+        # Give w1 a second consumer: no longer removable.
+        m.add_output("z")
+        m.add_instance("extra", "BUF_X2", inputs={"A": "w1"},
+                       outputs={"Y": "z"})
+        assert remove_inverter_pairs(m, RICH) == 0
+
+
+class TestComplexGates:
+    def test_aoi_fusion(self):
+        m = aoi_pattern_module()
+        formed = collapse_into_complex_gates(m, RICH)
+        assert formed == 1
+        assert any(
+            inst.cell_name.startswith("AOI21")
+            for inst in m.iter_instances()
+        )
+        m.assert_well_formed()
+
+    def test_fusion_preserves_function(self):
+        m = aoi_pattern_module()
+        reference = aoi_pattern_module()
+        collapse_into_complex_gates(m, RICH)
+        assert exhaustive_equivalent(m, RICH, reference, RICH)
+
+    def test_fusion_cuts_depth(self):
+        m = aoi_pattern_module()
+        before = logic_depth(m)
+        collapse_into_complex_gates(m, RICH)
+        assert logic_depth(m) < before
+
+    def test_oai_fusion(self):
+        m = Module("oai")
+        for p in ("a", "b", "c"):
+            m.add_input(p)
+        m.add_output("y")
+        m.add_instance("or1", "OR2_X2", inputs={"A": "a", "B": "b"},
+                       outputs={"Y": "w"})
+        m.add_instance("nand1", "NAND2_X2", inputs={"A": "w", "B": "c"},
+                       outputs={"Y": "y"})
+        reference = m.clone("ref")
+        assert collapse_into_complex_gates(m, RICH) == 1
+        assert exhaustive_equivalent(m, RICH, reference, RICH)
+
+
+class TestPinSwap:
+    def test_late_signal_moves_to_fast_pin(self):
+        m = Module("swap")
+        m.add_input("early")
+        m.add_input("late")
+        m.add_output("y")
+        m.add_instance(
+            "g", "AOI21_X2",
+            inputs={"A": "late", "B": "early", "C": "early"},
+            outputs={"Y": "y"},
+        )
+        # AOI21 pin C has lower effort (5/3) than A/B (2.0); the later
+        # arrival should end up on C... but C has a different logic role,
+        # so AOI gates must NOT be swapped.
+        arrivals = {"early": 0.0, "late": 500.0}
+        swapped = pin_swap_late_arrivals(m, RICH, arrivals)
+        assert swapped == 0  # non-commutative cell untouched
+
+    def test_commutative_swap(self):
+        m = Module("swap2")
+        m.add_input("early")
+        m.add_input("late")
+        m.add_output("y")
+        m.add_instance(
+            "g", "NAND3_X2",
+            inputs={"A": "late", "B": "early", "C": "early"},
+            outputs={"Y": "y"},
+        )
+        arrivals = {"early": 0.0, "late": 500.0}
+        pin_swap_late_arrivals(m, RICH, arrivals)
+        m.assert_well_formed()
+        # All NAND3 pins have equal effort here, so any assignment is
+        # valid; the invariant is structural integrity + same net set.
+        assert sorted(m.instance("g").inputs.values()) == [
+            "early", "early", "late"
+        ]
+
+
+class TestFullResynthesis:
+    def test_fixed_point_on_mapped_design(self):
+        text = "~(~(a & b)) | ~(~c)"
+        module = map_design({"y": parse_expression(text)}, RICH)
+        reference = map_design({"y": parse_expression(text)}, RICH)
+        report = resynthesize(module, RICH)
+        assert isinstance(report, ResynthesisReport)
+        assert exhaustive_equivalent(module, RICH, reference, RICH)
+
+    def test_resynthesis_never_slows(self):
+        m = aoi_pattern_module()
+        before = analyze(m, RICH, CLK).min_period_ps
+        resynthesize(m, RICH)
+        after = analyze(m, RICH, CLK).min_period_ps
+        assert after <= before + 1.0
+
+    def test_report_totals(self):
+        report = ResynthesisReport(2, 1, 3, 2)
+        assert report.total_changes == 6
+
+    def test_iteration_validation(self):
+        from repro.synth import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            resynthesize(aoi_pattern_module(), RICH, max_iterations=0)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.tech.corners and repro.tech.scaling."""
+
+import math
+
+import pytest
+
+from repro.tech import (
+    CMOS250_ASIC,
+    CornerType,
+    ProcessCorner,
+    STANDARD_CORNERS,
+    TechnologyError,
+    generations_equivalent,
+    get_corner,
+    migrate_asic,
+    migrate_custom,
+    project_technology,
+    speedup_over_generations,
+    typical_to_best_speedup,
+    worst_case_to_best_speedup,
+    worst_case_to_typical_speedup,
+    years_equivalent,
+)
+
+
+class TestCorners:
+    def test_typical_is_identity(self):
+        corner = get_corner(CornerType.TYPICAL)
+        assert corner.apply(100.0) == pytest.approx(100.0)
+        assert corner.frequency_factor() == pytest.approx(1.0)
+
+    def test_worst_case_matches_paper_range(self):
+        # Section 8: typical 60-70% faster than worst case.
+        speedup = worst_case_to_typical_speedup()
+        assert 1.60 <= speedup <= 1.70
+
+    def test_best_bins_match_paper_range(self):
+        # Section 8: fastest bins 20-40% faster than typical.
+        speedup = typical_to_best_speedup()
+        assert 1.20 <= speedup <= 1.40
+
+    def test_overall_speedup_near_90_percent(self):
+        # Section 8: overall ~90% faster; our midpoint corners give ~2.1x,
+        # bracketing 1.9x.
+        speedup = worst_case_to_best_speedup()
+        assert 1.85 <= speedup <= 2.20
+
+    def test_corner_ordering(self):
+        derates = [
+            STANDARD_CORNERS[k].delay_derate
+            for k in (
+                CornerType.WORST_CASE,
+                CornerType.SLOW,
+                CornerType.TYPICAL,
+                CornerType.FAST,
+                CornerType.BEST_CASE,
+            )
+        ]
+        assert derates == sorted(derates, reverse=True)
+
+    def test_apply_rejects_negative_delay(self):
+        with pytest.raises(TechnologyError):
+            get_corner(CornerType.TYPICAL).apply(-1.0)
+
+    def test_invalid_derate_rejected(self):
+        with pytest.raises(TechnologyError):
+            ProcessCorner(corner_type=CornerType.TYPICAL, delay_derate=0.0)
+
+
+class TestScaling:
+    def test_gap_is_about_five_generations(self):
+        # Section 2: the 6-8x gap "is equivalent to that of five process
+        # generations".
+        assert 4.0 < generations_equivalent(6.0) < 5.2
+        assert 4.5 < generations_equivalent(8.0) < 5.5
+
+    def test_gap_is_about_a_decade(self):
+        assert 8.0 < years_equivalent(6.0) < 11.0
+        assert 9.0 < years_equivalent(8.0) < 11.0
+
+    def test_round_trip(self):
+        for ratio in (1.5, 2.0, 6.0, 18.0):
+            gens = generations_equivalent(ratio)
+            assert speedup_over_generations(gens) == pytest.approx(ratio)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(TechnologyError):
+            generations_equivalent(0.0)
+
+    def test_projection_shrinks_geometry(self):
+        new = project_technology(CMOS250_ASIC, 1)
+        assert new.drawn_length_um < CMOS250_ASIC.drawn_length_um
+        assert new.leff_um < CMOS250_ASIC.leff_um
+        assert new.vdd < CMOS250_ASIC.vdd
+        assert new.fo4_delay_ps < CMOS250_ASIC.fo4_delay_ps
+
+    def test_projection_zero_generations_is_identity_geometry(self):
+        new = project_technology(CMOS250_ASIC, 0)
+        assert new.leff_um == pytest.approx(CMOS250_ASIC.leff_um)
+
+    def test_projection_rejects_negative(self):
+        with pytest.raises(TechnologyError):
+            project_technology(CMOS250_ASIC, -1)
+
+    def test_wire_resistance_rises_on_shrink(self):
+        new = project_technology(CMOS250_ASIC, 1)
+        assert (
+            new.interconnect.resistance_ohm_per_um
+            > CMOS250_ASIC.interconnect.resistance_ohm_per_um
+        )
+
+
+class TestMigration:
+    def test_asic_migration_full_speedup_low_effort(self):
+        result = migrate_asic(CMOS250_ASIC, 1)
+        assert result.speedup == pytest.approx(1.5)
+        assert result.redesign_effort < 0.2
+
+    def test_custom_migration_without_redesign_loses_speed(self):
+        full = migrate_custom(CMOS250_ASIC, 1, redesign=True)
+        partial = migrate_custom(CMOS250_ASIC, 1, redesign=False)
+        assert full.speedup == pytest.approx(1.5)
+        assert partial.speedup < full.speedup
+        assert partial.redesign_effort < full.redesign_effort
+
+    def test_custom_redesign_effort_scales_with_generations(self):
+        one = migrate_custom(CMOS250_ASIC, 1)
+        two = migrate_custom(CMOS250_ASIC, 2)
+        assert two.redesign_effort > one.redesign_effort
+        assert two.speedup == pytest.approx(1.5**2)

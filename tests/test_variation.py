@@ -1,0 +1,197 @@
+"""Unit and property tests for the process-variation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.variation import (
+    MATURE_PROCESS,
+    NEW_PROCESS,
+    VariationComponents,
+    VariationError,
+    access_gap,
+    accessibility_penalty,
+    asic_worst_case_quote,
+    best_accessible_fab,
+    bin_population,
+    custom_flagship_frequency,
+    default_foundry_set,
+    expected_bin_spread,
+    fab_distributions,
+    fab_spread,
+    maturity_trend,
+    sample_chip_speeds,
+    speed_tested_quote,
+)
+
+
+@pytest.fixture(scope="module")
+def new_dist():
+    return sample_chip_speeds(400.0, NEW_PROCESS, count=20000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def mature_dist():
+    return sample_chip_speeds(400.0, MATURE_PROCESS, count=20000, seed=3)
+
+
+class TestComponents:
+    def test_quadrature(self):
+        c = VariationComponents(0.03, 0.04, 0.0, 0.02)
+        assert c.chip_level_sigma == pytest.approx(0.05)
+
+    def test_presets_ordered(self):
+        assert NEW_PROCESS.chip_level_sigma > MATURE_PROCESS.chip_level_sigma
+
+    def test_scaled(self):
+        half = NEW_PROCESS.scaled(0.5)
+        assert half.chip_level_sigma == pytest.approx(
+            NEW_PROCESS.chip_level_sigma / 2
+        )
+
+    def test_new_process_bin_spread_in_paper_band(self):
+        # Section 8.1.1: initial variation "about 30% to 40%".
+        spread = expected_bin_spread(NEW_PROCESS)
+        assert 1.25 < spread < 1.45
+
+    def test_validation(self):
+        with pytest.raises(VariationError):
+            VariationComponents(-0.1, 0.0, 0.0, 0.0)
+        with pytest.raises(VariationError):
+            VariationComponents(0.0, 0.0, 0.0, 0.0, critical_paths=0)
+        with pytest.raises(VariationError):
+            NEW_PROCESS.scaled(-1.0)
+
+
+class TestMonteCarlo:
+    def test_deterministic_with_seed(self):
+        a = sample_chip_speeds(400.0, NEW_PROCESS, count=500, seed=9)
+        b = sample_chip_speeds(400.0, NEW_PROCESS, count=500, seed=9)
+        assert np.array_equal(a.frequencies_mhz, b.frequencies_mhz)
+
+    def test_median_below_nominal(self, new_dist):
+        # Intra-die max-of-paths always slows a chip.
+        assert new_dist.median_mhz < new_dist.nominal_mhz
+
+    def test_spread_matches_paper_band(self, new_dist):
+        # 533-733 MHz at 0.18 um launch is a 1.375 spread; our p99/p1 for
+        # a new process lands in the same region.
+        assert 1.30 < new_dist.spread < 1.55
+
+    def test_mature_process_tighter(self, new_dist, mature_dist):
+        assert mature_dist.spread < new_dist.spread
+
+    def test_yield_monotone(self, new_dist):
+        y_low = new_dist.yield_at(new_dist.percentile(5.0))
+        y_high = new_dist.yield_at(new_dist.percentile(95.0))
+        assert y_low > 0.9 > 0.1 > y_high
+
+    def test_maturity_trend_improves(self):
+        trend = maturity_trend(400.0, NEW_PROCESS, quarters=6, count=3000)
+        assert trend[-1].spread < trend[0].spread
+        assert trend[-1].median_mhz > trend[0].median_mhz
+
+    def test_validation(self, new_dist):
+        with pytest.raises(VariationError):
+            sample_chip_speeds(0.0, NEW_PROCESS)
+        with pytest.raises(VariationError):
+            new_dist.percentile(123.0)
+        with pytest.raises(VariationError):
+            new_dist.yield_at(-1.0)
+
+
+class TestAccessGap:
+    def test_typical_over_quote_in_paper_band(self, new_dist):
+        # Section 8: typical 60-70% faster than worst-case quotes; our
+        # corner stack gives ~1.55-1.7.
+        gap = access_gap(new_dist)
+        assert 1.45 < gap.typical_over_quote < 1.75
+
+    def test_flagship_over_typical_in_paper_band(self, new_dist):
+        # Section 8: fastest bins 20-40% faster (we land at the low edge).
+        gap = access_gap(new_dist)
+        assert 1.15 < gap.flagship_over_typical < 1.40
+
+    def test_overall_near_90_percent(self, new_dist):
+        # Section 8: "the highest speed custom chips fabricated may be
+        # 90% faster than an equivalent ASIC design running at worst case".
+        gap = access_gap(new_dist)
+        assert 1.7 < gap.flagship_over_quote < 2.1
+
+    def test_speed_testing_buys_30_to_40(self, new_dist):
+        # Section 8.3: at-speed testing -> 30-40% over worst case.
+        gap = access_gap(new_dist)
+        assert 1.25 < gap.tested_over_quote < 1.45
+
+    def test_quote_below_all_shipping_grades(self, new_dist):
+        gap = access_gap(new_dist)
+        assert gap.asic_quote_mhz < gap.tested_mhz < gap.flagship_mhz
+
+    def test_quote_respects_floor(self):
+        # A catastrophically varying process floor binds below the corner.
+        wild = VariationComponents(0.3, 0.2, 0.2, 0.05)
+        dist = sample_chip_speeds(400.0, wild, count=5000, seed=2)
+        quote = asic_worst_case_quote(dist)
+        assert quote <= dist.percentile(0.5) + 1e-9
+
+    def test_validation(self, new_dist):
+        with pytest.raises(VariationError):
+            asic_worst_case_quote(new_dist, yield_target=0.3)
+        with pytest.raises(VariationError):
+            speed_tested_quote(new_dist, test_margin=0.9)
+        with pytest.raises(VariationError):
+            custom_flagship_frequency(new_dist, flagship_yield=0.9)
+
+
+class TestBinning:
+    def test_fractions_sum_to_one(self, new_dist):
+        edges = [300.0, 350.0, 400.0, 450.0]
+        bins = bin_population(new_dist, edges)
+        assert sum(b.fraction for b in bins) == pytest.approx(1.0)
+
+    def test_higher_bins_rarer(self, new_dist):
+        edges = [new_dist.percentile(p) for p in (10, 50, 90)]
+        bins = bin_population(new_dist, edges)
+        graded = [b for b in bins if b.frequency_mhz > 0]
+        assert graded[-1].fraction < graded[0].fraction
+
+    def test_bad_edges(self, new_dist):
+        with pytest.raises(VariationError):
+            bin_population(new_dist, [])
+        with pytest.raises(VariationError):
+            bin_population(new_dist, [-5.0])
+
+
+class TestFabs:
+    def test_fab_spread_in_paper_band(self):
+        # Section 8.1.2: 20-25% between companies' fabs.
+        fabs = default_foundry_set(MATURE_PROCESS)
+        assert 1.18 < fab_spread(fabs) < 1.30
+
+    def test_best_fab_access_asymmetry(self):
+        fabs = default_foundry_set(MATURE_PROCESS)
+        custom_best = best_accessible_fab(fabs, asic=False)
+        asic_best = best_accessible_fab(fabs, asic=True)
+        assert custom_best.speed_factor > asic_best.speed_factor
+        assert accessibility_penalty(fabs) > 1.0
+
+    def test_fab_distributions(self):
+        fabs = default_foundry_set(MATURE_PROCESS)
+        dists = fab_distributions(400.0, fabs, count=2000)
+        assert set(dists) == {f.name for f in fabs}
+        leader = dists["leader_internal"].median_mhz
+        trailer = dists["merchant_c"].median_mhz
+        assert leader > trailer
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sigma=st.floats(0.01, 0.12),
+    nominal=st.floats(100.0, 2000.0),
+)
+def test_distribution_brackets_nominal(sigma, nominal):
+    comp = VariationComponents(sigma, 0.0, 0.0, 0.01)
+    dist = sample_chip_speeds(nominal, comp, count=2000, seed=5)
+    assert dist.percentile(1.0) < nominal
+    assert dist.percentile(99.9) < 2.1 * nominal
+    assert dist.spread >= 1.0
