@@ -4,11 +4,27 @@ Every benchmark prints a table of (claim, paper value, measured value)
 rows through :func:`report`, so ``pytest benchmarks/ --benchmark-only -s``
 regenerates the paper's quantitative statements side by side with this
 reproduction's measurements.
+
+A run also *accumulates*: every reported row and every :func:`run_once`
+wall time lands in a module-level collector, and :func:`finalize`
+(registered atexit, so a plain pytest invocation triggers it) writes
+``BENCH_paperbench.json`` -- a flat scalar dict of claim pass/fail
+counts plus per-benchmark wall times.  That file is the benchmark
+trajectory the observability layer's metric dumps share a shape with.
 """
 
 from __future__ import annotations
 
+import atexit
+import json
+import time
 from dataclasses import dataclass
+
+#: Default output artifact (written to the pytest working directory).
+BENCH_JSON = "BENCH_paperbench.json"
+
+#: Accumulated state of the current benchmark run.
+_COLLECTED: dict = {"rows": [], "wall_s": {}}
 
 
 @dataclass(frozen=True)
@@ -41,7 +57,8 @@ def row(claim: str, paper: str, value: float, lo: float, hi: float,
 
 
 def report(title: str, rows: list[Row]) -> None:
-    """Print a claim-vs-measured table."""
+    """Print a claim-vs-measured table (and collect it for finalize)."""
+    _COLLECTED["rows"].extend(rows)
     print()
     print("=" * 78)
     print(title)
@@ -60,6 +77,42 @@ def run_once(benchmark, func):
 
     The experiments are deterministic simulations, not microbenchmarks;
     one round records the wall time without re-running multi-second
-    flows dozens of times.
+    flows dozens of times.  The wall time is also collected under the
+    benchmark's name for the ``BENCH_paperbench.json`` artifact.
     """
-    return benchmark.pedantic(func, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, rounds=1, iterations=1)
+    name = getattr(benchmark, "name", None) or getattr(
+        func, "__name__", "anonymous"
+    )
+    _COLLECTED["wall_s"][name] = time.perf_counter() - start
+    return result
+
+
+def summary() -> dict:
+    """Flat scalar dict of the run so far (the BENCH_*.json payload)."""
+    rows = _COLLECTED["rows"]
+    ok = sum(1 for r in rows if r.ok)
+    flat: dict = {
+        "claims_total": len(rows),
+        "claims_ok": ok,
+        "claims_out": len(rows) - ok,
+        "wall_time_s": round(sum(_COLLECTED["wall_s"].values()), 6),
+    }
+    for name in sorted(_COLLECTED["wall_s"]):
+        flat[f"bench.{name}.s"] = round(_COLLECTED["wall_s"][name], 6)
+    return flat
+
+
+def finalize(path: str = BENCH_JSON) -> dict | None:
+    """Write the accumulated summary; returns it (None if nothing ran)."""
+    if not _COLLECTED["rows"] and not _COLLECTED["wall_s"]:
+        return None
+    flat = summary()
+    with open(path, "w") as handle:
+        json.dump(flat, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return flat
+
+
+atexit.register(finalize)

@@ -10,12 +10,19 @@ want without writing Python:
 * ``roadmap``   -- project the gap over future process generations;
 * ``library``   -- summarise or export a generated cell library;
 * ``variation`` -- sample a die population and print the Section 8
-  quoting decomposition.
+  quoting decomposition;
+* ``stats``     -- run an instrumented gap comparison and print the
+  observability report (spans + metrics).
+
+The global ``--profile`` flag prints a per-stage span/metric report
+after any command, and ``--trace FILE`` writes the span tree as
+JSON-lines.  Both work before or after the subcommand name.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -68,6 +75,9 @@ def _cmd_flow(args: argparse.Namespace) -> int:
                 sizing_moves=args.sizing_moves,
             )
         )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(result.summary())
     for key, value in sorted(result.notes.items()):
         print(f"  {key}: {value:.2f}")
@@ -93,10 +103,60 @@ def _cmd_gap(args: argparse.Namespace) -> int:
             sizing_moves=args.sizing_moves,
         )
     )
+    gap = analyze_gap(asic, custom)
+    if args.json:
+        print(json.dumps(
+            {
+                "asic": asic.to_dict(),
+                "custom": custom.to_dict(),
+                "total_ratio": gap.total_ratio,
+                "cycle_depth_factor": gap.cycle_depth_factor,
+                "technology_factor": gap.technology_factor,
+                "quoting_factor": gap.quoting_factor,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print(asic.summary())
     print(custom.summary())
     print()
-    print(analyze_gap(asic, custom).table())
+    print(gap.table())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run an instrumented ASIC-vs-custom comparison, print the profile."""
+    from repro import obs
+    from repro.flows import (
+        AsicFlowOptions,
+        CustomFlowOptions,
+        run_asic_flow,
+        run_custom_flow,
+    )
+
+    already_enabled = obs.enabled()
+    if not already_enabled:
+        obs.enable()
+    asic = run_asic_flow(
+        AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves)
+    )
+    custom = run_custom_flow(
+        CustomFlowOptions(
+            bits=args.bits,
+            target_cycle_fo4=args.target_fo4,
+            sizing_moves=args.sizing_moves,
+        )
+    )
+    print(asic.summary())
+    print(custom.summary())
+    print()
+    print(obs.render_report())
+    if args.metrics_json:
+        written = obs.write_metrics(obs.get_metrics(), args.metrics_json)
+        print(f"\nwrote {written} metric keys to {args.metrics_json}")
+    if not already_enabled:
+        obs.disable()
     return 0
 
 
@@ -165,6 +225,28 @@ def _cmd_variation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_flags(parser: argparse.ArgumentParser,
+               suppress: bool = False) -> None:
+    """Register the global observability flags on a parser.
+
+    The flags live on the main parser *and* on every subparser (with
+    ``SUPPRESS`` defaults there, so a subparser parse does not clobber a
+    value given before the subcommand); both ``repro-gap --profile gap``
+    and ``repro-gap gap --profile`` work.
+    """
+    kwargs = {"default": argparse.SUPPRESS} if suppress else {}
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSON-lines span trace of the command to FILE",
+        **({"default": argparse.SUPPRESS} if suppress else {"default": None}),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage span/metric report after the command",
+        **kwargs,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -174,16 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
             "ASIC and Custom' (DAC 2000)."
         ),
     )
+    _obs_flags(parser)
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    _obs_flags(obs_parent, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("survey", help="Section 2 chip survey").set_defaults(
-        func=_cmd_survey
-    )
-    sub.add_parser("factors", help="Section 3 factor table").set_defaults(
-        func=_cmd_factors
-    )
+    sub.add_parser(
+        "survey", help="Section 2 chip survey", parents=[obs_parent]
+    ).set_defaults(func=_cmd_survey)
+    sub.add_parser(
+        "factors", help="Section 3 factor table", parents=[obs_parent]
+    ).set_defaults(func=_cmd_factors)
 
-    flow = sub.add_parser("flow", help="run one implementation flow")
+    flow = sub.add_parser("flow", help="run one implementation flow",
+                          parents=[obs_parent])
     flow.add_argument("style", choices=["asic", "custom"])
     flow.add_argument("--workload", default="alu")
     flow.add_argument("--bits", type=int, default=8)
@@ -193,20 +279,39 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--poor-library", action="store_true")
     flow.add_argument("--sloppy-placement", action="store_true")
     flow.add_argument("--speed-test", action="store_true")
+    flow.add_argument("--json", action="store_true",
+                      help="print the flow result as JSON")
     flow.set_defaults(func=_cmd_flow)
 
-    gap = sub.add_parser("gap", help="run both flows, decompose the gap")
+    gap = sub.add_parser("gap", help="run both flows, decompose the gap",
+                         parents=[obs_parent])
     gap.add_argument("--bits", type=int, default=8)
     gap.add_argument("--target-fo4", type=float, default=14.0)
     gap.add_argument("--sizing-moves", type=int, default=20)
+    gap.add_argument("--json", action="store_true",
+                     help="print both results and the factors as JSON")
     gap.set_defaults(func=_cmd_gap)
 
-    roadmap = sub.add_parser("roadmap", help="project the gap forward")
+    stats = sub.add_parser(
+        "stats",
+        help="instrumented gap run: spans, counters, histograms",
+        parents=[obs_parent],
+    )
+    stats.add_argument("--bits", type=int, default=8)
+    stats.add_argument("--target-fo4", type=float, default=14.0)
+    stats.add_argument("--sizing-moves", type=int, default=20)
+    stats.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="also write the flat metrics dump to FILE")
+    stats.set_defaults(func=_cmd_stats)
+
+    roadmap = sub.add_parser("roadmap", help="project the gap forward",
+                             parents=[obs_parent])
     roadmap.add_argument("--generations", type=int, default=4)
     roadmap.add_argument("--initial-gap", type=float, default=8.0)
     roadmap.set_defaults(func=_cmd_roadmap)
 
-    library = sub.add_parser("library", help="summarise/export a library")
+    library = sub.add_parser("library", help="summarise/export a library",
+                             parents=[obs_parent])
     library.add_argument(
         "--kind", choices=["rich", "poor", "custom", "domino"],
         default="rich",
@@ -216,7 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write Liberty-style text to this path")
     library.set_defaults(func=_cmd_library)
 
-    variation = sub.add_parser("variation", help="Section 8 die population")
+    variation = sub.add_parser("variation", help="Section 8 die population",
+                               parents=[obs_parent])
     variation.add_argument("--nominal", type=float, default=400.0)
     variation.add_argument("--process", choices=["new", "mature"],
                            default="new")
@@ -230,6 +336,28 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if trace_path or profile:
+        from repro import obs
+
+        obs.enable()
+        try:
+            code = args.func(args)
+        finally:
+            obs.disable()
+        if trace_path:
+            try:
+                spans = obs.write_trace(obs.get_tracer(), trace_path)
+            except OSError as exc:
+                print(f"repro-gap: cannot write trace: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote {spans} spans to {trace_path}", file=sys.stderr)
+        if profile:
+            print()
+            print(obs.render_report())
+        return code
     return args.func(args)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cells.builder import poor_asic_library, rich_asic_library
 from repro.datapath.alu import alu
 from repro.datapath.adders import kogge_stone_adder, ripple_carry_adder
@@ -87,52 +88,79 @@ def run_asic_flow(
             f"unknown workload {options.workload!r}; "
             f"known: {sorted(WORKLOADS)}"
         )
-    library = (
-        rich_asic_library(tech)
-        if options.rich_library
-        else poor_asic_library(tech)
-    )
-    comb = WORKLOADS[options.workload](options.bits, library)
+    with obs.span("flow.asic", workload=options.workload,
+                  bits=options.bits) as flow_span:
+        with obs.span("flow.asic.map") as sp:
+            library = (
+                rich_asic_library(tech)
+                if options.rich_library
+                else poor_asic_library(tech)
+            )
+            comb = WORKLOADS[options.workload](options.bits, library)
 
-    if options.pipeline_stages > 1:
-        report = pipeline_module(comb, library, options.pipeline_stages)
-        module = report.module
-        stages = report.stages
-    else:
-        module = register_boundaries(comb, library)
-        stages = 1
+            if options.pipeline_stages > 1:
+                report = pipeline_module(
+                    comb, library, options.pipeline_stages
+                )
+                module = report.module
+                stages = report.stages
+            else:
+                module = register_boundaries(comb, library)
+                stages = 1
+            sp.set(cells=module.instance_count(), stages=stages,
+                   library=library.name)
 
-    quality = "careful" if options.careful_placement else "sloppy"
-    placement = place(module, library, quality=quality, seed=options.seed)
-    wire = placement.parasitics(library)
+        with obs.span("flow.asic.place") as sp:
+            quality = "careful" if options.careful_placement else "sloppy"
+            placement = place(
+                module, library, quality=quality, seed=options.seed
+            )
+            wire = placement.parasitics(library)
+            sp.set(quality=quality,
+                   wirelength_um=placement.total_wirelength_um())
 
-    notes: dict[str, float] = {
-        "wirelength_um": placement.total_wirelength_um(),
-    }
-    if library.has_base("BUF"):
-        buffered = buffer_high_fanout(module, library, max_fanout=10)
-        notes["buffers_added"] = float(buffered.buffers_added)
+        notes: dict[str, float] = {
+            "wirelength_um": placement.total_wirelength_um(),
+        }
+        with obs.span("flow.asic.cts") as sp:
+            if library.has_base("BUF"):
+                buffered = buffer_high_fanout(module, library, max_fanout=10)
+                notes["buffers_added"] = float(buffered.buffers_added)
+                sp.set(buffers_added=buffered.buffers_added)
+            clock = asic_clock(20.0 * tech.fo4_delay_ps)
+            sp.set(skew_fraction=clock.skew_fraction)
 
-    clock = asic_clock(20.0 * tech.fo4_delay_ps)
-    if options.sizing_moves > 0:
-        sizing = size_for_speed(
-            module, library, clock, wire=wire,
-            max_moves=options.sizing_moves,
-        )
-        notes["sizing_moves"] = float(sizing.moves)
-        notes["sizing_speedup"] = sizing.speedup
+        with obs.span("flow.asic.size") as sp:
+            if options.sizing_moves > 0:
+                sizing = size_for_speed(
+                    module, library, clock, wire=wire,
+                    max_moves=options.sizing_moves,
+                )
+                notes["sizing_moves"] = float(sizing.moves)
+                notes["sizing_speedup"] = sizing.speedup
+                sp.set(moves=sizing.moves, speedup=sizing.speedup,
+                       area_growth=sizing.area_growth)
 
-    timing = solve_min_period(module, library, clock, wire=wire)
-    typical_mhz = timing.max_frequency_mhz
+        with obs.span("flow.asic.sta") as sp:
+            timing = solve_min_period(module, library, clock, wire=wire)
+            typical_mhz = timing.max_frequency_mhz
+            sp.set(min_period_ps=timing.min_period_ps,
+                   typical_mhz=typical_mhz)
 
-    dist = sample_chip_speeds(typical_mhz, MATURE_PROCESS, count=4000,
-                              seed=options.seed)
-    if options.speed_test:
-        quoted = speed_tested_quote(dist)
-        notes["quote_method"] = 1.0  # 1 = speed tested
-    else:
-        quoted = asic_worst_case_quote(dist)
-        notes["quote_method"] = 0.0  # 0 = worst-case corner
+        with obs.span("flow.asic.quote") as sp:
+            dist = sample_chip_speeds(typical_mhz, MATURE_PROCESS,
+                                      count=4000, seed=options.seed)
+            if options.speed_test:
+                quoted = speed_tested_quote(dist)
+                notes["quote_method"] = 1.0  # 1 = speed tested
+            else:
+                quoted = asic_worst_case_quote(dist)
+                notes["quote_method"] = 0.0  # 0 = worst-case corner
+            sp.set(quoted_mhz=quoted)
+
+        flow_span.set(cells=module.instance_count(),
+                      min_period_ps=timing.min_period_ps,
+                      quoted_mhz=quoted)
 
     return FlowResult(
         name=f"asic_{options.workload}{options.bits}_s{stages}",

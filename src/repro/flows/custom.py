@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cells.builder import custom_library
 from repro.circuit.families import DOMINO_PROFILE
 from repro.flows.asic import WORKLOADS
@@ -105,70 +106,94 @@ def run_custom_flow(
             f"unknown workload {options.workload!r}; "
             f"known: {sorted(WORKLOADS)}"
         )
-    library = custom_library(tech)
-    comb = WORKLOADS[options.workload](options.bits, library)
+    with obs.span("flow.custom", workload=options.workload,
+                  bits=options.bits) as flow_span:
+        with obs.span("flow.custom.map") as sp:
+            library = custom_library(tech)
+            comb = WORKLOADS[options.workload](options.bits, library)
 
-    stages_wanted = options.pipeline_stages
-    if options.target_cycle_fo4 is not None:
-        stages_wanted = _stages_for_target(
-            comb, library, tech, options.target_cycle_fo4,
-            options.use_latches, options.use_domino,
-        )
+            stages_wanted = options.pipeline_stages
+            if options.target_cycle_fo4 is not None:
+                stages_wanted = _stages_for_target(
+                    comb, library, tech, options.target_cycle_fo4,
+                    options.use_latches, options.use_domino,
+                )
 
-    if stages_wanted > 1:
-        report = pipeline_module(
-            comb, library, stages_wanted,
-            use_latches=options.use_latches,
-        )
-        module = report.module
-        stages = report.stages
-    else:
-        module = register_boundaries(
-            comb, library, use_latches=options.use_latches
-        )
-        stages = 1
+            if stages_wanted > 1:
+                report = pipeline_module(
+                    comb, library, stages_wanted,
+                    use_latches=options.use_latches,
+                )
+                module = report.module
+                stages = report.stages
+            else:
+                module = register_boundaries(
+                    comb, library, use_latches=options.use_latches
+                )
+                stages = 1
+            sp.set(cells=module.instance_count(), stages=stages,
+                   library=library.name)
 
-    placement = place(module, library, quality="careful", seed=options.seed)
-    wire = placement.parasitics(library)
-    notes: dict[str, float] = {
-        "wirelength_um": placement.total_wirelength_um(),
-    }
-    buffered = buffer_high_fanout(module, library, max_fanout=10)
-    notes["buffers_added"] = float(buffered.buffers_added)
+        with obs.span("flow.custom.place") as sp:
+            placement = place(
+                module, library, quality="careful", seed=options.seed
+            )
+            wire = placement.parasitics(library)
+            sp.set(wirelength_um=placement.total_wirelength_um())
 
-    clock = custom_clock(20.0 * tech.fo4_delay_ps)
-    if options.sizing_moves > 0:
-        sizing = size_for_speed(
-            module, library, clock, wire=wire,
-            max_moves=options.sizing_moves,
-        )
-        notes["sizing_moves"] = float(sizing.moves)
-        notes["sizing_speedup"] = sizing.speedup
+        notes: dict[str, float] = {
+            "wirelength_um": placement.total_wirelength_um(),
+        }
+        with obs.span("flow.custom.cts") as sp:
+            buffered = buffer_high_fanout(module, library, max_fanout=10)
+            notes["buffers_added"] = float(buffered.buffers_added)
+            clock = custom_clock(20.0 * tech.fo4_delay_ps)
+            sp.set(buffers_added=buffered.buffers_added,
+                   skew_fraction=clock.skew_fraction)
 
-    timing = solve_min_period(module, library, clock, wire=wire)
-    period_ps = timing.min_period_ps
-    logic_ps = timing.logic_delay_ps
+        with obs.span("flow.custom.size") as sp:
+            if options.sizing_moves > 0:
+                sizing = size_for_speed(
+                    module, library, clock, wire=wire,
+                    max_moves=options.sizing_moves,
+                )
+                notes["sizing_moves"] = float(sizing.moves)
+                notes["sizing_speedup"] = sizing.speedup
+                sp.set(moves=sizing.moves, speedup=sizing.speedup,
+                       area_growth=sizing.area_growth)
 
-    if options.use_domino:
-        # Domino accelerates the combinational portion only; registers,
-        # skew and wires keep their cost (Section 7.1's dilution from
-        # 50-100% combinational to ~50% sequential).  The speedup constant
-        # is the family profile, itself validated against gate-level
-        # domino mappings in the test suite and bench E9.
-        domino_factor = DOMINO_PROFILE.combinational_speedup
-        period_ps = period_ps - logic_ps + logic_ps / domino_factor
-        logic_ps = logic_ps / domino_factor
-        notes["domino_factor"] = domino_factor
+        with obs.span("flow.custom.sta") as sp:
+            timing = solve_min_period(module, library, clock, wire=wire)
+            period_ps = timing.min_period_ps
+            logic_ps = timing.logic_delay_ps
 
-    typical_mhz = 1.0e6 / period_ps
-    dist = sample_chip_speeds(typical_mhz, NEW_PROCESS, count=4000,
-                              seed=options.seed)
-    if options.flagship_silicon:
-        quoted = custom_flagship_frequency(dist)
-        notes["quote_method"] = 2.0  # 2 = flagship bin
-    else:
-        quoted = dist.median_mhz
-        notes["quote_method"] = 3.0  # 3 = typical silicon
+            if options.use_domino:
+                # Domino accelerates the combinational portion only;
+                # registers, skew and wires keep their cost (Section 7.1's
+                # dilution from 50-100% combinational to ~50% sequential).
+                # The speedup constant is the family profile, itself
+                # validated against gate-level domino mappings in the test
+                # suite and bench E9.
+                domino_factor = DOMINO_PROFILE.combinational_speedup
+                period_ps = period_ps - logic_ps + logic_ps / domino_factor
+                logic_ps = logic_ps / domino_factor
+                notes["domino_factor"] = domino_factor
+            sp.set(min_period_ps=period_ps)
+
+        with obs.span("flow.custom.quote") as sp:
+            typical_mhz = 1.0e6 / period_ps
+            dist = sample_chip_speeds(typical_mhz, NEW_PROCESS, count=4000,
+                                      seed=options.seed)
+            if options.flagship_silicon:
+                quoted = custom_flagship_frequency(dist)
+                notes["quote_method"] = 2.0  # 2 = flagship bin
+            else:
+                quoted = dist.median_mhz
+                notes["quote_method"] = 3.0  # 3 = typical silicon
+            sp.set(quoted_mhz=quoted)
+
+        flow_span.set(cells=module.instance_count(),
+                      min_period_ps=period_ps, quoted_mhz=quoted)
 
     return FlowResult(
         name=f"custom_{options.workload}{options.bits}_s{stages}",

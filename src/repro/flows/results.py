@@ -55,6 +55,32 @@ class FlowResult:
         """Quoted over typical frequency (ASIC < 1, custom flagship > 1)."""
         return self.quoted_frequency_mhz / self.typical_frequency_mhz
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the result.
+
+        The technology collapses to its name and FO4 delay; everything
+        else is the scalar fields plus the notes dict, so traces, metric
+        dumps and the CLI's ``--json`` output all share one shape.
+        """
+        return {
+            "name": self.name,
+            "style": self.style,
+            "technology": self.technology.name,
+            "fo4_delay_ps": self.technology.fo4_delay_ps,
+            "library_name": self.library_name,
+            "typical_frequency_mhz": self.typical_frequency_mhz,
+            "quoted_frequency_mhz": self.quoted_frequency_mhz,
+            "quote_factor": self.quote_factor,
+            "min_period_ps": self.min_period_ps,
+            "fo4_depth": self.fo4_depth,
+            "logic_fo4": self.logic_fo4,
+            "overhead_fraction": self.overhead_fraction,
+            "pipeline_stages": self.pipeline_stages,
+            "gate_count": self.gate_count,
+            "area_um2": self.area_um2,
+            "notes": dict(self.notes),
+        }
+
     def summary(self) -> str:
         """One-line human-readable result."""
         return (

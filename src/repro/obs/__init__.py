@@ -1,0 +1,73 @@
+"""Observability: tracing, metrics, and profiling for the flow stack.
+
+The reproduction's measurement layer.  Flow stages, the STA engine, the
+sizers, and the Monte Carlo sampler all emit spans and metrics through
+the module-level helpers here; ``repro-gap --profile``, ``--trace`` and
+``repro-gap stats`` surface them.  Disabled by default, and a single
+flag check when disabled, so the instrumented hot paths stay at seed
+speed unless someone is looking.
+"""
+
+from repro.obs.clock import MONOTONIC, TickClock
+from repro.obs.export import (
+    metrics_to_flat,
+    report,
+    span_to_dict,
+    trace_to_jsonl,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.instrument import (
+    NOOP_SPAN,
+    count,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    get_metrics,
+    get_tracer,
+    observe,
+    render_report,
+    reset,
+    span,
+    traced,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import ObsError, Span, SpanStats, Tracer
+
+__all__ = [
+    "MONOTONIC",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsError",
+    "Span",
+    "SpanStats",
+    "TickClock",
+    "Tracer",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_metrics",
+    "get_tracer",
+    "metrics_to_flat",
+    "observe",
+    "render_report",
+    "report",
+    "reset",
+    "span",
+    "span_to_dict",
+    "trace_to_jsonl",
+    "traced",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,45 @@
+"""Clock indirection for the observability layer.
+
+Spans and rate metrics need a monotonic time source, but tests need the
+exported artifacts to be byte-for-byte deterministic.  Everything in
+:mod:`repro.obs` therefore reads time through a swappable callable
+instead of touching :func:`time.perf_counter` directly, and
+:class:`TickClock` provides a fake that advances by a fixed step per
+call.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Signature of a time source: returns seconds on a monotonic scale.
+ClockFn = Callable[[], float]
+
+#: The production clock.
+MONOTONIC: ClockFn = time.perf_counter
+
+
+class TickClock:
+    """Deterministic fake clock advancing ``tick`` seconds per call.
+
+    Useful for exporter tests: every span started/ended against a
+    ``TickClock`` gets reproducible timestamps, so JSON dumps can be
+    compared exactly.
+
+    Attributes:
+        now: the value the *next* call will return.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        self.now = start
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward without consuming a tick."""
+        self.now += seconds

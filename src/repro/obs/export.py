@@ -1,0 +1,138 @@
+"""Exporters: JSON-lines traces, flat metric dumps, and a human report.
+
+Three consumers, three formats:
+
+* :func:`trace_to_jsonl` -- one JSON object per finished span, in start
+  order, for machine post-processing (``repro-gap gap --trace t.jsonl``);
+* :func:`metrics_to_flat` -- a flat ``{str: scalar}`` dict in the same
+  shape as the repo's ``BENCH_*.json`` artifacts, so metric dumps and
+  benchmark trajectories share tooling;
+* :func:`report` -- the terminal table behind ``--profile`` and
+  ``repro-gap stats``.
+
+All output is deterministic given a deterministic clock: keys are
+sorted, floats are rounded to fixed precision, and spans are emitted in
+start order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+#: Decimal places kept in exported floats (1 ns at second scale).
+FLOAT_DIGITS = 9
+
+
+def _round(value: float) -> float:
+    return round(float(value), FLOAT_DIGITS)
+
+
+def span_to_dict(span: Span) -> dict:
+    """JSON-ready form of one finished span."""
+    record = {
+        "name": span.name,
+        "index": span.index,
+        "parent": span.parent,
+        "depth": span.depth,
+        "thread": span.thread,
+        "start_s": _round(span.start_s),
+        "duration_ms": _round(span.duration_s * 1e3),
+        "self_ms": _round(span.self_s * 1e3),
+    }
+    if span.attributes:
+        record["attrs"] = {
+            key: (_round(val) if isinstance(val, float) else val)
+            for key, val in sorted(span.attributes.items())
+        }
+    return record
+
+
+def trace_to_jsonl(tracer: Tracer) -> str:
+    """Finished spans as JSON-lines text (one object per line)."""
+    lines = [
+        json.dumps(span_to_dict(span), sort_keys=True)
+        for span in tracer.finished()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace(tracer: Tracer, path: str) -> int:
+    """Write the JSON-lines trace; returns the span count."""
+    text = trace_to_jsonl(tracer)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return len(tracer.finished())
+
+
+def _flat_label(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+def metrics_to_flat(registry: MetricsRegistry) -> dict:
+    """Flatten every metric into a ``BENCH_*.json``-style scalar dict.
+
+    Counters and gauges contribute one key per label set; histograms
+    contribute count/mean/p50/p95/max summaries.
+    """
+    flat: dict = {}
+    for metric in registry.all_metrics():
+        for key in sorted(metric.series()):
+            suffix = _flat_label(key)
+            labels = dict(key)
+            if isinstance(metric, Counter):
+                flat[metric.name + suffix] = _round(metric.value(**labels))
+            elif isinstance(metric, Gauge):
+                flat[metric.name + suffix] = _round(metric.value(**labels))
+            elif isinstance(metric, Histogram):
+                base = metric.name + suffix
+                flat[base + ".count"] = metric.count(**labels)
+                flat[base + ".mean"] = _round(metric.mean(**labels))
+                flat[base + ".p50"] = _round(metric.percentile(50, **labels))
+                flat[base + ".p95"] = _round(metric.percentile(95, **labels))
+                flat[base + ".max"] = _round(metric.percentile(100, **labels))
+    return flat
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> int:
+    """Write the flat metrics dump as JSON; returns the key count."""
+    flat = metrics_to_flat(registry)
+    with open(path, "w") as handle:
+        json.dump(flat, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(flat)
+
+
+def report(tracer: Tracer, registry: MetricsRegistry) -> str:
+    """Human-readable profile: span aggregates, then metrics."""
+    lines: list[str] = []
+    stats = tracer.aggregate()
+    if stats:
+        lines.append(
+            f"{'span':<36s} {'calls':>6s} {'total ms':>10s} "
+            f"{'self ms':>10s} {'mean ms':>10s}"
+        )
+        for entry in stats:
+            lines.append(
+                f"{entry.name:<36.36s} {entry.count:>6d} "
+                f"{entry.total_s * 1e3:>10.2f} {entry.self_s * 1e3:>10.2f} "
+                f"{entry.mean_s * 1e3:>10.2f}"
+            )
+    flat = metrics_to_flat(registry)
+    if flat:
+        if lines:
+            lines.append("")
+        lines.append(f"{'metric':<52s} {'value':>12s}")
+        for key in sorted(flat):
+            value = flat[key]
+            rendered = (
+                f"{value:.3f}" if isinstance(value, float) else str(value)
+            )
+            lines.append(f"{key:<52.52s} {rendered:>12s}")
+    if not lines:
+        return "(no observability data recorded)"
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import obs
 from repro.sizing.logical_effort import SizingError
 from repro.tech.process import ProcessTechnology
 
@@ -145,6 +146,9 @@ def joint_size(
         previous = delay
     delay = path_delay_ps(tech, gate, width, length_um, load_ff)
     metal = (width - tech.interconnect.min_width_um) * length_um / 1000.0
+    obs.count("sizing.joint.calls")
+    obs.observe("sizing.joint.rounds", rounds)
+    obs.observe("sizing.joint.area_cost", gate + metal)
     return JointSizingResult(
         gate_size=gate,
         wire_width_um=width,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cells.library import CellLibrary
 from repro.netlist.module import Module
 from repro.sizing.logical_effort import SizingError
@@ -113,30 +114,37 @@ def size_for_speed(
     """
     if max_moves < 0 or area_limit < 1.0:
         raise SizingError("invalid sizing budget")
-    area_before = total_area_um2(module, library)
-    report = analyze(module, library, clock, wire=wire)
-    initial_period = report.min_period_ps
-    moves = 0
-    while moves < max_moves:
-        if target_period_ps is not None and (
-            report.min_period_ps <= target_period_ps
-        ):
-            break
-        if total_area_um2(module, library) > area_limit * area_before:
-            break
-        move = _best_move(module, library, clock, wire, report)
-        if move is None:
-            break
-        instance, new_cell = move
-        module.replace_cell(instance, new_cell)
+    with obs.span("sizing.tilos", budget=max_moves) as sp:
+        area_before = total_area_um2(module, library)
         report = analyze(module, library, clock, wire=wire)
-        moves += 1
+        initial_period = report.min_period_ps
+        moves = 0
+        while moves < max_moves:
+            if target_period_ps is not None and (
+                report.min_period_ps <= target_period_ps
+            ):
+                break
+            if total_area_um2(module, library) > area_limit * area_before:
+                break
+            move = _best_move(module, library, clock, wire, report)
+            if move is None:
+                break
+            instance, new_cell = move
+            module.replace_cell(instance, new_cell)
+            report = analyze(module, library, clock, wire=wire)
+            moves += 1
+        area_after = total_area_um2(module, library)
+        obs.count("sizing.tilos.calls")
+        obs.observe("sizing.tilos.moves", moves)
+        obs.observe("sizing.tilos.area_delta_um2", area_after - area_before)
+        sp.set(moves=moves, area_delta_um2=area_after - area_before,
+               speedup=initial_period / report.min_period_ps)
     return SizingResult(
         initial_period_ps=initial_period,
         final_period_ps=report.min_period_ps,
         moves=moves,
         area_before_um2=area_before,
-        area_after_um2=total_area_um2(module, library),
+        area_after_um2=area_after,
         report=report,
     )
 
@@ -167,6 +175,7 @@ def _best_move(
         added_area = (
             library.get(candidate).area_um2 - library.get(old_cell).area_um2
         )
+        obs.count("sizing.tilos.trials")
         module.replace_cell(step.instance, candidate)
         trial = analyze(module, library, clock, wire=wire)
         module.replace_cell(step.instance, old_cell)
@@ -214,4 +223,5 @@ def downsize_off_critical(
             shrunk += 1
         else:
             module.replace_cell(inst_name, old_cell_name)
+    obs.count("sizing.tilos.downsized", shrunk)
     return shrunk

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.netlist.graph import topological_order
 from repro.netlist.module import Module
 from repro.cells.library import CellLibrary
@@ -160,6 +161,7 @@ def analyze(
     """
     if delay_derate <= 0:
         raise TimingError("delay derate must be positive")
+    obs.count("sta.analyze.calls")
     graph = TimingGraph(module, library, wire, output_load_ff)
     seq_names = graph.sequential_cell_names()
     order = topological_order(module, seq_names)
@@ -322,15 +324,26 @@ def solve_min_period(
         TimingError: if the constraint cannot close (overheads consume
             the whole cycle) or iteration fails to converge.
     """
+    profiling = obs.enabled()
+    start_s = obs.MONOTONIC() if profiling else 0.0
     current = clock
     report = analyze(module, library, current, wire=wire, **analyze_kwargs)
+    iterations = 1
     for _ in range(max_iterations):
         period = report.min_period_ps
         if clock.skew_fraction + clock.borrow_fraction >= 1.0:
             raise TimingError("skew and borrow fractions consume the cycle")
         current = clock.with_period(period)
         new_report = analyze(module, library, current, wire=wire, **analyze_kwargs)
+        iterations += 1
         if abs(new_report.min_period_ps - period) <= tolerance_ps:
+            if profiling:
+                obs.count("sta.solve_min_period.calls")
+                obs.observe("sta.solve_min_period.iterations", iterations)
+                obs.observe(
+                    "sta.solve_min_period.ms",
+                    (obs.MONOTONIC() - start_s) * 1e3,
+                )
             return new_report
         report = new_report
     raise TimingError(

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.variation.components import VariationComponents, VariationError
 
 
@@ -81,6 +82,8 @@ def sample_chip_speeds(
         raise VariationError("nominal frequency must be positive")
     if count < 1:
         raise VariationError("need at least one die")
+    profiling = obs.enabled()
+    start_s = obs.MONOTONIC() if profiling else 0.0
     rng = np.random.default_rng(seed)
     global_shift = rng.normal(0.0, components.chip_level_sigma, size=count)
     intra = rng.normal(
@@ -90,6 +93,11 @@ def sample_chip_speeds(
     delay_factor = (1.0 + global_shift) * (1.0 + intra_penalty)
     delay_factor = np.clip(delay_factor, 0.5, 2.0)
     freqs = np.sort(nominal_mhz / delay_factor)
+    if profiling:
+        elapsed_s = max(obs.MONOTONIC() - start_s, 1e-9)
+        obs.count("variation.montecarlo.samples", count)
+        obs.observe("variation.montecarlo.samples_per_sec",
+                    count / elapsed_s)
     return SpeedDistribution(frequencies_mhz=freqs, nominal_mhz=nominal_mhz)
 
 

@@ -1,5 +1,7 @@
 """Tests for the repro-gap command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,7 +17,7 @@ class TestParser:
         commands = set(sub.choices)
         assert {
             "survey", "factors", "flow", "gap", "roadmap", "library",
-            "variation",
+            "variation", "stats",
         } <= commands
 
     def test_requires_command(self):
@@ -86,3 +88,84 @@ class TestCommands:
         assert main(["gap", "--bits", "4", "--sizing-moves", "5"]) == 0
         out = capsys.readouterr().out
         assert "total quoted-frequency ratio" in out
+
+    def test_flow_json(self, capsys):
+        assert main([
+            "flow", "asic", "--bits", "4", "--sizing-moves", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["style"] == "asic"
+        assert payload["gate_count"] > 0
+        assert "wirelength_um" in payload["notes"]
+
+    def test_gap_json(self, capsys):
+        assert main([
+            "gap", "--bits", "4", "--sizing-moves", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_ratio"] > 1.0
+        assert payload["asic"]["style"] == "asic"
+        assert payload["custom"]["style"] == "custom"
+
+
+class TestObservabilityFlags:
+    def test_gap_profile_prints_stage_report(self, capsys):
+        assert main([
+            "gap", "--bits", "4", "--sizing-moves", "2", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        for stage in ("map", "place", "cts", "size", "sta", "quote"):
+            assert f"flow.asic.{stage}" in out
+        assert "sta.solve_min_period" in out
+
+    def test_profile_flag_before_subcommand(self, capsys):
+        assert main([
+            "--profile", "gap", "--bits", "4", "--sizing-moves", "2",
+        ]) == 0
+        assert "flow.custom.sta" in capsys.readouterr().out
+
+    def test_gap_trace_writes_jsonl(self, tmp_path, capsys):
+        target = tmp_path / "t.jsonl"
+        assert main([
+            "gap", "--bits", "4", "--sizing-moves", "2",
+            "--trace", str(target),
+        ]) == 0
+        lines = target.read_text().strip().splitlines()
+        assert len(lines) >= 10
+        names = set()
+        for line in lines:
+            record = json.loads(line)  # every line is valid JSON
+            names.add(record["name"])
+            assert record["duration_ms"] >= 0.0
+        stages = {n for n in names if n.startswith("flow.")}
+        assert len(stages) >= 5
+        assert "flow.asic" in names and "flow.custom" in names
+
+    def test_trace_of_unprofiled_command_is_empty(self, tmp_path, capsys):
+        target = tmp_path / "t.jsonl"
+        assert main(["survey", "--trace", str(target)]) == 0
+        assert target.read_text() == ""
+
+    def test_obs_disabled_after_cli_run(self, tmp_path):
+        from repro import obs
+
+        main(["gap", "--bits", "4", "--sizing-moves", "2",
+              "--trace", str(tmp_path / "t.jsonl")])
+        assert not obs.enabled()
+
+    def test_stats_subcommand(self, capsys):
+        assert main(["stats", "--bits", "4", "--sizing-moves", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out
+        assert "flow.asic.sta" in out
+        assert "sta.analyze.calls" in out
+
+    def test_stats_metrics_json(self, tmp_path, capsys):
+        target = tmp_path / "m.json"
+        assert main([
+            "stats", "--bits", "4", "--sizing-moves", "2",
+            "--metrics-json", str(target),
+        ]) == 0
+        flat = json.loads(target.read_text())
+        assert flat["sta.analyze.calls"] > 0
+        assert "sta.solve_min_period.iterations.p50" in flat
