@@ -12,7 +12,15 @@ want without writing Python:
 * ``variation`` -- sample a die population and print the Section 8
   quoting decomposition;
 * ``stats``     -- run an instrumented gap comparison and print the
-  observability report (spans + metrics).
+  observability report (spans + metrics);
+* ``selftest``  -- fault-injection health check of the whole stack
+  (exit 0 when every guard catches its fault, 1 otherwise).
+
+``flow`` and ``gap`` accept ``--keep-going`` to degrade through stage
+failures instead of aborting (failures land in the ``diagnostics`` list
+of the ``--json`` output), and ``flow`` accepts ``--inject-fault STAGE``
+to trip a deliberate fault for exercising that path.  A flow abort
+exits with status 2 and names the failing stage.
 
 The global ``--profile`` flag prints a per-stage span/metric report
 after any command, and ``--trace FILE`` writes the span tree as
@@ -48,39 +56,66 @@ def _cmd_factors(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_flow(args: argparse.Namespace) -> int:
-    if args.style == "asic":
-        from repro.flows import AsicFlowOptions, run_asic_flow
-
-        result = run_asic_flow(
-            AsicFlowOptions(
-                workload=args.workload,
-                bits=args.bits,
-                pipeline_stages=args.stages,
-                rich_library=not args.poor_library,
-                careful_placement=not args.sloppy_placement,
-                sizing_moves=args.sizing_moves,
-                speed_test=args.speed_test,
-            )
-        )
+def _flow_error_exit(exc, as_json: bool) -> int:
+    """Report a flow abort: name the failing stage, exit status 2."""
+    if as_json:
+        print(json.dumps({
+            "error": str(exc),
+            "stage": exc.stage,
+            "cause": type(exc.__cause__).__name__
+            if exc.__cause__ is not None else None,
+        }, indent=2, sort_keys=True))
     else:
-        from repro.flows import CustomFlowOptions, run_custom_flow
+        stage = f" at stage {exc.stage!r}" if exc.stage else ""
+        print(f"repro-gap: flow failed{stage}: {exc}", file=sys.stderr)
+    return 2
 
-        result = run_custom_flow(
-            CustomFlowOptions(
-                workload=args.workload,
-                bits=args.bits,
-                pipeline_stages=args.stages,
-                target_cycle_fo4=args.target_fo4,
-                sizing_moves=args.sizing_moves,
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.flows import FlowError
+
+    on_error = "keep_going" if args.keep_going else "raise"
+    try:
+        if args.style == "asic":
+            from repro.flows import AsicFlowOptions, run_asic_flow
+
+            result = run_asic_flow(
+                AsicFlowOptions(
+                    workload=args.workload,
+                    bits=args.bits,
+                    pipeline_stages=args.stages,
+                    rich_library=not args.poor_library,
+                    careful_placement=not args.sloppy_placement,
+                    sizing_moves=args.sizing_moves,
+                    speed_test=args.speed_test,
+                    on_error=on_error,
+                    fault=args.inject_fault,
+                )
             )
-        )
+        else:
+            from repro.flows import CustomFlowOptions, run_custom_flow
+
+            result = run_custom_flow(
+                CustomFlowOptions(
+                    workload=args.workload,
+                    bits=args.bits,
+                    pipeline_stages=args.stages,
+                    target_cycle_fo4=args.target_fo4,
+                    sizing_moves=args.sizing_moves,
+                    on_error=on_error,
+                    fault=args.inject_fault,
+                )
+            )
+    except FlowError as exc:
+        return _flow_error_exit(exc, args.json)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
     print(result.summary())
     for key, value in sorted(result.notes.items()):
         print(f"  {key}: {value:.2f}")
+    for diag in result.diagnostics:
+        print(f"  {diag}")
     return 0
 
 
@@ -89,20 +124,27 @@ def _cmd_gap(args: argparse.Namespace) -> int:
     from repro.flows import (
         AsicFlowOptions,
         CustomFlowOptions,
+        FlowError,
         run_asic_flow,
         run_custom_flow,
     )
 
-    asic = run_asic_flow(
-        AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves)
-    )
-    custom = run_custom_flow(
-        CustomFlowOptions(
-            bits=args.bits,
-            target_cycle_fo4=args.target_fo4,
-            sizing_moves=args.sizing_moves,
+    on_error = "keep_going" if args.keep_going else "raise"
+    try:
+        asic = run_asic_flow(
+            AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves,
+                            on_error=on_error)
         )
-    )
+        custom = run_custom_flow(
+            CustomFlowOptions(
+                bits=args.bits,
+                target_cycle_fo4=args.target_fo4,
+                sizing_moves=args.sizing_moves,
+                on_error=on_error,
+            )
+        )
+    except FlowError as exc:
+        return _flow_error_exit(exc, args.json)
     gap = analyze_gap(asic, custom)
     if args.json:
         print(json.dumps(
@@ -158,6 +200,41 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if not already_enabled:
         obs.disable()
     return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    """Fault-injection health check over the whole stack."""
+    from repro.robust import (
+        disable_guard,
+        enable_all_guards,
+        run_selftest,
+    )
+
+    try:
+        for name in args.disable_guard:
+            disable_guard(name)
+        reports = run_selftest(seed=args.seed)
+    finally:
+        enable_all_guards()
+    failed = [r for r in reports if not r.passed]
+    if args.json:
+        print(json.dumps(
+            {
+                "passed": not failed,
+                "scenarios": [r.to_dict() for r in reports],
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for r in reports:
+            status = "PASS" if r.passed else "FAIL"
+            print(f"{status}  {r.fault:28s} {r.outcome:20s} {r.detail}")
+        print(f"\n{len(reports) - len(failed)}/{len(reports)} scenarios "
+              "passed")
+        if failed:
+            print("selftest FAILED: a guard or validator did not catch "
+                  "its fault", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_roadmap(args: argparse.Namespace) -> int:
@@ -279,6 +356,13 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--poor-library", action="store_true")
     flow.add_argument("--sloppy-placement", action="store_true")
     flow.add_argument("--speed-test", action="store_true")
+    flow.add_argument("--keep-going", action="store_true",
+                      help="degrade through stage failures instead of "
+                           "aborting; failures land in diagnostics")
+    flow.add_argument("--inject-fault", metavar="STAGE", default=None,
+                      choices=["map", "place", "cts", "size", "sta",
+                               "quote"],
+                      help="deliberately fail the named stage (testing)")
     flow.add_argument("--json", action="store_true",
                       help="print the flow result as JSON")
     flow.set_defaults(func=_cmd_flow)
@@ -288,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
     gap.add_argument("--bits", type=int, default=8)
     gap.add_argument("--target-fo4", type=float, default=14.0)
     gap.add_argument("--sizing-moves", type=int, default=20)
+    gap.add_argument("--keep-going", action="store_true",
+                     help="degrade through stage failures instead of "
+                          "aborting")
     gap.add_argument("--json", action="store_true",
                      help="print both results and the factors as JSON")
     gap.set_defaults(func=_cmd_gap)
@@ -303,6 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--metrics-json", metavar="FILE", default=None,
                        help="also write the flat metrics dump to FILE")
     stats.set_defaults(func=_cmd_stats)
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="fault-injection health check (exit 0 = all guards catch)",
+        parents=[obs_parent],
+    )
+    selftest.add_argument("--seed", type=int, default=0,
+                          help="fault-injection RNG seed")
+    selftest.add_argument(
+        "--disable-guard", action="append", default=[],
+        metavar="NAME", choices=["finite", "retry", "bisection"],
+        help="switch a named guard off first (repeatable); the selftest "
+             "must then FAIL, proving the guard is load-bearing",
+    )
+    selftest.add_argument("--json", action="store_true",
+                          help="print the scenario reports as JSON")
+    selftest.set_defaults(func=_cmd_selftest)
 
     roadmap = sub.add_parser("roadmap", help="project the gap forward",
                              parents=[obs_parent])

@@ -6,6 +6,12 @@ sizing, a synthesised (10%-class) clock tree, and -- crucially, Section 8
 -- a worst-case-corner frequency quote rather than typical-silicon
 performance.  Every lever the paper says ASICs lack is an option here so
 the benchmarks can turn them on one at a time and price them.
+
+Failure policy: with the default ``on_error="raise"`` any stage failure
+surfaces as a :class:`FlowError` naming the stage and chaining the root
+cause; with ``on_error="keep_going"`` failed stages are recorded into
+``FlowResult.diagnostics`` and the flow continues on best-effort
+fallbacks (see :mod:`repro.robust.degrade`).
 """
 
 from __future__ import annotations
@@ -19,13 +25,18 @@ from repro.datapath.adders import kogge_stone_adder, ripple_carry_adder
 from repro.datapath.cpu import cpu_execute_stage
 from repro.datapath.multiplier import array_multiplier, wallace_multiplier
 from repro.flows.results import FlowError, FlowResult
-from repro.netlist.module import Module
 from repro.physical.placement import place
 from repro.pipeline.pipeliner import pipeline_module
+from repro.robust.degrade import StageRunner, fallback_timing
+from repro.robust.faults import maybe_trip
+from repro.robust.guards import (
+    guarded_size_for_speed,
+    guarded_solve_min_period,
+)
+from repro.robust.validate import preflight
 from repro.sizing.buffering import buffer_high_fanout
-from repro.sizing.tilos import size_for_speed, total_area_um2
+from repro.sizing.tilos import total_area_um2
 from repro.sta.clocking import asic_clock
-from repro.sta.engine import solve_min_period
 from repro.sta.fo4 import fo4_depth, fo4_logic_depth
 from repro.sta.sequential import register_boundaries
 from repro.tech.process import CMOS250_ASIC, ProcessTechnology
@@ -62,6 +73,11 @@ class AsicFlowOptions:
         sizing_moves: post-layout resizing budget (Section 6.2; 0 = skip).
         speed_test: at-speed test instead of worst-case quote (Sec. 8.3).
         seed: placement RNG seed.
+        on_error: ``"raise"`` aborts on the first stage failure;
+            ``"keep_going"`` records the failure into the result's
+            diagnostics and degrades gracefully.
+        fault: chaos hook -- name of a stage at which to trip an
+            injected fault (testing/selftest only; None = off).
     """
 
     workload: str = "alu"
@@ -72,6 +88,8 @@ class AsicFlowOptions:
     sizing_moves: int = 30
     speed_test: bool = False
     seed: int = 1
+    on_error: str = "raise"
+    fault: str | None = None
 
 
 def run_asic_flow(
@@ -81,16 +99,22 @@ def run_asic_flow(
     """Run the full ASIC flow and return its result record.
 
     Raises:
-        FlowError: for unknown workloads or inconsistent options.
+        FlowError: for unknown workloads, inconsistent options, or --
+            under ``on_error="raise"`` -- any stage failure (with the
+            stage name attached and the cause chained).
     """
     if options.workload not in WORKLOADS:
         raise FlowError(
             f"unknown workload {options.workload!r}; "
-            f"known: {sorted(WORKLOADS)}"
+            f"known: {sorted(WORKLOADS)}",
+            stage="map",
         )
+    runner = StageRunner(flow="asic", on_error=options.on_error)
     with obs.span("flow.asic", workload=options.workload,
                   bits=options.bits) as flow_span:
-        with obs.span("flow.asic.map") as sp:
+        with runner.stage("map", critical=True), \
+                obs.span("flow.asic.map") as sp:
+            maybe_trip(options.fault, "map")
             library = (
                 rich_asic_library(tech)
                 if options.rich_library
@@ -110,7 +134,10 @@ def run_asic_flow(
             sp.set(cells=module.instance_count(), stages=stages,
                    library=library.name)
 
-        with obs.span("flow.asic.place") as sp:
+        placement = None
+        wire = None
+        with runner.stage("place"), obs.span("flow.asic.place") as sp:
+            maybe_trip(options.fault, "place")
             quality = "careful" if options.careful_placement else "sloppy"
             placement = place(
                 module, library, quality=quality, seed=options.seed
@@ -120,19 +147,27 @@ def run_asic_flow(
                    wirelength_um=placement.total_wirelength_um())
 
         notes: dict[str, float] = {
-            "wirelength_um": placement.total_wirelength_um(),
+            "wirelength_um": (
+                placement.total_wirelength_um() if placement else 0.0
+            ),
         }
-        with obs.span("flow.asic.cts") as sp:
+        clock = asic_clock(20.0 * tech.fo4_delay_ps)
+        with runner.stage("cts"), obs.span("flow.asic.cts") as sp:
+            maybe_trip(options.fault, "cts")
             if library.has_base("BUF"):
                 buffered = buffer_high_fanout(module, library, max_fanout=10)
                 notes["buffers_added"] = float(buffered.buffers_added)
                 sp.set(buffers_added=buffered.buffers_added)
-            clock = asic_clock(20.0 * tech.fo4_delay_ps)
             sp.set(skew_fraction=clock.skew_fraction)
+        if runner.keep_going:
+            # Pre-flight lint after buffering (so fanout findings are
+            # real, not about-to-be-fixed) but before sizing/STA.
+            runner.diagnostics.extend(preflight(module, library))
 
-        with obs.span("flow.asic.size") as sp:
+        with runner.stage("size"), obs.span("flow.asic.size") as sp:
+            maybe_trip(options.fault, "size")
             if options.sizing_moves > 0:
-                sizing = size_for_speed(
+                sizing = guarded_size_for_speed(
                     module, library, clock, wire=wire,
                     max_moves=options.sizing_moves,
                 )
@@ -141,13 +176,21 @@ def run_asic_flow(
                 sp.set(moves=sizing.moves, speedup=sizing.speedup,
                        area_growth=sizing.area_growth)
 
-        with obs.span("flow.asic.sta") as sp:
-            timing = solve_min_period(module, library, clock, wire=wire)
-            typical_mhz = timing.max_frequency_mhz
+        timing = None
+        with runner.stage("sta"), obs.span("flow.asic.sta") as sp:
+            maybe_trip(options.fault, "sta")
+            timing = guarded_solve_min_period(
+                module, library, clock, wire=wire
+            )
             sp.set(min_period_ps=timing.min_period_ps,
-                   typical_mhz=typical_mhz)
+                   typical_mhz=timing.max_frequency_mhz)
+        if timing is None:
+            timing = fallback_timing(module, library, clock)
+        typical_mhz = timing.max_frequency_mhz
 
-        with obs.span("flow.asic.quote") as sp:
+        quoted = None
+        with runner.stage("quote"), obs.span("flow.asic.quote") as sp:
+            maybe_trip(options.fault, "quote")
             dist = sample_chip_speeds(typical_mhz, MATURE_PROCESS,
                                       count=4000, seed=options.seed)
             if options.speed_test:
@@ -157,6 +200,9 @@ def run_asic_flow(
                 quoted = asic_worst_case_quote(dist)
                 notes["quote_method"] = 0.0  # 0 = worst-case corner
             sp.set(quoted_mhz=quoted)
+        if quoted is None:
+            quoted = typical_mhz
+            notes["quote_method"] = -1.0  # -1 = quote stage degraded
 
         flow_span.set(cells=module.instance_count(),
                       min_period_ps=timing.min_period_ps,
@@ -177,4 +223,5 @@ def run_asic_flow(
         gate_count=module.instance_count(),
         area_um2=total_area_um2(module, library),
         notes=notes,
+        diagnostics=runner.diagnostics,
     )

@@ -6,6 +6,10 @@ transistor sizing, hand-quality (careful, annealed) placement, a 5%-skew
 hand-balanced clock with latch-based time borrowing available, domino
 logic on the critical path, and flagship-bin silicon instead of a
 worst-case quote.
+
+Failure policy mirrors :mod:`repro.flows.asic`: ``on_error="raise"``
+aborts with a stage-tagged :class:`FlowError`; ``on_error="keep_going"``
+records failures into ``FlowResult.diagnostics`` and degrades.
 """
 
 from __future__ import annotations
@@ -19,11 +23,17 @@ from repro.flows.asic import WORKLOADS
 from repro.flows.results import FlowError, FlowResult
 from repro.physical.placement import place
 from repro.pipeline.pipeliner import pipeline_module
+from repro.robust.degrade import StageRunner, fallback_timing
+from repro.robust.faults import maybe_trip
+from repro.robust.guards import (
+    guarded_size_for_speed,
+    guarded_solve_min_period,
+)
+from repro.robust.validate import preflight
 from repro.sizing.buffering import buffer_high_fanout
-from repro.sizing.tilos import size_for_speed, total_area_um2
+from repro.sizing.tilos import total_area_um2
 from repro.sta.clocking import custom_clock
 from repro.sta.engine import solve_min_period
-from repro.sta.fo4 import fo4_depth, fo4_logic_depth
 from repro.sta.sequential import register_boundaries
 from repro.tech.process import CMOS250_CUSTOM, ProcessTechnology
 from repro.variation.binning import custom_flagship_frequency
@@ -52,6 +62,11 @@ class CustomFlowOptions:
         flagship_silicon: sell the fast bins (Section 8) instead of the
             median.
         seed: placement RNG seed.
+        on_error: ``"raise"`` aborts on the first stage failure;
+            ``"keep_going"`` records the failure into the result's
+            diagnostics and degrades gracefully.
+        fault: chaos hook -- name of a stage at which to trip an
+            injected fault (testing/selftest only; None = off).
     """
 
     workload: str = "alu_macro"
@@ -63,6 +78,8 @@ class CustomFlowOptions:
     sizing_moves: int = 60
     flagship_silicon: bool = True
     seed: int = 1
+    on_error: str = "raise"
+    fault: str | None = None
 
 
 def _stages_for_target(
@@ -99,25 +116,45 @@ def run_custom_flow(
     """Run the full custom flow and return its result record.
 
     Raises:
-        FlowError: for unknown workloads.
+        FlowError: for unknown workloads or -- under
+            ``on_error="raise"`` -- any stage failure (with the stage
+            name attached and the cause chained).
     """
     if options.workload not in WORKLOADS:
         raise FlowError(
             f"unknown workload {options.workload!r}; "
-            f"known: {sorted(WORKLOADS)}"
+            f"known: {sorted(WORKLOADS)}",
+            stage="map",
         )
+    runner = StageRunner(flow="custom", on_error=options.on_error)
     with obs.span("flow.custom", workload=options.workload,
                   bits=options.bits) as flow_span:
-        with obs.span("flow.custom.map") as sp:
+        with runner.stage("map", critical=True), \
+                obs.span("flow.custom.map") as sp:
+            maybe_trip(options.fault, "map")
             library = custom_library(tech)
             comb = WORKLOADS[options.workload](options.bits, library)
 
             stages_wanted = options.pipeline_stages
             if options.target_cycle_fo4 is not None:
-                stages_wanted = _stages_for_target(
-                    comb, library, tech, options.target_cycle_fo4,
-                    options.use_latches, options.use_domino,
-                )
+                try:
+                    stages_wanted = _stages_for_target(
+                        comb, library, tech, options.target_cycle_fo4,
+                        options.use_latches, options.use_domino,
+                    )
+                except Exception as exc:
+                    # The probe is an optimisation, not a requirement:
+                    # under keep_going fall back to the fixed stage
+                    # count instead of losing the whole flow.
+                    if not runner.keep_going:
+                        raise
+                    runner.note(
+                        "map",
+                        f"stage-count probe failed "
+                        f"({type(exc).__name__}: {exc}); using fixed "
+                        f"pipeline_stages={options.pipeline_stages}",
+                        hint="check target_cycle_fo4 and the library",
+                    )
 
             if stages_wanted > 1:
                 report = pipeline_module(
@@ -134,7 +171,10 @@ def run_custom_flow(
             sp.set(cells=module.instance_count(), stages=stages,
                    library=library.name)
 
-        with obs.span("flow.custom.place") as sp:
+        placement = None
+        wire = None
+        with runner.stage("place"), obs.span("flow.custom.place") as sp:
+            maybe_trip(options.fault, "place")
             placement = place(
                 module, library, quality="careful", seed=options.seed
             )
@@ -142,18 +182,26 @@ def run_custom_flow(
             sp.set(wirelength_um=placement.total_wirelength_um())
 
         notes: dict[str, float] = {
-            "wirelength_um": placement.total_wirelength_um(),
+            "wirelength_um": (
+                placement.total_wirelength_um() if placement else 0.0
+            ),
         }
-        with obs.span("flow.custom.cts") as sp:
+        clock = custom_clock(20.0 * tech.fo4_delay_ps)
+        with runner.stage("cts"), obs.span("flow.custom.cts") as sp:
+            maybe_trip(options.fault, "cts")
             buffered = buffer_high_fanout(module, library, max_fanout=10)
             notes["buffers_added"] = float(buffered.buffers_added)
-            clock = custom_clock(20.0 * tech.fo4_delay_ps)
             sp.set(buffers_added=buffered.buffers_added,
                    skew_fraction=clock.skew_fraction)
+        if runner.keep_going:
+            # Pre-flight lint after buffering (so fanout findings are
+            # real, not about-to-be-fixed) but before sizing/STA.
+            runner.diagnostics.extend(preflight(module, library))
 
-        with obs.span("flow.custom.size") as sp:
+        with runner.stage("size"), obs.span("flow.custom.size") as sp:
+            maybe_trip(options.fault, "size")
             if options.sizing_moves > 0:
-                sizing = size_for_speed(
+                sizing = guarded_size_for_speed(
                     module, library, clock, wire=wire,
                     max_moves=options.sizing_moves,
                 )
@@ -162,8 +210,13 @@ def run_custom_flow(
                 sp.set(moves=sizing.moves, speedup=sizing.speedup,
                        area_growth=sizing.area_growth)
 
-        with obs.span("flow.custom.sta") as sp:
-            timing = solve_min_period(module, library, clock, wire=wire)
+        period_ps = None
+        logic_ps = 0.0
+        with runner.stage("sta"), obs.span("flow.custom.sta") as sp:
+            maybe_trip(options.fault, "sta")
+            timing = guarded_solve_min_period(
+                module, library, clock, wire=wire
+            )
             period_ps = timing.min_period_ps
             logic_ps = timing.logic_delay_ps
 
@@ -179,9 +232,15 @@ def run_custom_flow(
                 logic_ps = logic_ps / domino_factor
                 notes["domino_factor"] = domino_factor
             sp.set(min_period_ps=period_ps)
+        if period_ps is None:
+            degraded = fallback_timing(module, library, clock)
+            period_ps = degraded.min_period_ps
+            logic_ps = degraded.logic_delay_ps
+        typical_mhz = 1.0e6 / period_ps
 
-        with obs.span("flow.custom.quote") as sp:
-            typical_mhz = 1.0e6 / period_ps
+        quoted = None
+        with runner.stage("quote"), obs.span("flow.custom.quote") as sp:
+            maybe_trip(options.fault, "quote")
             dist = sample_chip_speeds(typical_mhz, NEW_PROCESS, count=4000,
                                       seed=options.seed)
             if options.flagship_silicon:
@@ -191,6 +250,9 @@ def run_custom_flow(
                 quoted = dist.median_mhz
                 notes["quote_method"] = 3.0  # 3 = typical silicon
             sp.set(quoted_mhz=quoted)
+        if quoted is None:
+            quoted = typical_mhz
+            notes["quote_method"] = -1.0  # -1 = quote stage degraded
 
         flow_span.set(cells=module.instance_count(),
                       min_period_ps=period_ps, quoted_mhz=quoted)
@@ -210,4 +272,5 @@ def run_custom_flow(
         gate_count=module.instance_count(),
         area_um2=total_area_um2(module, library),
         notes=notes,
+        diagnostics=runner.diagnostics,
     )

@@ -4,11 +4,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.robust.validate import Diagnostic
 from repro.tech.process import ProcessTechnology
 
 
 class FlowError(ValueError):
-    """Raised when a flow cannot complete."""
+    """Raised when a flow cannot complete.
+
+    Attributes:
+        stage: the flow stage that failed (``"map"``, ``"place"``,
+            ``"cts"``, ``"size"``, ``"sta"``, ``"quote"``), or None when
+            the failure is not tied to one stage.  Stage failures chain
+            the underlying exception (``raise ... from exc``), so
+            tracebacks name both the stage and the root cause.
+    """
+
+    def __init__(self, message: str, stage: str | None = None) -> None:
+        super().__init__(message)
+        self.stage = stage
 
 
 @dataclass
@@ -33,6 +46,9 @@ class FlowResult:
         area_um2: total cell area.
         notes: per-stage annotations (placement wirelength, sizing moves,
             domino factor, quote ratios...).
+        diagnostics: structured findings collected during the run --
+            stage failures captured under ``on_error="keep_going"`` and
+            pre-flight validation warnings.  Empty for a clean run.
     """
 
     name: str
@@ -49,11 +65,24 @@ class FlowResult:
     gate_count: int
     area_um2: float
     notes: dict[str, float] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def quote_factor(self) -> float:
         """Quoted over typical frequency (ASIC < 1, custom flagship > 1)."""
         return self.quoted_frequency_mhz / self.typical_frequency_mhz
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage failed and a fallback value was used."""
+        return any(d.code == "flow.stage_failed" for d in self.diagnostics)
+
+    def failed_stages(self) -> list[str]:
+        """Stages that failed and were skipped/degraded, in run order."""
+        return [
+            d.subject for d in self.diagnostics
+            if d.code == "flow.stage_failed"
+        ]
 
     def to_dict(self) -> dict:
         """JSON-ready form of the result.
@@ -79,6 +108,8 @@ class FlowResult:
             "gate_count": self.gate_count,
             "area_um2": self.area_um2,
             "notes": dict(self.notes),
+            "degraded": self.degraded,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
     def summary(self) -> str:

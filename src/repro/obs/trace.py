@@ -98,7 +98,12 @@ class _SpanContext:
     def __enter__(self) -> Span:
         return self._span
 
-    def __exit__(self, *exc_info: object) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Record the escaping exception type on the span before closing
+        # it, so traces of degraded/aborted flows show which stage blew
+        # up without needing the log output.
+        if exc_type is not None:
+            self._span.set(error=exc_type.__name__)
         self._tracer._finish(self._span)
         return False
 

@@ -1,0 +1,76 @@
+"""Robustness layer: validation, numerical guards, faults, degradation.
+
+The flow stack's defensive perimeter.  Four parts:
+
+* :mod:`repro.robust.validate` -- pre-flight lint passes over netlists
+  and libraries returning structured :class:`Diagnostic` records;
+* :mod:`repro.robust.guards` -- convergence and NaN/Inf guards around
+  the iterative solvers (period solving, sizing);
+* :mod:`repro.robust.faults` -- a deterministic fault-injection harness
+  backing ``repro-gap selftest`` and the error-path test suite;
+* :mod:`repro.robust.degrade` -- stage-level failure capture so flows
+  run under ``on_error="keep_going"`` return partial results with
+  diagnostics instead of aborting.
+"""
+
+from repro.robust.degrade import (
+    ON_ERROR_POLICIES,
+    DegradedTiming,
+    StageRunner,
+    fallback_timing,
+)
+from repro.robust.faults import (
+    FaultInjectionError,
+    FaultInjector,
+    FaultReport,
+    maybe_trip,
+    run_selftest,
+)
+from repro.robust.guards import (
+    GuardError,
+    NonFiniteError,
+    disable_guard,
+    enable_all_guards,
+    ensure_finite,
+    guard_enabled,
+    guarded_size_for_speed,
+    guarded_solve_min_period,
+)
+from repro.robust.validate import (
+    Diagnostic,
+    Severity,
+    ValidationError,
+    has_errors,
+    preflight,
+    require_clean,
+    validate_library,
+    validate_module,
+)
+
+__all__ = [
+    "ON_ERROR_POLICIES",
+    "DegradedTiming",
+    "Diagnostic",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultReport",
+    "GuardError",
+    "NonFiniteError",
+    "Severity",
+    "StageRunner",
+    "ValidationError",
+    "disable_guard",
+    "enable_all_guards",
+    "ensure_finite",
+    "fallback_timing",
+    "guard_enabled",
+    "guarded_size_for_speed",
+    "guarded_solve_min_period",
+    "has_errors",
+    "maybe_trip",
+    "preflight",
+    "require_clean",
+    "run_selftest",
+    "validate_library",
+    "validate_module",
+]

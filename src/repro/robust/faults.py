@@ -1,0 +1,364 @@
+"""Deterministic, seedable fault injection for the flow stack.
+
+Two layers:
+
+* :class:`FaultInjector` -- perturbs real inputs in place (drop a net's
+  driver, corrupt a delay table, inject NaN, starve a sizing budget) so
+  tests can assert that every layer raises *typed* errors or records
+  diagnostics instead of crashing with ``KeyError``/``ZeroDivisionError``
+  or silently producing NaN results;
+* :func:`run_selftest` -- the scenario suite behind
+  ``repro-gap selftest``: each scenario injects a fault and checks the
+  stack's reaction, returning structured :class:`FaultReport` records.
+  It exits clean on a healthy tree and fails when a guard has been
+  broken (or deliberately disabled via
+  :func:`repro.robust.guards.disable_guard`).
+
+Flows additionally expose an explicit chaos hook: passing
+``fault="<stage>"`` in the flow options trips
+:func:`maybe_trip` at that stage, which is how the degradation path is
+exercised end-to-end without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.cells.delay import LinearDelayArc, NLDMArc
+from repro.cells.library import CellLibrary
+from repro.netlist.module import Module
+from repro.netlist.nets import is_port_ref
+
+
+class FaultInjectionError(RuntimeError):
+    """Raised when an explicitly requested fault trips."""
+
+
+def maybe_trip(fault: str | None, stage: str) -> None:
+    """Trip an injected fault if ``fault`` names this stage.
+
+    The flows call this at the top of every stage; it is a single
+    comparison when no fault is armed.
+    """
+    if fault is not None and fault == stage:
+        raise FaultInjectionError(
+            f"injected fault tripped at stage {stage!r}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Outcome of one selftest scenario.
+
+    Attributes:
+        fault: scenario name.
+        passed: whether the stack reacted as required.
+        outcome: short machine-readable reaction summary.
+        detail: human-readable explanation.
+    """
+
+    fault: str
+    passed: bool
+    outcome: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "fault": self.fault,
+            "passed": self.passed,
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+
+class FaultInjector:
+    """Seedable input perturbations; all choices are deterministic.
+
+    Args:
+        seed: RNG seed; the same seed perturbs the same targets.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def drop_net(self, module: Module) -> str:
+        """Detach the driver of a random instance-driven net.
+
+        Returns the net name.  Both views of connectivity are cut -- the
+        net's ``driver`` endpoint and the driving instance's output pin
+        map -- so the net keeps its sinks but genuinely has no source:
+        validation reports ``netlist.undriven`` and STA raises
+        ``TimingError`` when the arrival propagation hits the hole.
+        """
+        candidates = sorted(
+            name for name, net in module.nets.items()
+            if net.driver is not None
+            and not is_port_ref(net.driver)
+            and net.sinks
+        )
+        if not candidates:
+            raise FaultInjectionError(
+                f"module {module.name} has no droppable nets"
+            )
+        name = self.rng.choice(candidates)
+        net = module.net(name)
+        inst_name, pin = net.driver
+        del module.instance(inst_name).outputs[pin]
+        net.driver = None
+        return name
+
+    def _pick_combinational(self, library: CellLibrary,
+                            module: Module | None = None):
+        cells = sorted(
+            c.name for c in library if not c.is_sequential and c.arcs
+        )
+        if module is not None:
+            # Restrict to cells the module instantiates, so the fault is
+            # guaranteed to sit on a queried arc rather than dead
+            # library inventory.
+            used = {inst.cell_name for inst in module.iter_instances()}
+            cells = [c for c in cells if c in used]
+        if not cells:
+            raise FaultInjectionError(
+                f"library {library.name} has no (used) combinational cells"
+            )
+        return library.get(self.rng.choice(cells))
+
+    def corrupt_delay_table(self, library: CellLibrary) -> str:
+        """Replace one arc with a non-monotone NLDM table.
+
+        Returns ``"cell.pin"``.  The table passes construction-time
+        shape checks but fails the :mod:`repro.robust.validate`
+        monotonicity lint.
+        """
+        cell = self._pick_combinational(library)
+        pin = self.rng.choice(sorted(cell.arcs))
+        bad = NLDMArc(
+            slew_axis_ps=(10.0, 100.0),
+            load_axis_ff=(0.0, 10.0, 20.0),
+            delay_table_ps=((80.0, 20.0, 5.0), (90.0, 25.0, 8.0)),
+            slew_table_ps=((20.0, 20.0, 20.0), (30.0, 30.0, 30.0)),
+        )
+        cell.arcs[pin] = bad
+        return f"{cell.name}.{pin}"
+
+    def inject_nan(self, library: CellLibrary,
+                   module: Module | None = None) -> str:
+        """Poison one arc with NaN delay parameters.
+
+        Returns ``"cell.pin"``.  NaN compares false against every
+        bound, so construction-time checks pass; only the probe-based
+        validation lint and the runtime finiteness guards catch it.
+        When ``module`` is given, the target is drawn from the cells it
+        actually instantiates, so an analysis of that module is
+        guaranteed to hit the poisoned arc.
+        """
+        cell = self._pick_combinational(library, module)
+        pin = self.rng.choice(sorted(cell.arcs))
+        cell.arcs[pin] = LinearDelayArc(
+            parasitic_ps=float("nan"), effort_ps_per_ff=1.0
+        )
+        return f"{cell.name}.{pin}"
+
+    def starved_sizing_budget(self) -> dict:
+        """Sizing kwargs that must be rejected with ``SizingError``."""
+        return {"max_moves": -1}
+
+
+def _scenario(fault: str, passed: bool, outcome: str,
+              detail: str = "") -> FaultReport:
+    return FaultReport(fault=fault, passed=passed, outcome=outcome,
+                       detail=detail)
+
+
+def run_selftest(seed: int = 0, bits: int = 4) -> list[FaultReport]:
+    """Run the full fault-injection scenario suite.
+
+    Every scenario perturbs a freshly built input, so scenarios are
+    independent and the whole suite is deterministic for a given seed.
+    Imports are local: the harness reaches across the whole stack and
+    module-level imports would cycle through :mod:`repro.flows`.
+    """
+    from repro.cells.builder import rich_asic_library
+    from repro.datapath.adders import ripple_carry_adder
+    from repro.flows import AsicFlowOptions, FlowError, run_asic_flow
+    from repro.robust import guards
+    from repro.robust.validate import (
+        Severity, has_errors, validate_library, validate_module,
+    )
+    from repro.sizing.logical_effort import SizingError
+    from repro.sizing.tilos import size_for_speed
+    from repro.sta.clocking import asic_clock
+    from repro.sta.engine import analyze, solve_min_period
+    from repro.sta.sequential import register_boundaries
+    from repro.sta.timing_graph import TimingError
+    from repro.tech.process import CMOS250_ASIC
+
+    tech = CMOS250_ASIC
+    clock = asic_clock(20.0 * tech.fo4_delay_ps)
+
+    def fresh():
+        library = rich_asic_library(tech)
+        comb = ripple_carry_adder(bits, library)
+        module = register_boundaries(comb, library)
+        return module, library
+
+    reports: list[FaultReport] = []
+
+    def run(name: str, scenario) -> None:
+        try:
+            reports.append(scenario(name))
+        except Exception as exc:  # selftest must never crash
+            reports.append(_scenario(
+                name, False, f"unexpected:{type(exc).__name__}", str(exc)
+            ))
+
+    def undriven_net(name: str) -> FaultReport:
+        module, library = fresh()
+        net = FaultInjector(seed).drop_net(module)
+        diags = validate_module(module, library)
+        flagged = any(d.code == "netlist.undriven" for d in diags)
+        try:
+            analyze(module, library, clock)
+            raised = False
+        except TimingError:
+            raised = True
+        ok = flagged and raised
+        return _scenario(
+            name, ok, "validated+raised" if ok else "missed",
+            f"dropped driver of net {net!r}",
+        )
+
+    def combinational_loop(name: str) -> FaultReport:
+        _, library = fresh()
+        module = Module("looped")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g1", "NAND2_X1",
+                            inputs={"A": "a", "B": "w2"},
+                            outputs={"Y": "w1"})
+        module.add_instance("g2", "NAND2_X1",
+                            inputs={"A": "w1", "B": "a"},
+                            outputs={"Y": "w2"})
+        module.add_instance("g3", "NAND2_X1",
+                            inputs={"A": "w1", "B": "w2"},
+                            outputs={"Y": "y"})
+        diags = validate_module(module, library)
+        flagged = any(
+            d.code == "netlist.combinational_loop" for d in diags
+        )
+        return _scenario(
+            name, flagged, "validated" if flagged else "missed",
+            "g1/g2 cross-coupled NAND loop",
+        )
+
+    def nan_delay(name: str) -> FaultReport:
+        module, library = fresh()
+        target = FaultInjector(seed).inject_nan(library, module)
+        diags = validate_library(library)
+        flagged = any(d.code == "library.nan_delay" for d in diags)
+        try:
+            guards.guarded_solve_min_period(module, library, clock)
+            raised = False
+        except (TimingError, guards.NonFiniteError):
+            raised = True
+        ok = flagged and raised
+        return _scenario(
+            name, ok, "validated+raised" if ok else "missed",
+            f"NaN injected into arc {target}; finite guard "
+            f"{'active' if guards.guard_enabled('finite') else 'DISABLED'}",
+        )
+
+    def non_monotone_table(name: str) -> FaultReport:
+        _, library = fresh()
+        target = FaultInjector(seed).corrupt_delay_table(library)
+        diags = validate_library(library)
+        flagged = any(d.code == "library.non_monotone" for d in diags)
+        return _scenario(
+            name, flagged, "validated" if flagged else "missed",
+            f"non-monotone table on arc {target}",
+        )
+
+    def starved_budget(name: str) -> FaultReport:
+        module, library = fresh()
+        kwargs = FaultInjector(seed).starved_sizing_budget()
+        try:
+            size_for_speed(module, library, clock, **kwargs)
+            return _scenario(name, False, "accepted",
+                             "negative budget was not rejected")
+        except SizingError as exc:
+            return _scenario(name, True, "raised:SizingError", str(exc))
+
+    def convergence_fallback(name: str) -> FaultReport:
+        module, library = fresh()
+        reference = solve_min_period(module, library, clock)
+        report = guards.guarded_solve_min_period(
+            module, library, clock, max_iterations=0, max_retries=1,
+        )
+        close = (
+            math.isfinite(report.min_period_ps)
+            and abs(report.min_period_ps - reference.min_period_ps)
+            <= max(0.01 * reference.min_period_ps, 1.0)
+        )
+        return _scenario(
+            name, close, "bisection" if close else "diverged",
+            f"bisection {report.min_period_ps:.1f} ps vs reference "
+            f"{reference.min_period_ps:.1f} ps",
+        )
+
+    def keep_going_degrades(name: str) -> FaultReport:
+        result = run_asic_flow(AsicFlowOptions(
+            bits=bits, sizing_moves=3, fault="size",
+            on_error="keep_going",
+        ))
+        ok = (
+            result.failed_stages() == ["size"]
+            and result.degraded
+            and result.quoted_frequency_mhz > 0
+            and math.isfinite(result.quoted_frequency_mhz)
+        )
+        return _scenario(
+            name, ok, "degraded" if ok else "wrong-shape",
+            f"failed stages {result.failed_stages()}, quote "
+            f"{result.quoted_frequency_mhz:.1f} MHz",
+        )
+
+    def raise_mode_names_stage(name: str) -> FaultReport:
+        try:
+            run_asic_flow(AsicFlowOptions(bits=bits, sizing_moves=3,
+                                          fault="size"))
+        except FlowError as exc:
+            ok = (exc.stage == "size"
+                  and isinstance(exc.__cause__, FaultInjectionError))
+            return _scenario(
+                name, ok, "raised:FlowError" if ok else "missing-context",
+                f"stage={exc.stage!r} cause="
+                f"{type(exc.__cause__).__name__}",
+            )
+        return _scenario(name, False, "no-error",
+                         "injected fault did not surface")
+
+    def preflight_clean(name: str) -> FaultReport:
+        module, library = fresh()
+        diags = validate_library(library) + validate_module(
+            module, library
+        )
+        clean = not has_errors(diags)
+        noise = [d for d in diags if d.severity is Severity.ERROR]
+        return _scenario(
+            name, clean, "clean" if clean else "false-positives",
+            f"{len(noise)} spurious error(s) on a healthy netlist",
+        )
+
+    run("preflight_clean_tree", preflight_clean)
+    run("undriven_net", undriven_net)
+    run("combinational_loop", combinational_loop)
+    run("nan_delay_table", nan_delay)
+    run("non_monotone_delay_table", non_monotone_table)
+    run("starved_sizing_budget", starved_budget)
+    run("solver_convergence_fallback", convergence_fallback)
+    run("keep_going_degrades", keep_going_degrades)
+    run("raise_mode_names_stage", raise_mode_names_stage)
+    return reports

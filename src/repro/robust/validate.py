@@ -1,0 +1,321 @@
+"""Pre-flight lint passes over netlists and cell libraries.
+
+Every check returns a structured :class:`Diagnostic` instead of raising,
+so callers can collect the full damage report in one pass, decide on a
+severity policy, and surface the records through ``FlowResult.to_dict``
+and the CLI's ``--json`` output.  :func:`require_clean` converts a
+report with errors into a single typed :class:`ValidationError` for
+callers that want fail-fast semantics.
+
+The lint passes cover the malformed-input classes the fault-injection
+harness (:mod:`repro.robust.faults`) produces: combinational loops,
+undriven and floating nets, fanout/load-cap violations, non-monotone
+delay tables, and NaN or negative electrical parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.cells.cell import CellError
+from repro.cells.delay import DelayModelError, NLDMArc
+from repro.cells.library import CellLibrary
+from repro.netlist.graph import CombinationalLoopError, topological_order
+from repro.netlist.module import Module
+from repro.netlist.nets import is_port_ref
+from repro.sta.timing_graph import TimingGraph
+
+
+class ValidationError(ValueError):
+    """Raised by :func:`require_clean` when errors were diagnosed."""
+
+
+class Severity(enum.IntEnum):
+    """How bad a diagnostic is; ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding from a lint pass or a stage failure.
+
+    Attributes:
+        code: stable dotted identifier, e.g. ``"netlist.undriven"``.
+        severity: how bad it is.
+        message: human-readable description of the finding.
+        subject: the net / instance / cell / stage the finding is about.
+        hint: suggested fix, when one is known.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    hint: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (severity collapses to its label)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "subject": self.subject,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        subject = f" [{self.subject}]" if self.subject else ""
+        return f"{self.severity.label}:{self.code}{subject}: {self.message}"
+
+
+#: (load_ff, slew_ps) probe points for delay-model sanity checks.
+_PROBE_POINTS = ((0.0, 10.0), (5.0, 20.0), (20.0, 40.0))
+
+
+def validate_module(
+    module: Module,
+    library: CellLibrary | None = None,
+    max_fanout: int | None = None,
+) -> list[Diagnostic]:
+    """Lint a netlist; returns diagnostics, never raises.
+
+    Checks: undriven nets with sinks, floating (sink-less) nets,
+    combinational loops, unknown cells, and -- when a library is given --
+    per-net load against the driving cell's max-capacitance limit and an
+    optional structural fanout cap.
+    """
+    diags: list[Diagnostic] = []
+
+    for name, net in module.nets.items():
+        if net.driver is None and net.sinks:
+            diags.append(Diagnostic(
+                code="netlist.undriven",
+                severity=Severity.ERROR,
+                message=f"net {name!r} has {len(net.sinks)} sink(s) but "
+                        "no driver",
+                subject=name,
+                hint="connect a driver or remove the dangling sinks",
+            ))
+        elif net.driver is not None and not net.sinks:
+            if name in module.ports:
+                continue
+            diags.append(Diagnostic(
+                code="netlist.floating",
+                severity=Severity.WARNING,
+                message=f"net {name!r} drives nothing",
+                subject=name,
+                hint="dead logic; run Module.prune_dangling_nets() after "
+                     "removing its driver",
+            ))
+
+    seq_names: set[str] = set()
+    unknown_cells = False
+    if library is not None:
+        for inst in module.iter_instances():
+            if inst.cell_name not in library:
+                unknown_cells = True
+                diags.append(Diagnostic(
+                    code="netlist.unknown_cell",
+                    severity=Severity.ERROR,
+                    message=f"instance {inst.name!r} references cell "
+                            f"{inst.cell_name!r} absent from library "
+                            f"{library.name!r}",
+                    subject=inst.name,
+                    hint="re-map the netlist or add the cell to the "
+                         "library",
+                ))
+        seq_names = library.sequential_cell_names()
+
+    try:
+        topological_order(module, seq_names)
+    except CombinationalLoopError as exc:
+        diags.append(Diagnostic(
+            code="netlist.combinational_loop",
+            severity=Severity.ERROR,
+            message=str(exc),
+            subject=module.name,
+            hint="break the cycle with a register or re-synthesise the "
+                 "cone",
+        ))
+
+    if library is not None and not unknown_cells:
+        graph = TimingGraph(module, library)
+        for inst in module.iter_instances():
+            cell = graph.cell_of(inst.name)
+            for net in inst.outputs.values():
+                sinks = module.sinks_of(net)
+                load = graph.net_load_ff(net)
+                if cell.load_violated(load):
+                    diags.append(Diagnostic(
+                        code="netlist.load_cap",
+                        severity=Severity.WARNING,
+                        message=f"net {net!r} loads {inst.cell_name} "
+                                f"driver {inst.name!r} with "
+                                f"{load:.1f} fF, above its "
+                                f"{cell.max_load_ff:.1f} fF limit",
+                        subject=net,
+                        hint="insert buffers (buffer_high_fanout) or "
+                             "upsize the driver",
+                    ))
+                if max_fanout is not None and len(sinks) > max_fanout:
+                    diags.append(Diagnostic(
+                        code="netlist.fanout",
+                        severity=Severity.WARNING,
+                        message=f"net {net!r} fans out to {len(sinks)} "
+                                f"sinks (cap {max_fanout})",
+                        subject=net,
+                        hint="buffer the net or clone the driver",
+                    ))
+    return diags
+
+
+def _finite(*values: float) -> bool:
+    return all(math.isfinite(v) for v in values)
+
+
+def validate_library(library: CellLibrary) -> list[Diagnostic]:
+    """Lint a cell library; returns diagnostics, never raises.
+
+    Checks every timing arc for NaN/Inf and negative delays (probed at a
+    few operating points, so both linear and table models are covered),
+    NLDM tables for non-monotone delay versus load, and sequential
+    timing records for non-finite parameters.  Construction-time
+    validation cannot catch these: NaN compares false against every
+    bound, so a corrupted table passes ``__post_init__`` checks.
+    """
+    diags: list[Diagnostic] = []
+    for cell in library:
+        if not _finite(cell.area_um2, cell.max_load_ff, cell.drive):
+            diags.append(Diagnostic(
+                code="library.nan_parameter",
+                severity=Severity.ERROR,
+                message=f"cell {cell.name!r} has non-finite "
+                        "area/load/drive parameters",
+                subject=cell.name,
+                hint="re-characterise the cell",
+            ))
+        for pin_name, pin in cell.inputs.items():
+            if not _finite(pin.cap_ff, pin.logical_effort):
+                diags.append(Diagnostic(
+                    code="library.nan_parameter",
+                    severity=Severity.ERROR,
+                    message=f"pin {cell.name}.{pin_name} has non-finite "
+                            "capacitance or logical effort",
+                    subject=cell.name,
+                    hint="re-characterise the cell",
+                ))
+        if cell.sequential is not None:
+            seq = cell.sequential
+            if not _finite(seq.setup_ps, seq.hold_ps, seq.clk_to_q_ps):
+                diags.append(Diagnostic(
+                    code="library.nan_parameter",
+                    severity=Severity.ERROR,
+                    message=f"cell {cell.name!r} has non-finite "
+                            "sequential timing",
+                    subject=cell.name,
+                    hint="re-characterise the cell",
+                ))
+        for pin_name, arc in cell.arcs.items():
+            diags.extend(_validate_arc(cell.name, pin_name, arc))
+    return diags
+
+
+def _validate_arc(cell_name: str, pin_name: str, arc) -> list[Diagnostic]:
+    """Sanity-check one timing arc (probe-based, model-agnostic)."""
+    diags: list[Diagnostic] = []
+    subject = f"{cell_name}.{pin_name}"
+    for load, slew in _PROBE_POINTS:
+        try:
+            delay = arc.delay_ps(load, slew)
+            out_slew = arc.output_slew_ps(load, slew)
+        except (DelayModelError, CellError) as exc:
+            diags.append(Diagnostic(
+                code="library.arc_query_failed",
+                severity=Severity.ERROR,
+                message=f"arc {subject} rejected probe "
+                        f"(load={load} fF, slew={slew} ps): {exc}",
+                subject=subject,
+            ))
+            break
+        if not _finite(delay, out_slew):
+            diags.append(Diagnostic(
+                code="library.nan_delay",
+                severity=Severity.ERROR,
+                message=f"arc {subject} yields non-finite delay/slew at "
+                        f"load={load} fF, slew={slew} ps",
+                subject=subject,
+                hint="scrub the delay table for NaN/Inf entries",
+            ))
+            break
+        if delay < 0.0 or out_slew < 0.0:
+            diags.append(Diagnostic(
+                code="library.negative_delay",
+                severity=Severity.ERROR,
+                message=f"arc {subject} yields negative delay/slew at "
+                        f"load={load} fF, slew={slew} ps",
+                subject=subject,
+                hint="delay tables must be non-negative everywhere",
+            ))
+            break
+    if isinstance(arc, NLDMArc):
+        diags.extend(_validate_nldm_monotone(subject, arc))
+    return diags
+
+
+def _validate_nldm_monotone(subject: str, arc: NLDMArc) -> list[Diagnostic]:
+    """Delay must not *decrease* as load grows, along every slew row."""
+    diags: list[Diagnostic] = []
+    for i, row in enumerate(arc.delay_table_ps):
+        drops = [
+            j for j, (a, b) in enumerate(zip(row, row[1:]))
+            if b < a - 1e-9
+        ]
+        if drops:
+            diags.append(Diagnostic(
+                code="library.non_monotone",
+                severity=Severity.ERROR,
+                message=f"arc {subject} delay table row {i} (slew "
+                        f"{arc.slew_axis_ps[i]:.0f} ps) decreases with "
+                        f"load at column(s) {drops}",
+                subject=subject,
+                hint="a delay table must be non-decreasing in load; "
+                     "re-characterise or clamp the table",
+            ))
+            break
+    return diags
+
+
+def preflight(
+    module: Module,
+    library: CellLibrary,
+    max_fanout: int | None = None,
+) -> list[Diagnostic]:
+    """Full pre-flight lint: library first, then the netlist against it."""
+    return validate_library(library) + validate_module(
+        module, library, max_fanout=max_fanout
+    )
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    """True if any diagnostic is an error."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def require_clean(diagnostics: list[Diagnostic]) -> None:
+    """Raise :class:`ValidationError` when the report contains errors."""
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        listing = "; ".join(str(d) for d in errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise ValidationError(
+            f"{len(errors)} validation error(s): {listing}{more}"
+        )

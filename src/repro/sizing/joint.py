@@ -127,10 +127,12 @@ def joint_size(
         max_rounds: coordinate-descent round limit.
         tolerance_ps: convergence threshold on delay.
     """
-    if length_um <= 0 or load_ff < 0:
+    if not (length_um > 0) or not (load_ff >= 0) or not math.isfinite(
+        length_um + load_ff
+    ):
         raise SizingError("invalid path parameters")
-    if area_weight <= 0:
-        raise SizingError("area weight must be positive")
+    if not (area_weight > 0) or not math.isfinite(area_weight):
+        raise SizingError("area weight must be positive and finite")
     width = tech.interconnect.min_width_um
     gate = 1.0
     previous = math.inf
@@ -141,6 +143,11 @@ def joint_size(
             tech, gate, length_um, load_ff, area_weight, max_width_multiple
         )
         delay = path_delay_ps(tech, gate, width, length_um, load_ff)
+        if not math.isfinite(delay):
+            raise SizingError(
+                f"joint sizing accepted a non-finite delay at round "
+                f"{rounds} (gate={gate}, width={width})"
+            )
         if abs(previous - delay) <= tolerance_ps:
             break
         previous = delay

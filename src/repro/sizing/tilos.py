@@ -18,6 +18,7 @@ a speed difference of 20% or more."
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro import obs
@@ -132,6 +133,11 @@ def size_for_speed(
             instance, new_cell = move
             module.replace_cell(instance, new_cell)
             report = analyze(module, library, clock, wire=wire)
+            if not math.isfinite(report.min_period_ps):
+                raise SizingError(
+                    f"sizing diverged to a non-finite period after "
+                    f"{moves} moves (swap {instance} -> {new_cell})"
+                )
             moves += 1
         area_after = total_area_um2(module, library)
         obs.count("sizing.tilos.calls")

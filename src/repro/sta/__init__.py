@@ -11,6 +11,7 @@ from repro.sta.clocking import (
 )
 from repro.sta.engine import (
     DEFAULT_INPUT_SLEW_PS,
+    ConvergenceError,
     EndpointTiming,
     HoldViolation,
     PathStep,
@@ -44,6 +45,7 @@ __all__ = [
     "CUSTOM_SKEW_FRACTION",
     "Clock",
     "ClockingError",
+    "ConvergenceError",
     "DEFAULT_INPUT_SLEW_PS",
     "EndpointTiming",
     "HoldViolation",

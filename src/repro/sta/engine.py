@@ -14,6 +14,7 @@ into exactly those components.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -25,6 +26,28 @@ from repro.sta.timing_graph import TimingError, TimingGraph, WireParasitics
 
 #: Transition time assumed at module inputs and register outputs.
 DEFAULT_INPUT_SLEW_PS = 20.0
+
+
+class ConvergenceError(TimingError):
+    """Iterative period solving failed to converge.
+
+    A distinct subclass so the robustness layer can tell a retryable
+    convergence stall apart from structural timing problems (undriven
+    logic, impossible skew budgets), which retrying cannot fix.
+    """
+
+
+def _finite_guard_active() -> bool:
+    """Whether analyze should reject non-finite arrivals.
+
+    Deferred import: :mod:`repro.robust.guards` (the guard registry)
+    imports the sizing layer, which imports this module, so a top-level
+    import would cycle.  The lookup is one ``sys.modules`` hit per
+    :func:`analyze` call.
+    """
+    from repro.robust.guards import guard_enabled
+
+    return guard_enabled("finite")
 
 
 @dataclass(frozen=True)
@@ -159,8 +182,12 @@ def analyze(
     Raises:
         TimingError: if the netlist has no endpoints or undriven logic.
     """
-    if delay_derate <= 0:
-        raise TimingError("delay derate must be positive")
+    if not (delay_derate > 0.0) or math.isinf(delay_derate):
+        raise TimingError(
+            f"delay derate must be a positive finite number, "
+            f"got {delay_derate}"
+        )
+    finite_guard = _finite_guard_active()
     obs.count("sta.analyze.calls")
     graph = TimingGraph(module, library, wire, output_load_ff)
     seq_names = graph.sequential_cell_names()
@@ -188,6 +215,7 @@ def analyze(
             min_arrival[net] = clk_to_q
             launch_q[net] = clk_to_q
 
+    at_acc = 0.0
     for inst_name in order:
         inst = module.instance(inst_name)
         cell = graph.cell_of(inst_name)
@@ -212,6 +240,7 @@ def analyze(
             delay = cell.delay_ps(pin, load, slew[in_net]) * delay_derate
             at = arrival[in_net] + wire_d + delay
             m_at = min_arrival[in_net] + wire_d + delay
+            at_acc += at
             if best_at is None or at > best_at:
                 best_at = at
                 best_pin = pin
@@ -223,6 +252,30 @@ def analyze(
             min_arrival[net] = least_at
             slew[net] = worst_slew
             trace[net] = (inst_name, best_pin)
+
+    if finite_guard and not math.isfinite(at_acc):
+        # A NaN/Inf poisoned the accumulator somewhere; rescan (cold path)
+        # to name the first offending pin.  A NaN loses every max()
+        # comparison, so without this check it would be silently shadowed
+        # by a healthy sibling path.
+        for inst_name in order:
+            inst = module.instance(inst_name)
+            cell = graph.cell_of(inst_name)
+            if cell.is_sequential or not inst.outputs:
+                continue
+            load = graph.net_load_ff(list(inst.outputs.values())[0])
+            for pin, in_net in inst.inputs.items():
+                at = (
+                    arrival[in_net]
+                    + graph.wire.delay(in_net) * delay_derate
+                    + cell.delay_ps(pin, load, slew[in_net]) * delay_derate
+                )
+                if not math.isfinite(at):
+                    raise TimingError(
+                        f"non-finite arrival through {inst_name}.{pin} "
+                        f"on net {in_net!r}; check the delay tables"
+                    )
+        raise TimingError("non-finite arrival in timing propagation")
 
     endpoints: list[EndpointTiming] = []
     end_trace_net: dict[str, str] = {}
@@ -286,6 +339,14 @@ def analyze(
 
     if not endpoints:
         raise TimingError(f"module {module.name} has no timing endpoints")
+    bad = next(
+        (e for e in endpoints if not math.isfinite(e.min_period_ps)), None
+    ) if finite_guard else None
+    if bad is not None:
+        raise TimingError(
+            f"endpoint {bad.name!r} has a non-finite required period; "
+            "check the library delay tables for NaN/Inf entries"
+        )
     endpoints.sort(key=lambda e: e.min_period_ps, reverse=True)
     critical = endpoints[0]
     path = _walk_path(module, trace, end_trace_net[critical.name], arrival)
@@ -322,8 +383,12 @@ def solve_min_period(
 
     Raises:
         TimingError: if the constraint cannot close (overheads consume
-            the whole cycle) or iteration fails to converge.
+            the whole cycle) or an accepted period is non-finite.
+        ConvergenceError: if iteration fails to converge within
+            ``max_iterations`` steps.
     """
+    if tolerance_ps <= 0 or max_iterations < 0:
+        raise TimingError("tolerance must be positive and iterations >= 0")
     profiling = obs.enabled()
     start_s = obs.MONOTONIC() if profiling else 0.0
     current = clock
@@ -331,6 +396,10 @@ def solve_min_period(
     iterations = 1
     for _ in range(max_iterations):
         period = report.min_period_ps
+        if not math.isfinite(period):
+            raise TimingError(
+                f"period iteration accepted a non-finite period ({period})"
+            )
         if clock.skew_fraction + clock.borrow_fraction >= 1.0:
             raise TimingError("skew and borrow fractions consume the cycle")
         current = clock.with_period(period)
@@ -346,7 +415,7 @@ def solve_min_period(
                 )
             return new_report
         report = new_report
-    raise TimingError(
+    raise ConvergenceError(
         f"period iteration did not converge within {max_iterations} steps"
     )
 

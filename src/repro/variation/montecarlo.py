@@ -8,6 +8,7 @@ population feeds the binning and quoting models.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,9 @@ class SpeedDistribution:
     def __post_init__(self) -> None:
         if len(self.frequencies_mhz) == 0:
             raise VariationError("empty distribution")
+        if not np.all(np.isfinite(self.frequencies_mhz)):
+            raise VariationError("distribution contains non-finite "
+                                 "frequencies")
 
     @property
     def count(self) -> int:
@@ -58,6 +62,34 @@ class SpeedDistribution:
             raise VariationError("frequency must be positive")
         return float(np.mean(self.frequencies_mhz >= frequency_mhz))
 
+    def filtered(
+        self,
+        min_mhz: float | None = None,
+        max_mhz: float | None = None,
+    ) -> "SpeedDistribution":
+        """Sub-population inside a frequency window.
+
+        Guards the percentile math downstream: a filter that removes
+        every sample raises a typed error here instead of letting
+        ``np.percentile`` produce NaN from an empty array later.
+
+        Raises:
+            VariationError: if no samples survive the filter.
+        """
+        freqs = self.frequencies_mhz
+        if min_mhz is not None:
+            freqs = freqs[freqs >= min_mhz]
+        if max_mhz is not None:
+            freqs = freqs[freqs <= max_mhz]
+        if len(freqs) == 0:
+            raise VariationError(
+                f"no samples remain after filtering to "
+                f"[{min_mhz}, {max_mhz}] MHz"
+            )
+        return SpeedDistribution(
+            frequencies_mhz=freqs, nominal_mhz=self.nominal_mhz
+        )
+
 
 def sample_chip_speeds(
     nominal_mhz: float,
@@ -78,8 +110,9 @@ def sample_chip_speeds(
         count: dies to sample.
         seed: RNG seed (deterministic population).
     """
-    if nominal_mhz <= 0:
-        raise VariationError("nominal frequency must be positive")
+    if not (nominal_mhz > 0) or not math.isfinite(nominal_mhz):
+        raise VariationError("nominal frequency must be positive and "
+                             "finite")
     if count < 1:
         raise VariationError("need at least one die")
     profiling = obs.enabled()

@@ -1,0 +1,179 @@
+"""Typed-error coverage: parser syntax branches, STA degenerate inputs,
+and Monte Carlo seed/percentile guards (no bare KeyError/ZeroDivisionError
+may escape any of these paths)."""
+
+import numpy as np
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.cells.delay import LinearDelayArc
+from repro.datapath import ripple_carry_adder
+from repro.flows import AsicFlowOptions, run_asic_flow
+from repro.netlist import Module
+from repro.sta import (
+    ConvergenceError,
+    TimingError,
+    analyze,
+    asic_clock,
+    register_boundaries,
+    solve_min_period,
+)
+from repro.synth import SynthesisError, parse_expression
+from repro.tech import CMOS250_ASIC
+from repro.variation import (
+    MATURE_PROCESS,
+    SpeedDistribution,
+    VariationError,
+    sample_chip_speeds,
+)
+
+CLK = asic_clock(20.0 * CMOS250_ASIC.fo4_delay_ps)
+
+
+def adder(bits=4):
+    library = rich_asic_library(CMOS250_ASIC)
+    module = register_boundaries(ripple_carry_adder(bits, library), library)
+    return module, library
+
+
+class TestParserErrorBranches:
+    """Every SynthesisError branch in synth/parser.py, parametrised."""
+
+    @pytest.mark.parametrize("text,match", [
+        ("a $ b", "cannot tokenise"),
+        ("", "empty expression"),
+        ("   ", "empty expression"),
+        ("a &", "unexpected end"),
+        ("~", "unexpected end"),
+        ("(a & b", "unexpected end"),
+        ("(a b", "expected '\\)'"),
+        ("a b", "trailing input"),
+        ("& a", "unexpected operator"),
+        ("| a", "unexpected operator"),
+        ("^ a", "unexpected operator"),
+        (") a", "unexpected operator"),
+    ])
+    def test_syntax_error_branch(self, text, match):
+        with pytest.raises(SynthesisError, match=match):
+            parse_expression(text)
+
+    def test_valid_expression_still_parses(self):
+        parse_expression("~(a & b) ^ (c | 1)")
+
+
+class TestStaDegenerateInputs:
+    def test_undriven_output_port(self):
+        library = rich_asic_library(CMOS250_ASIC)
+        module = Module("m")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g", "INV_X1", inputs={"A": "a"},
+                            outputs={"Y": "w"})
+        with pytest.raises(TimingError, match="undriven"):
+            analyze(module, library, CLK)
+
+    def test_undriven_gate_input(self):
+        library = rich_asic_library(CMOS250_ASIC)
+        module = Module("m")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g", "NAND2_X1",
+                            inputs={"A": "a", "B": "ghost"},
+                            outputs={"Y": "y"})
+        with pytest.raises(TimingError, match="no arrival"):
+            analyze(module, library, CLK)
+
+    def test_undriven_register_data_pin(self):
+        library = rich_asic_library(CMOS250_ASIC)
+        ff = library.flip_flop()
+        module = Module("m")
+        clk = module.add_input("clk")
+        module.add_output("q")
+        module.add_instance(
+            "r", ff.name,
+            inputs={"D": "ghost", ff.sequential.clock_pin: clk},
+            outputs={ff.output: "q"},
+        )
+        with pytest.raises(TimingError, match="undriven"):
+            analyze(module, library, CLK)
+
+    def test_no_endpoints(self):
+        library = rich_asic_library(CMOS250_ASIC)
+        module = Module("m")
+        module.add_input("a")
+        module.add_instance("g", "INV_X1", inputs={"A": "a"},
+                            outputs={"Y": "w"})
+        with pytest.raises(TimingError, match="no timing endpoints"):
+            analyze(module, library, CLK)
+
+    @pytest.mark.parametrize("derate", [0.0, -1.0, float("nan"),
+                                        float("inf")])
+    def test_degenerate_derate_is_typed(self, derate):
+        module, library = adder()
+        with pytest.raises(TimingError, match="derate"):
+            analyze(module, library, CLK, delay_derate=derate)
+
+    def test_nan_arc_is_typed_not_silent(self):
+        module, library = adder()
+        used = next(
+            inst.cell_name for inst in module.iter_instances()
+            if not library.get(inst.cell_name).is_sequential
+        )
+        cell = library.get(used)
+        pin = sorted(cell.arcs)[0]
+        cell.arcs[pin] = LinearDelayArc(parasitic_ps=float("nan"),
+                                        effort_ps_per_ff=1.0)
+        with pytest.raises(TimingError, match="non-finite"):
+            analyze(module, library, CLK)
+
+    def test_solver_parameter_validation(self):
+        module, library = adder()
+        with pytest.raises(TimingError, match="tolerance"):
+            solve_min_period(module, library, CLK, tolerance_ps=0.0)
+        with pytest.raises(ConvergenceError):
+            solve_min_period(module, library, CLK, max_iterations=0)
+
+
+class TestMonteCarloGuards:
+    def test_seed_gives_identical_population(self):
+        a = sample_chip_speeds(400.0, MATURE_PROCESS, count=500, seed=11)
+        b = sample_chip_speeds(400.0, MATURE_PROCESS, count=500, seed=11)
+        assert np.array_equal(a.frequencies_mhz, b.frequencies_mhz)
+
+    def test_different_seed_differs(self):
+        a = sample_chip_speeds(400.0, MATURE_PROCESS, count=500, seed=11)
+        b = sample_chip_speeds(400.0, MATURE_PROCESS, count=500, seed=12)
+        assert not np.array_equal(a.frequencies_mhz, b.frequencies_mhz)
+
+    def test_seed_honoured_end_to_end_through_flow(self):
+        opts = AsicFlowOptions(bits=4, sizing_moves=3, seed=5)
+        first = run_asic_flow(opts)
+        second = run_asic_flow(opts)
+        assert first.quoted_frequency_mhz == second.quoted_frequency_mhz
+        assert first.typical_frequency_mhz == second.typical_frequency_mhz
+
+    @pytest.mark.parametrize("nominal", [0.0, -10.0, float("nan"),
+                                         float("inf")])
+    def test_bad_nominal_rejected(self, nominal):
+        with pytest.raises(VariationError):
+            sample_chip_speeds(nominal, MATURE_PROCESS, count=100)
+
+    def test_non_finite_population_rejected(self):
+        with pytest.raises(VariationError, match="non-finite"):
+            SpeedDistribution(
+                frequencies_mhz=np.array([100.0, float("nan")]),
+                nominal_mhz=100.0,
+            )
+
+    def test_filtered_window(self):
+        dist = sample_chip_speeds(400.0, MATURE_PROCESS, count=2000,
+                                  seed=3)
+        sub = dist.filtered(min_mhz=dist.median_mhz)
+        assert sub.count <= dist.count
+        assert sub.percentile(0.0) >= dist.median_mhz
+
+    def test_filtered_to_empty_raises_instead_of_nan(self):
+        dist = sample_chip_speeds(400.0, MATURE_PROCESS, count=200,
+                                  seed=3)
+        with pytest.raises(VariationError, match="no samples remain"):
+            dist.filtered(min_mhz=1e9)

@@ -1,0 +1,204 @@
+"""Unit tests for the pre-flight validation lint passes."""
+
+import pytest
+
+from repro.cells import rich_asic_library
+from repro.cells.delay import LinearDelayArc, NLDMArc
+from repro.datapath import ripple_carry_adder
+from repro.netlist import Module
+from repro.robust import (
+    Diagnostic,
+    Severity,
+    ValidationError,
+    has_errors,
+    preflight,
+    require_clean,
+    validate_library,
+    validate_module,
+)
+from repro.sta import register_boundaries
+from repro.tech import CMOS250_ASIC
+
+
+def fresh_library():
+    return rich_asic_library(CMOS250_ASIC)
+
+
+def adder_module(library, bits=4):
+    return register_boundaries(ripple_carry_adder(bits, library), library)
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestDiagnostic:
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        assert max([Severity.INFO, Severity.ERROR]) is Severity.ERROR
+
+    def test_to_dict_uses_labels(self):
+        d = Diagnostic(code="x.y", severity=Severity.WARNING,
+                       message="m", subject="s", hint="h")
+        as_dict = d.to_dict()
+        assert as_dict["severity"] == "warning"
+        assert as_dict["code"] == "x.y"
+        assert as_dict["hint"] == "h"
+
+    def test_str_names_code_and_subject(self):
+        d = Diagnostic(code="netlist.undriven", severity=Severity.ERROR,
+                       message="no driver", subject="n3")
+        assert "netlist.undriven" in str(d)
+        assert "n3" in str(d)
+
+
+class TestValidateModule:
+    def test_clean_netlist_has_no_errors(self):
+        library = fresh_library()
+        module = adder_module(library)
+        assert not has_errors(validate_module(module, library))
+
+    def test_undriven_net_flagged(self):
+        library = fresh_library()
+        module = Module("m")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g", "INV_X1", inputs={"A": "w"},
+                            outputs={"Y": "y"})
+        diags = validate_module(module, library)
+        undriven = [d for d in diags if d.code == "netlist.undriven"]
+        assert len(undriven) == 1
+        assert undriven[0].subject == "w"
+        assert undriven[0].severity is Severity.ERROR
+
+    def test_floating_net_is_warning_but_port_is_not(self):
+        library = fresh_library()
+        module = Module("m")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g", "INV_X1", inputs={"A": "a"},
+                            outputs={"Y": "y"})
+        module.add_instance("dead", "INV_X1", inputs={"A": "a"},
+                            outputs={"Y": "unused"})
+        diags = validate_module(module, library)
+        floating = [d for d in diags if d.code == "netlist.floating"]
+        assert [d.subject for d in floating] == ["unused"]
+        assert floating[0].severity is Severity.WARNING
+
+    def test_unknown_cell_flagged(self):
+        library = fresh_library()
+        module = Module("m")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g", "MAGIC_X9", inputs={"A": "a"},
+                            outputs={"Y": "y"})
+        diags = validate_module(module, library)
+        assert "netlist.unknown_cell" in codes(diags)
+        assert has_errors(diags)
+
+    def test_combinational_loop_flagged(self):
+        library = fresh_library()
+        module = Module("looped")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g1", "NAND2_X1",
+                            inputs={"A": "a", "B": "w2"},
+                            outputs={"Y": "w1"})
+        module.add_instance("g2", "NAND2_X1",
+                            inputs={"A": "w1", "B": "a"},
+                            outputs={"Y": "w2"})
+        module.add_instance("g3", "NAND2_X1",
+                            inputs={"A": "w1", "B": "w2"},
+                            outputs={"Y": "y"})
+        diags = validate_module(module, library)
+        assert "netlist.combinational_loop" in codes(diags)
+
+    def test_fanout_cap_flagged(self):
+        library = fresh_library()
+        module = Module("fan")
+        module.add_input("a")
+        module.add_instance("drv", "INV_X4", inputs={"A": "a"},
+                            outputs={"Y": "w"})
+        for i in range(6):
+            out = module.add_output(f"y{i}")
+            module.add_instance(f"s{i}", "INV_X1", inputs={"A": "w"},
+                                outputs={"Y": out})
+        diags = validate_module(module, library, max_fanout=4)
+        fanout = [d for d in diags if d.code == "netlist.fanout"]
+        assert fanout and fanout[0].subject == "w"
+        assert not [d for d in validate_module(module, library,
+                                               max_fanout=10)
+                    if d.code == "netlist.fanout"]
+
+    def test_load_cap_violation_flagged(self):
+        library = fresh_library()
+        module = Module("heavy")
+        module.add_input("a")
+        module.add_instance("drv", "INV_X1", inputs={"A": "a"},
+                            outputs={"Y": "w"})
+        for i in range(40):
+            out = module.add_output(f"y{i}")
+            module.add_instance(f"s{i}", "NAND4_X16",
+                                inputs={"A": "w", "B": "w", "C": "w",
+                                        "D": "w"},
+                                outputs={"Y": out})
+        diags = validate_module(module, library)
+        assert "netlist.load_cap" in codes(diags)
+
+
+class TestValidateLibrary:
+    def test_clean_library_is_clean(self):
+        assert validate_library(fresh_library()) == []
+
+    def test_nan_arc_flagged(self):
+        library = fresh_library()
+        cell = library.get("NAND2_X1")
+        cell.arcs["A"] = LinearDelayArc(parasitic_ps=float("nan"),
+                                        effort_ps_per_ff=1.0)
+        diags = validate_library(library)
+        nan = [d for d in diags if d.code == "library.nan_delay"]
+        assert nan and nan[0].subject == "NAND2_X1.A"
+
+    def test_non_monotone_table_flagged(self):
+        library = fresh_library()
+        cell = library.get("NAND2_X1")
+        cell.arcs["A"] = NLDMArc(
+            slew_axis_ps=(10.0, 100.0),
+            load_axis_ff=(0.0, 10.0, 20.0),
+            delay_table_ps=((80.0, 20.0, 5.0), (90.0, 25.0, 8.0)),
+            slew_table_ps=((20.0, 20.0, 20.0), (30.0, 30.0, 30.0)),
+        )
+        diags = validate_library(library)
+        assert "library.non_monotone" in codes(diags)
+
+    def test_monotone_table_not_flagged(self):
+        library = fresh_library()
+        cell = library.get("NAND2_X1")
+        cell.arcs["A"] = NLDMArc(
+            slew_axis_ps=(10.0, 100.0),
+            load_axis_ff=(0.0, 10.0, 20.0),
+            delay_table_ps=((5.0, 20.0, 80.0), (8.0, 25.0, 90.0)),
+            slew_table_ps=((20.0, 20.0, 20.0), (30.0, 30.0, 30.0)),
+        )
+        diags = validate_library(library)
+        assert "library.non_monotone" not in codes(diags)
+
+
+class TestPreflightPolicy:
+    def test_preflight_clean(self):
+        library = fresh_library()
+        module = adder_module(library)
+        diags = preflight(module, library)
+        assert not has_errors(diags)
+        require_clean(diags)  # must not raise
+
+    def test_require_clean_raises_with_listing(self):
+        library = fresh_library()
+        module = Module("m")
+        module.add_input("a")
+        module.add_output("y")
+        module.add_instance("g", "INV_X1", inputs={"A": "w"},
+                            outputs={"Y": "y"})
+        diags = validate_module(module, library)
+        with pytest.raises(ValidationError, match="netlist.undriven"):
+            require_clean(diags)
