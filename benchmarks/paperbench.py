@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import atexit
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass
 
@@ -104,14 +106,55 @@ def summary() -> dict:
     return flat
 
 
+def _prior_wall_times(path: str) -> dict:
+    """Per-benchmark wall times already recorded in the artifact.
+
+    A partial benchmark selection (``pytest benchmarks/bench_e8...``)
+    should refine its own rows without deleting everyone else's; a
+    corrupt or missing artifact contributes nothing.
+    """
+    try:
+        with open(path) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(previous, dict):
+        return {}
+    return {
+        key: value for key, value in previous.items()
+        if key.startswith("bench.") and key.endswith(".s")
+        and isinstance(value, (int, float))
+    }
+
+
 def finalize(path: str = BENCH_JSON) -> dict | None:
-    """Write the accumulated summary; returns it (None if nothing ran)."""
+    """Write the accumulated summary; returns it (None if nothing ran).
+
+    The write is atomic (temp file + ``os.replace`` in the target
+    directory), so a crash mid-dump or two concurrent runs can never
+    leave a truncated artifact; and wall times from a previous run are
+    merged in rather than clobbered, with this run's rows winning any
+    collision.
+    """
     if not _COLLECTED["rows"] and not _COLLECTED["wall_s"]:
         return None
-    flat = summary()
-    with open(path, "w") as handle:
-        json.dump(flat, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    flat = _prior_wall_times(path)
+    flat.update(summary())
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(flat, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return flat
 
 

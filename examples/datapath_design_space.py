@@ -6,10 +6,16 @@ tabulates logic depth, gate count, area and achievable frequency --
 showing why "use of predefined macro cells can significantly improve the
 resulting design".
 
+Each (architecture, width) point is independent, so the survey fans out
+through :func:`repro.par.sweep.run_sweep`; results come back in task
+order, so the table is identical for any worker count.
+
 Run with::
 
-    python examples/datapath_design_space.py
+    python examples/datapath_design_space.py [--workers N]
 """
+
+import argparse
 
 from repro.cells import rich_asic_library
 from repro.datapath import (
@@ -23,6 +29,7 @@ from repro.datapath import (
     wallace_multiplier,
 )
 from repro.netlist import logic_depth
+from repro.par.sweep import run_sweep
 from repro.sizing import total_area_um2
 from repro.sta import analyze, asic_clock, fo4_depth
 from repro.tech import CMOS250_ASIC
@@ -40,54 +47,78 @@ MULTIPLIERS = {
 }
 
 
-def survey_adders(library, widths=(8, 16, 32)) -> None:
-    clock = asic_clock(50000.0)
+def survey_point(task: tuple) -> tuple:
+    """Generate, verify and time one (kind, architecture, bits) point.
+
+    Top-level (picklable) so it can run in a sweep worker; the library
+    is rebuilt per call because cell libraries don't cross process
+    boundaries.
+    """
+    kind, name, bits = task
+    library = rich_asic_library(CMOS250_ASIC)
+    if kind == "adder":
+        module = ADDERS[name](bits, library)
+        # Spot-check functional correctness before timing it.
+        a, b = 123 % (1 << bits), 77 % (1 << bits)
+        total, cout = simulate_adder(module, library, bits, a, b, 1)
+        expected = a + b + 1
+        assert (total, cout) == (expected % (1 << bits),
+                                 expected >> bits), name
+        report = analyze(module, library, asic_clock(50000.0))
+        area = total_area_um2(module, library)
+    else:
+        module = MULTIPLIERS[name](bits, library)
+        a, b = (1 << bits) - 2, (1 << (bits - 1)) + 1
+        assert simulate_multiplier(module, library, bits, a, b) == a * b
+        report = analyze(module, library, asic_clock(80000.0))
+        area = None
+    return (
+        name,
+        bits,
+        module.instance_count(),
+        logic_depth(module),
+        fo4_depth(report, library.technology),
+        report.max_frequency_mhz,
+        area,
+    )
+
+
+def survey_adders(workers: int = 1, widths=(8, 16, 32)) -> None:
+    tasks = [("adder", name, bits) for name in ADDERS for bits in widths]
+    rows = run_sweep(survey_point, tasks, workers=workers,
+                     label="examples.design_space.adders")
     print(f"{'adder':<18s} {'bits':>5s} {'gates':>6s} {'depth':>6s} "
           f"{'FO4':>6s} {'MHz':>8s} {'area um2':>9s}")
-    for name, generator in ADDERS.items():
-        for bits in widths:
-            module = generator(bits, library)
-            # Spot-check functional correctness before timing it.
-            total, cout = simulate_adder(module, library, bits, 123 % (1 << bits),
-                                         77 % (1 << bits), 1)
-            expected = (123 % (1 << bits)) + (77 % (1 << bits)) + 1
-            assert (total, cout) == (expected % (1 << bits),
-                                     expected >> bits), name
-            report = analyze(module, library, clock)
-            print(
-                f"{name:<18s} {bits:>5d} {module.instance_count():>6d} "
-                f"{logic_depth(module):>6d} "
-                f"{fo4_depth(report, library.technology):>6.1f} "
-                f"{report.max_frequency_mhz:>8.1f} "
-                f"{total_area_um2(module, library):>9.1f}"
-            )
+    for name, bits, gates, depth, fo4, mhz, area in rows:
+        print(
+            f"{name:<18s} {bits:>5d} {gates:>6d} {depth:>6d} "
+            f"{fo4:>6.1f} {mhz:>8.1f} {area:>9.1f}"
+        )
 
 
-def survey_multipliers(library, widths=(4, 6, 8)) -> None:
-    clock = asic_clock(80000.0)
+def survey_multipliers(workers: int = 1, widths=(4, 6, 8)) -> None:
+    tasks = [("mult", name, bits) for name in MULTIPLIERS for bits in widths]
+    rows = run_sweep(survey_point, tasks, workers=workers,
+                     label="examples.design_space.multipliers")
     print(f"{'multiplier':<18s} {'bits':>5s} {'gates':>6s} {'depth':>6s} "
           f"{'FO4':>6s} {'MHz':>8s}")
-    for name, generator in MULTIPLIERS.items():
-        for bits in widths:
-            module = generator(bits, library)
-            a, b = (1 << bits) - 2, (1 << (bits - 1)) + 1
-            assert simulate_multiplier(module, library, bits, a, b) == a * b
-            report = analyze(module, library, clock)
-            print(
-                f"{name:<18s} {bits:>5d} {module.instance_count():>6d} "
-                f"{logic_depth(module):>6d} "
-                f"{fo4_depth(report, library.technology):>6.1f} "
-                f"{report.max_frequency_mhz:>8.1f}"
-            )
+    for name, bits, gates, depth, fo4, mhz, _ in rows:
+        print(
+            f"{name:<18s} {bits:>5d} {gates:>6d} {depth:>6d} "
+            f"{fo4:>6.1f} {mhz:>8.1f}"
+        )
 
 
 def main() -> None:
-    library = rich_asic_library(CMOS250_ASIC)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process count for the survey sweep")
+    args = parser.parse_args()
     print("Adder architectures (verified, then timed):")
-    survey_adders(library)
+    survey_adders(workers=args.workers)
     print()
     print("Multiplier architectures:")
-    survey_multipliers(library)
+    survey_multipliers(workers=args.workers)
     print()
     print("The log-depth structures are the 'predefined macro cells' of")
     print("Section 4.2: same function, far fewer logic levels than the")

@@ -193,6 +193,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(asic.summary())
     print(custom.summary())
     print()
+    from repro.par import memo as par_memo
+
+    par_memo.publish()
     print(obs.render_report())
     if args.metrics_json:
         written = obs.write_metrics(obs.get_metrics(), args.metrics_json)
@@ -288,7 +291,8 @@ def _cmd_variation(args: argparse.Namespace) -> int:
 
     components = NEW_PROCESS if args.process == "new" else MATURE_PROCESS
     dist = sample_chip_speeds(
-        args.nominal, components, count=args.count, seed=args.seed
+        args.nominal, components, count=args.count, seed=args.seed,
+        workers=args.workers,
     )
     gap = access_gap(dist)
     print(f"nominal design frequency : {args.nominal:8.1f} MHz")
@@ -299,6 +303,68 @@ def _cmd_variation(args: argparse.Namespace) -> int:
     print(f"typical/quote {gap.typical_over_quote:.2f}x   "
           f"flagship/quote {gap.flagship_over_quote:.2f}x   "
           f"bin spread {dist.spread:.2f}x")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Wall-time the hot paths: parallel Monte Carlo + a sized flow.
+
+    The quick performance smoke test: one Monte Carlo sweep through
+    ``repro.par.sweep`` at the requested worker count, one ASIC flow
+    whose sizing stage runs on the incremental ``TimingSession``, then
+    the memo-cache hit rates.  CI runs it with ``--workers 2`` so the
+    process-pool path is exercised on every push.
+    """
+    import time
+
+    from repro.flows import AsicFlowOptions, run_asic_flow
+    from repro.par import memo as par_memo
+    from repro.variation import NEW_PROCESS, sample_chip_speeds
+
+    par_memo.reset()
+    if args.no_cache:
+        par_memo.set_enabled(False)
+    try:
+        start = time.perf_counter()
+        dist = sample_chip_speeds(
+            400.0, NEW_PROCESS, count=args.count, seed=args.seed,
+            workers=args.workers,
+        )
+        mc_s = time.perf_counter() - start
+        start = time.perf_counter()
+        run_asic_flow(
+            AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves)
+        )
+        flow_s = time.perf_counter() - start
+    finally:
+        par_memo.set_enabled(True)
+    par_memo.publish()
+    payload: dict = {
+        "montecarlo.count": args.count,
+        "montecarlo.workers": args.workers,
+        "montecarlo.s": round(mc_s, 6),
+        "montecarlo.median_mhz": round(dist.median_mhz, 3),
+        "flow.bits": args.bits,
+        "flow.sizing_moves": args.sizing_moves,
+        "flow.s": round(flow_s, 6),
+        "cache.enabled": not args.no_cache,
+    }
+    for kind, numbers in par_memo.stats().items():
+        payload[f"cache.{kind}.hits"] = int(numbers["hits"])
+        payload[f"cache.{kind}.misses"] = int(numbers["misses"])
+        payload[f"cache.{kind}.hit_rate"] = round(numbers["hit_rate"], 4)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"monte carlo : {args.count} dies, workers={args.workers}: "
+          f"{mc_s:.3f} s (median {dist.median_mhz:.1f} MHz)")
+    print(f"asic flow   : bits={args.bits}, "
+          f"sizing_moves={args.sizing_moves}: {flow_s:.3f} s")
+    print(f"memo caches : {'on' if not args.no_cache else 'OFF'}")
+    for kind, numbers in par_memo.stats().items():
+        print(f"  {kind:<14s} hits={int(numbers['hits']):>8d} "
+              f"misses={int(numbers['misses']):>8d} "
+              f"hit_rate={numbers['hit_rate']:6.1%}")
     return 0
 
 
@@ -432,7 +498,29 @@ def build_parser() -> argparse.ArgumentParser:
                            default="new")
     variation.add_argument("--count", type=int, default=20000)
     variation.add_argument("--seed", type=int, default=1)
+    variation.add_argument("--workers", type=int, default=1,
+                           help="sweep worker processes (deterministic "
+                                "for any value)")
     variation.set_defaults(func=_cmd_variation)
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-time the hot paths (sweep runner + incremental STA)",
+        parents=[obs_parent],
+    )
+    bench.add_argument("--workers", type=int, default=1,
+                       help="Monte Carlo sweep worker processes")
+    bench.add_argument("--count", type=int, default=30000,
+                       help="Monte Carlo dies to sample")
+    bench.add_argument("--seed", type=int, default=17)
+    bench.add_argument("--bits", type=int, default=8)
+    bench.add_argument("--sizing-moves", type=int, default=20)
+    bench.add_argument("--no-cache", action="store_true",
+                       help="disable the memo caches for this run "
+                            "(baseline comparison)")
+    bench.add_argument("--json", action="store_true",
+                       help="print wall times and cache stats as JSON")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

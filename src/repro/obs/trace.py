@@ -179,6 +179,53 @@ class Tracer:
 
         return decorate
 
+    def adopt(self, spans: list[Span]) -> list[Span]:
+        """Graft spans finished elsewhere (a pool worker) into this trace.
+
+        Pool workers run with their own process-local tracer, so their
+        spans carry indices and parent links from a different numbering
+        space; without adoption they would be silently dropped.  Each
+        batch is re-indexed into this tracer, its internal parent links
+        remapped, and its root spans re-parented under whatever span is
+        currently open on the calling thread (root depth otherwise).
+
+        Call once per worker batch -- parent links are only meaningful
+        within one worker's span list.  Returns the adopted copies.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        mapping: dict[int, Span] = {}
+        adopted: list[Span] = []
+        with self._lock:
+            for span in sorted(spans, key=lambda s: s.index):
+                if span.end_s is None:
+                    continue
+                new = Span(
+                    name=span.name,
+                    index=len(self._spans),
+                    start_s=span.start_s,
+                    end_s=span.end_s,
+                    depth=0,
+                    parent=None,
+                    thread=span.thread,
+                    attributes=dict(span.attributes),
+                    child_s=span.child_s,
+                )
+                old_parent = mapping.get(span.parent) if (
+                    span.parent is not None
+                ) else None
+                if old_parent is not None:
+                    new.parent = old_parent.index
+                    new.depth = old_parent.depth + 1
+                elif parent is not None:
+                    new.parent = parent.index
+                    new.depth = parent.depth + 1
+                    parent.child_s += new.duration_s
+                mapping[span.index] = new
+                self._spans.append(new)
+                adopted.append(new)
+        return adopted
+
     def finished(self) -> list[Span]:
         """Completed spans in start order."""
         with self._lock:

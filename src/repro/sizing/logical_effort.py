@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.par.memo import memoized
+
 
 class SizingError(ValueError):
     """Raised for unphysical sizing problems."""
@@ -77,6 +79,10 @@ def optimize_path(
 ) -> PathSolution:
     """Minimum-delay continuous sizing of a fixed-topology path.
 
+    Memoized process-wide: the design-space surveys re-optimise the same
+    (stages, effort) pairs across grid points, and :class:`PathStage` /
+    :class:`PathSolution` are immutable, so cached solutions are shared.
+
     Args:
         stages: the gates on the path, in driving order.
         electrical_effort: H = C_load / C_in of the whole path.
@@ -85,6 +91,13 @@ def optimize_path(
         raise SizingError("path has no stages")
     if electrical_effort <= 0:
         raise SizingError("electrical effort must be positive")
+    return _optimize_path_cached(tuple(stages), electrical_effort)
+
+
+@memoized("sizing.le")
+def _optimize_path_cached(
+    stages: tuple[PathStage, ...], electrical_effort: float
+) -> PathSolution:
     g_total = math.prod(s.logical_effort for s in stages)
     b_total = math.prod(s.branching for s in stages)
     path_effort = g_total * b_total * electrical_effort

@@ -11,6 +11,13 @@ over library drive strengths:
 3. commit the swap with the best delay gain per added area;
 4. repeat until timing is met, no move helps, or the budget runs out.
 
+All timing here runs through an incremental
+:class:`~repro.par.session.TimingSession`: one full propagation when the
+loop starts, then per-trial and per-commit re-propagation of only the
+changed cell's cone.  A committed move's report comes straight out of
+the session -- the accepted trial result is reused instead of re-running
+a full ``analyze()`` on the netlist the inner loop just evaluated.
+
 Section 6.2: "After layout, transistors can be resized accounting for the
 drive strengths required to send signals across the circuit ... can make
 a speed difference of 20% or more."
@@ -24,9 +31,10 @@ from dataclasses import dataclass
 from repro import obs
 from repro.cells.library import CellLibrary
 from repro.netlist.module import Module
+from repro.par.session import TimingSession
 from repro.sizing.logical_effort import SizingError
 from repro.sta.clocking import Clock
-from repro.sta.engine import TimingReport, analyze
+from repro.sta.engine import TimingReport
 from repro.sta.timing_graph import WireParasitics
 
 
@@ -117,22 +125,24 @@ def size_for_speed(
         raise SizingError("invalid sizing budget")
     with obs.span("sizing.tilos", budget=max_moves) as sp:
         area_before = total_area_um2(module, library)
-        report = analyze(module, library, clock, wire=wire)
+        session = TimingSession(module, library, clock, wire=wire)
+        report = session.report()
         initial_period = report.min_period_ps
+        area_now = area_before
         moves = 0
         while moves < max_moves:
             if target_period_ps is not None and (
                 report.min_period_ps <= target_period_ps
             ):
                 break
-            if total_area_um2(module, library) > area_limit * area_before:
+            if area_now > area_limit * area_before:
                 break
-            move = _best_move(module, library, clock, wire, report)
+            move = _best_move(session, library, report)
             if move is None:
                 break
-            instance, new_cell = move
-            module.replace_cell(instance, new_cell)
-            report = analyze(module, library, clock, wire=wire)
+            instance, new_cell, added_area = move
+            report = session.commit(instance, new_cell)
+            area_now += added_area
             if not math.isfinite(report.min_period_ps):
                 raise SizingError(
                     f"sizing diverged to a non-finite period after "
@@ -156,25 +166,24 @@ def size_for_speed(
 
 
 def _best_move(
-    module: Module,
+    session: TimingSession,
     library: CellLibrary,
-    clock: Clock,
-    wire: WireParasitics | None,
     report: TimingReport,
-) -> tuple[str, str] | None:
-    """Try upsizing each critical-path gate; return the best (inst, cell).
+) -> tuple[str, str, float] | None:
+    """Trial upsizing each critical-path gate; best (inst, cell, area).
 
     Sensitivity is delay improvement per unit added area; moves that do
-    not improve the period are rejected.
+    not improve the period are rejected.  Each trial is an incremental
+    cone re-propagation that the session rolls back afterwards.
     """
     base_period = report.min_period_ps
-    best: tuple[float, str, str] | None = None
+    best: tuple[float, str, str, float] | None = None
     seen: set[str] = set()
     for step in report.critical_path:
         if step.instance in seen:
             continue
         seen.add(step.instance)
-        old_cell = module.instance(step.instance).cell_name
+        old_cell = session.module.instance(step.instance).cell_name
         candidate = _next_drive_cell(library, old_cell)
         if candidate is None:
             continue
@@ -182,18 +191,16 @@ def _best_move(
             library.get(candidate).area_um2 - library.get(old_cell).area_um2
         )
         obs.count("sizing.tilos.trials")
-        module.replace_cell(step.instance, candidate)
-        trial = analyze(module, library, clock, wire=wire)
-        module.replace_cell(step.instance, old_cell)
-        gain = base_period - trial.min_period_ps
+        trial_period = session.trial(step.instance, candidate)
+        gain = base_period - trial_period
         if gain <= 1e-9:
             continue
         sensitivity = gain / max(added_area, 1e-9)
         if best is None or sensitivity > best[0]:
-            best = (sensitivity, step.instance, candidate)
+            best = (sensitivity, step.instance, candidate, added_area)
     if best is None:
         return None
-    return best[1], best[2]
+    return best[1], best[2], best[3]
 
 
 def downsize_off_critical(
@@ -211,23 +218,20 @@ def downsize_off_critical(
     next weaker variant and the change is kept if the minimum period does
     not degrade (beyond the margin).  Returns the number of gates shrunk.
     """
-    report = analyze(module, library, clock, wire=wire)
-    budget = report.min_period_ps + slack_margin_ps
+    session = TimingSession(module, library, clock, wire=wire)
+    budget = session.min_period_ps() + slack_margin_ps
     shrunk = 0
     for inst_name in sorted(module.instances):
-        old_cell_name = module.instance(inst_name).cell_name
-        cell = library.get(old_cell_name)
+        cell = library.get(module.instance(inst_name).cell_name)
         if cell.is_sequential:
             continue
         variants = library.drives_of(cell.base_name)
         weaker = [c for c in variants if c.drive < cell.drive]
         if not weaker:
             continue
-        module.replace_cell(inst_name, weaker[-1].name)
-        trial = analyze(module, library, clock, wire=wire)
-        if trial.min_period_ps <= budget + 1e-9:
+        trial_period = session.trial(inst_name, weaker[-1].name)
+        if trial_period <= budget + 1e-9:
+            session.commit(inst_name, weaker[-1].name)
             shrunk += 1
-        else:
-            module.replace_cell(inst_name, old_cell_name)
     obs.count("sizing.tilos.downsized", shrunk)
     return shrunk

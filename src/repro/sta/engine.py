@@ -21,6 +21,7 @@ from repro import obs
 from repro.netlist.graph import topological_order
 from repro.netlist.module import Module
 from repro.cells.library import CellLibrary
+from repro.par.memo import arc_eval
 from repro.sta.clocking import Clock
 from repro.sta.timing_graph import TimingError, TimingGraph, WireParasitics
 
@@ -237,14 +238,15 @@ def analyze(
                     "undriven or floating logic"
                 )
             wire_d = graph.wire.delay(in_net) * delay_derate
-            delay = cell.delay_ps(pin, load, slew[in_net]) * delay_derate
+            delay, out_slew = arc_eval(cell.arc(pin), load, slew[in_net])
+            delay *= delay_derate
             at = arrival[in_net] + wire_d + delay
             m_at = min_arrival[in_net] + wire_d + delay
             at_acc += at
             if best_at is None or at > best_at:
                 best_at = at
                 best_pin = pin
-                worst_slew = cell.output_slew_ps(pin, load, slew[in_net])
+                worst_slew = out_slew
             if least_at is None or m_at < least_at:
                 least_at = m_at
         for net in out_nets:
@@ -277,10 +279,40 @@ def analyze(
                     )
         raise TimingError("non-finite arrival in timing propagation")
 
+    return build_report(
+        graph, clock, arrival, min_arrival, trace, launch_q,
+        delay_derate=delay_derate, finite_guard=finite_guard,
+    )
+
+
+def build_report(
+    graph: TimingGraph,
+    clock: Clock,
+    arrival: dict[str, float],
+    min_arrival: dict[str, float],
+    trace: dict[str, tuple[str, str] | None],
+    launch_q: dict[str, float],
+    delay_derate: float = 1.0,
+    finite_guard: bool = True,
+    endpoint_list: list[tuple[str, object]] | None = None,
+) -> TimingReport:
+    """Assemble a :class:`TimingReport` from propagated arrivals.
+
+    Shared by :func:`analyze` and the incremental
+    :class:`repro.par.session.TimingSession`, so both produce reports
+    through the same endpoint accounting, sort order and path walk.
+
+    Args:
+        endpoint_list: pre-computed ``graph.endpoints()`` (sessions cache
+            it across moves); None recomputes it.
+    """
+    module = graph.module
     endpoints: list[EndpointTiming] = []
     end_trace_net: dict[str, str] = {}
     hold_violations: list[HoldViolation] = []
-    for kind, detail in graph.endpoints():
+    if endpoint_list is None:
+        endpoint_list = graph.endpoints()
+    for kind, detail in endpoint_list:
         if kind == "port":
             net = str(detail)
             if net not in arrival:

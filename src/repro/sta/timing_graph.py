@@ -84,6 +84,16 @@ class TimingGraph:
         """Library cell of an instance (cached)."""
         return self._cells[instance_name]
 
+    def rebind(self, instance_name: str) -> Cell:
+        """Re-resolve one instance's cell after a ``replace_cell``.
+
+        Incremental sizing mutates instance cell bindings in place; this
+        refreshes the cache entry and returns the new cell.
+        """
+        cell = self.library.get(self.module.instance(instance_name).cell_name)
+        self._cells[instance_name] = cell
+        return cell
+
     def net_load_ff(self, net: str) -> float:
         """Total capacitive load on a net: pins + wire + port allowance."""
         load = self.wire.cap(net)

@@ -1,0 +1,258 @@
+"""Tests for the parallel sweep runner, seeding, and memoization layer.
+
+The contracts under test: results come back in task order and are
+identical for any worker count; per-task seeds depend only on (seed,
+count); worker spans are adopted into the parent trace; and the memo
+caches hit, miss, disable and report as specified.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import TickClock, Tracer, metrics_to_flat
+from repro.par import memo
+from repro.par.sweep import SweepError, run_sweep, task_seeds
+from repro.variation import NEW_PROCESS, sample_chip_speeds
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_and_memo():
+    obs.disable()
+    obs.reset()
+    memo.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    memo.reset()
+
+
+def square(x):
+    """Top-level so it pickles into pool workers."""
+    return x * x
+
+
+def traced_square(x):
+    with obs.span("worker.square", x=x):
+        return x * x
+
+
+class TestRunSweep:
+    def test_serial_results_in_task_order(self):
+        assert run_sweep(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(20))
+        serial = run_sweep(square, tasks, workers=1)
+        parallel = run_sweep(square, tasks, workers=2)
+        assert serial == parallel == [t * t for t in tasks]
+
+    def test_single_task_short_circuits(self):
+        assert run_sweep(square, [7], workers=8) == [49]
+
+    def test_empty_tasks(self):
+        assert run_sweep(square, [], workers=4) == []
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SweepError):
+            run_sweep(square, [1], workers=-1)
+
+    def test_counts_tasks_when_observed(self):
+        obs.enable()
+        run_sweep(square, [1, 2, 3], workers=1)
+        flat = metrics_to_flat(obs.get_metrics())
+        assert flat["par.sweep.runs"] == 1
+        assert flat["par.sweep.tasks"] == 3
+
+    def test_worker_spans_adopted_into_parent_trace(self):
+        obs.enable()
+        run_sweep(traced_square, [1, 2, 3, 4], workers=2, label="sweep.t")
+        spans = obs.get_tracer().finished()
+        names = [s.name for s in spans]
+        assert "sweep.t" in names
+        workers = [s for s in spans if s.name == "worker.square"]
+        assert len(workers) == 4
+        sweep = next(s for s in spans if s.name == "sweep.t")
+        # Adopted roots hang under the (already finished) sweep span's
+        # parent chain -- every worker span must be re-rooted, not lost.
+        assert all(w.depth >= sweep.depth for w in workers)
+
+
+class TestTaskSeeds:
+    def test_deterministic(self):
+        assert task_seeds(42, 8) == task_seeds(42, 8)
+
+    def test_distinct_per_task_and_seed(self):
+        seeds = task_seeds(42, 8)
+        assert len(set(seeds)) == 8
+        assert task_seeds(43, 8) != seeds
+
+    def test_prefix_stability(self):
+        # Spawned children are positional: the first k of a longer
+        # schedule equal the k-schedule.
+        assert task_seeds(7, 16)[:4] == task_seeds(7, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SweepError):
+            task_seeds(1, -1)
+
+
+class TestMonteCarloSweep:
+    def test_population_independent_of_workers(self):
+        one = sample_chip_speeds(400.0, NEW_PROCESS, count=20000, seed=5,
+                                 workers=1)
+        two = sample_chip_speeds(400.0, NEW_PROCESS, count=20000, seed=5,
+                                 workers=2)
+        assert np.array_equal(one.frequencies_mhz, two.frequencies_mhz)
+
+    def test_population_depends_on_seed(self):
+        one = sample_chip_speeds(400.0, NEW_PROCESS, count=4000, seed=5)
+        other = sample_chip_speeds(400.0, NEW_PROCESS, count=4000, seed=6)
+        assert not np.array_equal(one.frequencies_mhz,
+                                  other.frequencies_mhz)
+
+    def test_population_finite_and_sorted(self):
+        dist = sample_chip_speeds(400.0, NEW_PROCESS, count=9000, seed=1)
+        freqs = dist.frequencies_mhz
+        assert np.all(np.isfinite(freqs))
+        assert np.all(np.diff(freqs) >= 0)
+        assert len(freqs) == 9000
+
+
+class TestMemo:
+    def test_arc_eval_hits_on_repeat(self):
+        class Arc:
+            def delay_ps(self, load_ff, slew_ps):
+                return load_ff + 1.0
+
+            def output_slew_ps(self, load_ff, slew_ps):
+                return slew_ps + 2.0
+
+        arc = Arc()
+        first = memo.arc_eval(arc, 3.0, 4.0)
+        second = memo.arc_eval(arc, 3.0, 4.0)
+        assert first == second == (4.0, 6.0)
+        stats = memo.stats()["sta.arc"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_arc_identity_guard_survives_id_reuse(self):
+        class Arc:
+            def __init__(self, base):
+                self.base = base
+
+            def delay_ps(self, load_ff, slew_ps):
+                return self.base
+
+            def output_slew_ps(self, load_ff, slew_ps):
+                return self.base
+
+        a = Arc(1.0)
+        assert memo.arc_eval(a, 0.0, 0.0) == (1.0, 1.0)
+        b = Arc(2.0)  # even if id(b) == id(a), entry[0] is not b
+        del a
+        assert memo.arc_eval(b, 0.0, 0.0) == (2.0, 2.0)
+
+    def test_nan_key_never_hits(self):
+        class Arc:
+            calls = 0
+
+            def delay_ps(self, load_ff, slew_ps):
+                Arc.calls += 1
+                return load_ff
+
+            def output_slew_ps(self, load_ff, slew_ps):
+                return slew_ps
+
+        arc = Arc()
+        # Fresh NaN objects, as arithmetic would produce: the tuple-key
+        # identity shortcut can't apply, and NaN != NaN means no hit.
+        memo.arc_eval(arc, float("nan"), 1.0)
+        memo.arc_eval(arc, float("nan"), 1.0)
+        assert Arc.calls == 2
+
+    def test_disable_clears_and_bypasses(self):
+        class Arc:
+            calls = 0
+
+            def delay_ps(self, load_ff, slew_ps):
+                Arc.calls += 1
+                return load_ff
+
+            def output_slew_ps(self, load_ff, slew_ps):
+                return slew_ps
+
+        arc = Arc()
+        memo.arc_eval(arc, 1.0, 1.0)
+        memo.set_enabled(False)
+        try:
+            memo.arc_eval(arc, 1.0, 1.0)
+            assert Arc.calls == 2
+            assert memo.stats()["sta.arc"]["size"] == 0
+        finally:
+            memo.set_enabled(True)
+
+    def test_memoized_function_counts(self):
+        calls = []
+
+        @memo.memoized("sizing.le")
+        def f(x):
+            calls.append(x)
+            return x * 10
+
+        assert f(1) == 10
+        assert f(1) == 10
+        assert calls == [1]
+        stats = memo.stats()["sizing.le"]
+        assert stats["hits"] >= 1
+
+    def test_memoized_unhashable_falls_through(self):
+        @memo.memoized("sizing.joint")
+        def g(xs):
+            return sum(xs)
+
+        assert g([1, 2]) == 3
+        assert g([1, 2]) == 3  # unhashable arg: plain calls, no cache
+
+    def test_publish_exports_gauges(self):
+        obs.enable()
+        class Arc:
+            def delay_ps(self, load_ff, slew_ps):
+                return 1.0
+
+            def output_slew_ps(self, load_ff, slew_ps):
+                return 1.0
+
+        arc = Arc()
+        memo.arc_eval(arc, 1.0, 1.0)
+        memo.arc_eval(arc, 1.0, 1.0)
+        memo.publish()
+        flat = metrics_to_flat(obs.get_metrics())
+        assert flat["par.memo.sta.arc.hits"] == 1.0
+        assert flat["par.memo.sta.arc.hit_rate"] == 0.5
+
+
+class TestTracerAdopt:
+    def test_adopt_reindexes_and_reroots(self):
+        worker = Tracer(clock=TickClock())
+        with worker.span("w.outer"):
+            with worker.span("w.inner"):
+                pass
+        parent = Tracer(clock=TickClock())
+        with parent.span("sweep") as sweep:
+            adopted = parent.adopt(worker.finished())
+        assert [s.name for s in adopted] == ["w.outer", "w.inner"]
+        outer, inner = adopted
+        assert outer.parent == sweep.index
+        assert outer.depth == sweep.depth + 1
+        assert inner.parent == outer.index
+        assert inner.depth == outer.depth + 1
+
+    def test_adopt_without_open_span_roots_at_zero(self):
+        worker = Tracer(clock=TickClock())
+        with worker.span("w"):
+            pass
+        parent = Tracer(clock=TickClock())
+        adopted = parent.adopt(worker.finished())
+        assert adopted[0].parent is None
+        assert adopted[0].depth == 0
