@@ -91,6 +91,16 @@ def run_once(benchmark, func):
     return result
 
 
+def record_wall(name: str, seconds: float) -> None:
+    """Collect a named wall time into the ``BENCH_*.json`` artifact.
+
+    For benchmarks that measure several timed phases (e.g. a cold vs
+    warm cache comparison) and want each phase in the artifact as its
+    own ``bench.<name>.s`` entry.
+    """
+    _COLLECTED["wall_s"][name] = seconds
+
+
 def summary() -> dict:
     """Flat scalar dict of the run so far (the BENCH_*.json payload)."""
     rows = _COLLECTED["rows"]

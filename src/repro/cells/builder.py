@@ -302,6 +302,30 @@ def make_latch(
     )
 
 
+@dataclass(frozen=True)
+class ContinuousFactory:
+    """Continuous-sizing cell factory for a library.
+
+    A class rather than a closure so libraries stay picklable: the flow
+    stage cache and checkpoint files snapshot libraries, and a closure
+    over ``tech`` would make the whole library refuse to pickle.
+    """
+
+    tech: ProcessTechnology
+    family: LogicFamily
+    guard_band: float
+
+    def __call__(self, base_name: str, drive: float) -> Cell:
+        templates = (
+            DOMINO_TEMPLATES if self.family is LogicFamily.DOMINO
+            else STATIC_TEMPLATES
+        )
+        return make_combinational_cell(
+            self.tech, templates[base_name], drive,
+            family=self.family, guard_band=self.guard_band,
+        )
+
+
 def build_library(tech: ProcessTechnology, spec: LibrarySpec) -> CellLibrary:
     """Generate a full library from a recipe."""
     templates = (
@@ -336,11 +360,7 @@ def build_library(tech: ProcessTechnology, spec: LibrarySpec) -> CellLibrary:
 
     factory = None
     if spec.continuous:
-        def factory(base_name: str, drive: float) -> Cell:
-            return make_combinational_cell(
-                tech, templates[base_name], drive,
-                family=spec.family, guard_band=spec.guard_band,
-            )
+        factory = ContinuousFactory(tech, spec.family, spec.guard_band)
 
     return CellLibrary(
         name=f"{spec.name}_{tech.name}",

@@ -22,6 +22,15 @@ of the ``--json`` output), and ``flow`` accepts ``--inject-fault STAGE``
 to trip a deliberate fault for exercising that path.  A flow abort
 exits with status 2 and names the failing stage.
 
+``flow`` also surfaces the stage-graph engine: ``--list-stages`` prints
+each flow's declarative graph (inputs, outputs, fingerprint params);
+``--checkpoint FILE`` snapshots the context after every stage;
+``--resume`` (optionally with ``--from STAGE``) restores the completed
+prefix from that file; ``--until STAGE`` stops after the named stage
+and prints the per-stage records; ``--no-cache`` disables the stage
+fingerprint cache.  ``bench --json`` reports per-stage wall times as
+``flow.stage.<name>.s`` plus memo- and stage-cache hit rates.
+
 The global ``--profile`` flag prints a per-stage span/metric report
 after any command, and ``--trace FILE`` writes the span tree as
 JSON-lines.  Both work before or after the subcommand name.
@@ -71,43 +80,108 @@ def _flow_error_exit(exc, as_json: bool) -> int:
     return 2
 
 
+def _flow_until(args: argparse.Namespace, options) -> int:
+    """Partial flow run (``--until STAGE``): engine-direct, no result.
+
+    Stops after the named stage; the remaining stages are recorded as
+    skipped, so there is no finalised :class:`FlowResult` -- the output
+    is the per-stage record table (and notes so far).  With
+    ``--checkpoint`` the partial context is snapshotted, and a later
+    ``--resume`` run without ``--until`` completes the flow.
+    """
+    from repro.flows import ASIC_GRAPH, CUSTOM_GRAPH, FlowEngine
+    from repro.flows.asic import check_workload
+    from repro.tech.process import CMOS250_ASIC, CMOS250_CUSTOM
+
+    check_workload(options)
+    if args.style == "asic":
+        graph, tech = ASIC_GRAPH, CMOS250_ASIC
+    else:
+        graph, tech = CUSTOM_GRAPH, CMOS250_CUSTOM
+    ctx = FlowEngine(graph).run(
+        options, tech, checkpoint=args.checkpoint, resume=args.resume,
+        from_stage=args.from_stage, until=args.until,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "flow": args.style,
+                "until": args.until,
+                "stages": [r.to_dict() for r in ctx.stage_records],
+                "notes": ctx.notes,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"{args.style} flow, stopped after {args.until!r}:")
+    for rec in ctx.stage_records:
+        cached = " (cached)" if rec.cache_hit else ""
+        print(f"  {rec.name:<8s} {rec.status:<8s} "
+              f"{rec.wall_s:8.4f} s{cached}")
+    for key, value in sorted(ctx.notes.items()):
+        print(f"  {key}: {value:.2f}")
+    return 0
+
+
 def _cmd_flow(args: argparse.Namespace) -> int:
     from repro.flows import FlowError
+    from repro.flows import cache as stage_cache
+
+    if args.list_stages:
+        from repro.flows import ASIC_GRAPH, CUSTOM_GRAPH
+
+        graphs = {"asic": ASIC_GRAPH, "custom": CUSTOM_GRAPH}
+        chosen = [graphs[args.style]] if args.style else graphs.values()
+        print("\n\n".join(graph.describe() for graph in chosen))
+        return 0
+    if args.style is None:
+        print("repro-gap: flow requires a style (asic or custom) unless "
+              "--list-stages is given", file=sys.stderr)
+        return 2
 
     on_error = "keep_going" if args.keep_going else "raise"
+    if args.style == "asic":
+        from repro.flows import AsicFlowOptions, run_asic_flow
+
+        run = run_asic_flow
+        options = AsicFlowOptions(
+            workload=args.workload,
+            bits=args.bits,
+            pipeline_stages=args.stages,
+            rich_library=not args.poor_library,
+            careful_placement=not args.sloppy_placement,
+            sizing_moves=args.sizing_moves,
+            speed_test=args.speed_test,
+            on_error=on_error,
+            fault=args.inject_fault,
+        )
+    else:
+        from repro.flows import CustomFlowOptions, run_custom_flow
+
+        run = run_custom_flow
+        options = CustomFlowOptions(
+            workload=args.workload,
+            bits=args.bits,
+            pipeline_stages=args.stages,
+            target_cycle_fo4=args.target_fo4,
+            sizing_moves=args.sizing_moves,
+            on_error=on_error,
+            fault=args.inject_fault,
+        )
+    if args.no_cache:
+        stage_cache.set_enabled(False)
     try:
-        if args.style == "asic":
-            from repro.flows import AsicFlowOptions, run_asic_flow
-
-            result = run_asic_flow(
-                AsicFlowOptions(
-                    workload=args.workload,
-                    bits=args.bits,
-                    pipeline_stages=args.stages,
-                    rich_library=not args.poor_library,
-                    careful_placement=not args.sloppy_placement,
-                    sizing_moves=args.sizing_moves,
-                    speed_test=args.speed_test,
-                    on_error=on_error,
-                    fault=args.inject_fault,
-                )
-            )
-        else:
-            from repro.flows import CustomFlowOptions, run_custom_flow
-
-            result = run_custom_flow(
-                CustomFlowOptions(
-                    workload=args.workload,
-                    bits=args.bits,
-                    pipeline_stages=args.stages,
-                    target_cycle_fo4=args.target_fo4,
-                    sizing_moves=args.sizing_moves,
-                    on_error=on_error,
-                    fault=args.inject_fault,
-                )
-            )
+        if args.until is not None:
+            return _flow_until(args, options)
+        result = run(
+            options, checkpoint=args.checkpoint, resume=args.resume,
+            from_stage=args.from_stage,
+        )
     except FlowError as exc:
         return _flow_error_exit(exc, args.json)
+    finally:
+        if args.no_cache:
+            stage_cache.set_enabled(True)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -318,12 +392,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
     from repro.flows import AsicFlowOptions, run_asic_flow
+    from repro.flows import cache as stage_cache
     from repro.par import memo as par_memo
     from repro.variation import NEW_PROCESS, sample_chip_speeds
 
     par_memo.reset()
+    stage_cache.reset()
     if args.no_cache:
         par_memo.set_enabled(False)
+        stage_cache.set_enabled(False)
     try:
         start = time.perf_counter()
         dist = sample_chip_speeds(
@@ -332,13 +409,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         mc_s = time.perf_counter() - start
         start = time.perf_counter()
-        run_asic_flow(
+        result = run_asic_flow(
             AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves)
         )
         flow_s = time.perf_counter() - start
     finally:
         par_memo.set_enabled(True)
+        stage_cache.set_enabled(True)
     par_memo.publish()
+    stage_cache.publish()
     payload: dict = {
         "montecarlo.count": args.count,
         "montecarlo.workers": args.workers,
@@ -349,10 +428,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "flow.s": round(flow_s, 6),
         "cache.enabled": not args.no_cache,
     }
+    for rec in result.stage_records:
+        payload[f"flow.stage.{rec.name}.s"] = round(rec.wall_s, 6)
+        payload[f"flow.stage.{rec.name}.cached"] = rec.cache_hit
     for kind, numbers in par_memo.stats().items():
         payload[f"cache.{kind}.hits"] = int(numbers["hits"])
         payload[f"cache.{kind}.misses"] = int(numbers["misses"])
         payload[f"cache.{kind}.hit_rate"] = round(numbers["hit_rate"], 4)
+    stage_stats = stage_cache.stats()
+    payload["cache.stage.hits"] = int(stage_stats["hits"])
+    payload["cache.stage.misses"] = int(stage_stats["misses"])
+    payload["cache.stage.hit_rate"] = round(stage_stats["hit_rate"], 4)
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -360,11 +446,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{mc_s:.3f} s (median {dist.median_mhz:.1f} MHz)")
     print(f"asic flow   : bits={args.bits}, "
           f"sizing_moves={args.sizing_moves}: {flow_s:.3f} s")
+    print("flow stages :")
+    for rec in result.stage_records:
+        cached = " (cached)" if rec.cache_hit else ""
+        print(f"  {rec.name:<14s} {rec.status:<8s} "
+              f"{rec.wall_s:8.4f} s{cached}")
     print(f"memo caches : {'on' if not args.no_cache else 'OFF'}")
     for kind, numbers in par_memo.stats().items():
         print(f"  {kind:<14s} hits={int(numbers['hits']):>8d} "
               f"misses={int(numbers['misses']):>8d} "
               f"hit_rate={numbers['hit_rate']:6.1%}")
+    print(f"  {'stage':<14s} hits={int(stage_stats['hits']):>8d} "
+          f"misses={int(stage_stats['misses']):>8d} "
+          f"hit_rate={stage_stats['hit_rate']:6.1%}")
     return 0
 
 
@@ -413,7 +507,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     flow = sub.add_parser("flow", help="run one implementation flow",
                           parents=[obs_parent])
-    flow.add_argument("style", choices=["asic", "custom"])
+    flow.add_argument("style", nargs="?", choices=["asic", "custom"],
+                      help="flow to run (optional with --list-stages)")
     flow.add_argument("--workload", default="alu")
     flow.add_argument("--bits", type=int, default=8)
     flow.add_argument("--stages", type=int, default=1)
@@ -429,6 +524,25 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["map", "place", "cts", "size", "sta",
                                "quote"],
                       help="deliberately fail the named stage (testing)")
+    flow.add_argument("--list-stages", action="store_true",
+                      help="print the flow's stage graph (inputs, "
+                           "outputs, params) and exit")
+    flow.add_argument("--checkpoint", metavar="FILE", default=None,
+                      help="snapshot the flow context here after every "
+                           "stage (resume source)")
+    flow.add_argument("--resume", action="store_true",
+                      help="restore completed stages from --checkpoint "
+                           "instead of recomputing them")
+    flow.add_argument("--from", dest="from_stage", metavar="STAGE",
+                      default=None,
+                      help="with --resume, re-run from this stage even "
+                           "if the checkpoint covers it")
+    flow.add_argument("--until", metavar="STAGE", default=None,
+                      help="stop after this stage and print the stage "
+                           "records (checkpointable partial run)")
+    flow.add_argument("--no-cache", action="store_true",
+                      help="disable the stage fingerprint cache for "
+                           "this run")
     flow.add_argument("--json", action="store_true",
                       help="print the flow result as JSON")
     flow.set_defaults(func=_cmd_flow)

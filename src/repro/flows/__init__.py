@@ -1,15 +1,57 @@
-"""End-to-end implementation flows: ASIC vs custom methodology."""
+"""End-to-end implementation flows: ASIC vs custom methodology.
 
-from repro.flows.asic import AsicFlowOptions, WORKLOADS, run_asic_flow
-from repro.flows.custom import CustomFlowOptions, run_custom_flow
-from repro.flows.results import FlowError, FlowResult
+Both flows are stage compositions on the declarative
+:mod:`repro.flows.engine`; :mod:`repro.flows.cache` gives them
+fingerprint-keyed stage caching and :mod:`repro.flows.sweep` fans
+option sets across workers with the shared-prefix cache wired in.
+"""
+
+from repro.flows.asic import (
+    ASIC_GRAPH,
+    WORKLOADS,
+    asic_flow_graph,
+    run_asic_flow,
+)
+from repro.flows.custom import (
+    CUSTOM_GRAPH,
+    custom_flow_graph,
+    run_custom_flow,
+)
+from repro.flows.engine import (
+    FlowContext,
+    FlowEngine,
+    Stage,
+    StageGraph,
+    stage_fingerprint,
+)
+from repro.flows.options import (
+    AsicFlowOptions,
+    CustomFlowOptions,
+    FlowOptions,
+    options_fingerprint,
+)
+from repro.flows.results import FlowError, FlowResult, StageRecord
+from repro.flows.sweep import run_flow_sweep
 
 __all__ = [
+    "ASIC_GRAPH",
     "AsicFlowOptions",
+    "CUSTOM_GRAPH",
     "CustomFlowOptions",
+    "FlowContext",
+    "FlowEngine",
     "FlowError",
+    "FlowOptions",
     "FlowResult",
+    "Stage",
+    "StageGraph",
+    "StageRecord",
     "WORKLOADS",
+    "asic_flow_graph",
+    "custom_flow_graph",
+    "options_fingerprint",
     "run_asic_flow",
     "run_custom_flow",
+    "run_flow_sweep",
+    "stage_fingerprint",
 ]

@@ -1,4 +1,4 @@
-"""The ASIC implementation flow.
+"""The ASIC implementation flow, as a stage composition on the engine.
 
 The standard-cell methodology as the paper describes it: RTL-ish entry,
 mapping onto a fixed library, automatic placement, discrete post-layout
@@ -7,28 +7,33 @@ sizing, a synthesised (10%-class) clock tree, and -- crucially, Section 8
 performance.  Every lever the paper says ASICs lack is an option here so
 the benchmarks can turn them on one at a time and price them.
 
+The flow itself is a declarative :class:`~repro.flows.engine.StageGraph`
+(:func:`asic_flow_graph`) run by the shared
+:class:`~repro.flows.engine.FlowEngine`: span instrumentation,
+``keep_going`` degradation, fingerprint caching and checkpoint/resume
+all come from the engine, so this module only declares what each stage
+reads, writes and computes.
+
 Failure policy: with the default ``on_error="raise"`` any stage failure
 surfaces as a :class:`FlowError` naming the stage and chaining the root
 cause; with ``on_error="keep_going"`` failed stages are recorded into
 ``FlowResult.diagnostics`` and the flow continues on best-effort
-fallbacks (see :mod:`repro.robust.degrade`).
+fallbacks (the per-stage ``recover`` hooks below).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro import obs
 from repro.cells.builder import poor_asic_library, rich_asic_library
 from repro.datapath.alu import alu
 from repro.datapath.adders import kogge_stone_adder, ripple_carry_adder
 from repro.datapath.cpu import cpu_execute_stage
 from repro.datapath.multiplier import array_multiplier, wallace_multiplier
+from repro.flows.engine import FlowContext, FlowEngine, Stage, StageGraph
+from repro.flows.options import AsicFlowOptions, FlowOptions
 from repro.flows.results import FlowError, FlowResult
 from repro.physical.placement import place
 from repro.pipeline.pipeliner import pipeline_module
 from repro.robust.degrade import StageRunner, fallback_timing
-from repro.robust.faults import maybe_trip
 from repro.robust.guards import (
     guarded_size_for_speed,
     guarded_solve_min_period,
@@ -59,169 +64,238 @@ WORKLOADS = {
 }
 
 
-@dataclass(frozen=True)
-class AsicFlowOptions:
-    """Knobs of the ASIC flow.
-
-    Attributes:
-        workload: one of :data:`WORKLOADS`.
-        bits: datapath width.
-        pipeline_stages: 1 = registered boundaries only.
-        rich_library: rich vs two-drive impoverished library (Section 6).
-        careful_placement: good floorplanning/placement vs scatter
-            (Section 5).
-        sizing_moves: post-layout resizing budget (Section 6.2; 0 = skip).
-        speed_test: at-speed test instead of worst-case quote (Sec. 8.3).
-        seed: placement RNG seed.
-        on_error: ``"raise"`` aborts on the first stage failure;
-            ``"keep_going"`` records the failure into the result's
-            diagnostics and degrades gracefully.
-        fault: chaos hook -- name of a stage at which to trip an
-            injected fault (testing/selftest only; None = off).
-    """
-
-    workload: str = "alu"
-    bits: int = 8
-    pipeline_stages: int = 1
-    rich_library: bool = True
-    careful_placement: bool = True
-    sizing_moves: int = 30
-    speed_test: bool = False
-    seed: int = 1
-    on_error: str = "raise"
-    fault: str | None = None
-
-
-def run_asic_flow(
-    options: AsicFlowOptions = AsicFlowOptions(),
-    tech: ProcessTechnology = CMOS250_ASIC,
-) -> FlowResult:
-    """Run the full ASIC flow and return its result record.
-
-    Raises:
-        FlowError: for unknown workloads, inconsistent options, or --
-            under ``on_error="raise"`` -- any stage failure (with the
-            stage name attached and the cause chained).
-    """
+def check_workload(options: FlowOptions) -> None:
+    """Reject unknown workloads before any stage runs."""
     if options.workload not in WORKLOADS:
         raise FlowError(
             f"unknown workload {options.workload!r}; "
             f"known: {sorted(WORKLOADS)}",
             stage="map",
         )
-    runner = StageRunner(flow="asic", on_error=options.on_error)
-    with obs.span("flow.asic", workload=options.workload,
-                  bits=options.bits) as flow_span:
-        with runner.stage("map", critical=True), \
-                obs.span("flow.asic.map") as sp:
-            maybe_trip(options.fault, "map")
-            library = (
-                rich_asic_library(tech)
-                if options.rich_library
-                else poor_asic_library(tech)
-            )
-            comb = WORKLOADS[options.workload](options.bits, library)
 
-            if options.pipeline_stages > 1:
-                report = pipeline_module(
-                    comb, library, options.pipeline_stages
-                )
-                module = report.module
-                stages = report.stages
-            else:
-                module = register_boundaries(comb, library)
-                stages = 1
-            sp.set(cells=module.instance_count(), stages=stages,
-                   library=library.name)
 
-        placement = None
-        wire = None
-        with runner.stage("place"), obs.span("flow.asic.place") as sp:
-            maybe_trip(options.fault, "place")
-            quality = "careful" if options.careful_placement else "sloppy"
-            placement = place(
-                module, library, quality=quality, seed=options.seed
-            )
-            wire = placement.parasitics(library)
-            sp.set(quality=quality,
-                   wirelength_um=placement.total_wirelength_um())
+def _stage_map(ctx: FlowContext) -> None:
+    options = ctx.options
+    library = (
+        rich_asic_library(ctx.tech)
+        if options.rich_library
+        else poor_asic_library(ctx.tech)
+    )
+    comb = WORKLOADS[options.workload](options.bits, library)
 
-        notes: dict[str, float] = {
-            "wirelength_um": (
-                placement.total_wirelength_um() if placement else 0.0
+    if options.pipeline_stages > 1:
+        report = pipeline_module(comb, library, options.pipeline_stages)
+        module = report.module
+        stages = report.stages
+    else:
+        module = register_boundaries(comb, library)
+        stages = 1
+    ctx["library"] = library
+    ctx["module"] = module
+    ctx["stages"] = stages
+    ctx["clock"] = asic_clock(20.0 * ctx.tech.fo4_delay_ps)
+    ctx.span.set(cells=module.instance_count(), stages=stages,
+                 library=library.name)
+
+
+def _stage_place(ctx: FlowContext) -> None:
+    options = ctx.options
+    quality = "careful" if options.careful_placement else "sloppy"
+    placement = place(
+        ctx["module"], ctx["library"], quality=quality, seed=options.seed
+    )
+    ctx["placement"] = placement
+    ctx["wire"] = placement.parasitics(ctx["library"])
+    ctx.notes["wirelength_um"] = placement.total_wirelength_um()
+    ctx.span.set(quality=quality,
+                 wirelength_um=placement.total_wirelength_um())
+
+
+def _recover_place(ctx: FlowContext) -> None:
+    # Continuing without parasitics: downstream stages read wire=None.
+    ctx.notes["wirelength_um"] = 0.0
+
+
+def _stage_cts(ctx: FlowContext) -> None:
+    library = ctx["library"]
+    clock = ctx["clock"]
+    if library.has_base("BUF"):
+        buffered = buffer_high_fanout(ctx["module"], library, max_fanout=10)
+        ctx.notes["buffers_added"] = float(buffered.buffers_added)
+        ctx.span.set(buffers_added=buffered.buffers_added)
+    ctx.span.set(skew_fraction=clock.skew_fraction)
+
+
+def _stage_size(ctx: FlowContext) -> None:
+    options = ctx.options
+    if options.sizing_moves > 0:
+        sizing = guarded_size_for_speed(
+            ctx["module"], ctx["library"], ctx["clock"],
+            wire=ctx.get("wire"), max_moves=options.sizing_moves,
+        )
+        ctx.notes["sizing_moves"] = float(sizing.moves)
+        ctx.notes["sizing_speedup"] = sizing.speedup
+        ctx.span.set(moves=sizing.moves, speedup=sizing.speedup,
+                     area_growth=sizing.area_growth)
+
+
+def _stage_sta(ctx: FlowContext) -> None:
+    timing = guarded_solve_min_period(
+        ctx["module"], ctx["library"], ctx["clock"], wire=ctx.get("wire")
+    )
+    ctx["timing"] = timing
+    ctx.span.set(min_period_ps=timing.min_period_ps,
+                 typical_mhz=timing.max_frequency_mhz)
+
+
+def _recover_sta(ctx: FlowContext) -> None:
+    ctx["timing"] = fallback_timing(
+        ctx["module"], ctx["library"], ctx["clock"]
+    )
+
+
+def _stage_quote(ctx: FlowContext) -> None:
+    options = ctx.options
+    typical_mhz = ctx["timing"].max_frequency_mhz
+    dist = sample_chip_speeds(typical_mhz, MATURE_PROCESS,
+                              count=4000, seed=options.seed)
+    if options.speed_test:
+        quoted = speed_tested_quote(dist)
+        ctx.notes["quote_method"] = 1.0  # 1 = speed tested
+    else:
+        quoted = asic_worst_case_quote(dist)
+        ctx.notes["quote_method"] = 0.0  # 0 = worst-case corner
+    ctx["quoted"] = quoted
+    ctx.span.set(quoted_mhz=quoted)
+
+
+def _recover_quote(ctx: FlowContext) -> None:
+    ctx["quoted"] = ctx["timing"].max_frequency_mhz
+    ctx.notes["quote_method"] = -1.0  # -1 = quote stage degraded
+
+
+def _preflight_hook(ctx: FlowContext, runner: StageRunner) -> None:
+    # Pre-flight lint after buffering (so fanout findings are real, not
+    # about-to-be-fixed) but before sizing/STA.
+    if runner.keep_going and "module" in ctx:
+        runner.diagnostics.extend(preflight(ctx["module"], ctx["library"]))
+
+
+def _summary_attrs(ctx: FlowContext) -> dict:
+    attrs: dict = {}
+    if "module" in ctx:
+        attrs["cells"] = ctx["module"].instance_count()
+    if "timing" in ctx:
+        attrs["min_period_ps"] = ctx["timing"].min_period_ps
+    if "quoted" in ctx:
+        attrs["quoted_mhz"] = ctx["quoted"]
+    return attrs
+
+
+def asic_flow_graph() -> StageGraph:
+    """The ASIC flow's declarative stage graph."""
+    return StageGraph(
+        flow="asic",
+        stages=(
+            Stage(
+                name="map", run=_stage_map, critical=True,
+                outputs=("module", "library", "stages", "clock"),
+                params=("workload", "bits", "pipeline_stages",
+                        "rich_library"),
             ),
-        }
-        clock = asic_clock(20.0 * tech.fo4_delay_ps)
-        with runner.stage("cts"), obs.span("flow.asic.cts") as sp:
-            maybe_trip(options.fault, "cts")
-            if library.has_base("BUF"):
-                buffered = buffer_high_fanout(module, library, max_fanout=10)
-                notes["buffers_added"] = float(buffered.buffers_added)
-                sp.set(buffers_added=buffered.buffers_added)
-            sp.set(skew_fraction=clock.skew_fraction)
-        if runner.keep_going:
-            # Pre-flight lint after buffering (so fanout findings are
-            # real, not about-to-be-fixed) but before sizing/STA.
-            runner.diagnostics.extend(preflight(module, library))
+            Stage(
+                name="place", run=_stage_place,
+                inputs=("module", "library"),
+                outputs=("placement", "wire"),
+                params=("careful_placement", "seed"),
+                recover=_recover_place,
+            ),
+            Stage(
+                name="cts", run=_stage_cts,
+                inputs=("module", "library", "clock"),
+                outputs=("module",),
+            ),
+            Stage(
+                name="size", run=_stage_size,
+                inputs=("module", "library", "clock", "wire"),
+                outputs=("module",),
+                params=("sizing_moves",),
+            ),
+            Stage(
+                name="sta", run=_stage_sta,
+                inputs=("module", "library", "clock", "wire"),
+                outputs=("timing",),
+                recover=_recover_sta,
+            ),
+            Stage(
+                name="quote", run=_stage_quote,
+                inputs=("timing",),
+                outputs=("quoted",),
+                params=("speed_test", "seed"),
+                recover=_recover_quote,
+            ),
+        ),
+        hooks={"cts": _preflight_hook},
+        root_attrs=lambda ctx: {"workload": ctx.options.workload,
+                                "bits": ctx.options.bits},
+        summary_attrs=_summary_attrs,
+    )
 
-        with runner.stage("size"), obs.span("flow.asic.size") as sp:
-            maybe_trip(options.fault, "size")
-            if options.sizing_moves > 0:
-                sizing = guarded_size_for_speed(
-                    module, library, clock, wire=wire,
-                    max_moves=options.sizing_moves,
-                )
-                notes["sizing_moves"] = float(sizing.moves)
-                notes["sizing_speedup"] = sizing.speedup
-                sp.set(moves=sizing.moves, speedup=sizing.speedup,
-                       area_growth=sizing.area_growth)
 
-        timing = None
-        with runner.stage("sta"), obs.span("flow.asic.sta") as sp:
-            maybe_trip(options.fault, "sta")
-            timing = guarded_solve_min_period(
-                module, library, clock, wire=wire
-            )
-            sp.set(min_period_ps=timing.min_period_ps,
-                   typical_mhz=timing.max_frequency_mhz)
-        if timing is None:
-            timing = fallback_timing(module, library, clock)
-        typical_mhz = timing.max_frequency_mhz
+#: Module-level graph instance the flow entry point and the CLI share.
+ASIC_GRAPH = asic_flow_graph()
 
-        quoted = None
-        with runner.stage("quote"), obs.span("flow.asic.quote") as sp:
-            maybe_trip(options.fault, "quote")
-            dist = sample_chip_speeds(typical_mhz, MATURE_PROCESS,
-                                      count=4000, seed=options.seed)
-            if options.speed_test:
-                quoted = speed_tested_quote(dist)
-                notes["quote_method"] = 1.0  # 1 = speed tested
-            else:
-                quoted = asic_worst_case_quote(dist)
-                notes["quote_method"] = 0.0  # 0 = worst-case corner
-            sp.set(quoted_mhz=quoted)
-        if quoted is None:
-            quoted = typical_mhz
-            notes["quote_method"] = -1.0  # -1 = quote stage degraded
 
-        flow_span.set(cells=module.instance_count(),
-                      min_period_ps=timing.min_period_ps,
-                      quoted_mhz=quoted)
-
+def finalize_asic(ctx: FlowContext,
+                  tech: ProcessTechnology) -> FlowResult:
+    """Build the result record from a completed ASIC flow context."""
+    options = ctx.options
+    module = ctx["module"]
+    timing = ctx["timing"]
     return FlowResult(
-        name=f"asic_{options.workload}{options.bits}_s{stages}",
+        name=f"asic_{options.workload}{options.bits}_s{ctx['stages']}",
         style="asic",
         technology=tech,
-        library_name=library.name,
-        typical_frequency_mhz=typical_mhz,
-        quoted_frequency_mhz=quoted,
+        library_name=ctx["library"].name,
+        typical_frequency_mhz=timing.max_frequency_mhz,
+        quoted_frequency_mhz=ctx["quoted"],
         min_period_ps=timing.min_period_ps,
         fo4_depth=fo4_depth(timing, tech),
         logic_fo4=fo4_logic_depth(timing, tech),
         overhead_fraction=timing.overhead_fraction(),
-        pipeline_stages=stages,
+        pipeline_stages=ctx["stages"],
         gate_count=module.instance_count(),
-        area_um2=total_area_um2(module, library),
-        notes=notes,
-        diagnostics=runner.diagnostics,
+        area_um2=total_area_um2(module, ctx["library"]),
+        notes=ctx.notes,
+        diagnostics=ctx.diagnostics,
+        stage_records=ctx.stage_records,
     )
+
+
+def run_asic_flow(
+    options: AsicFlowOptions = AsicFlowOptions(),
+    tech: ProcessTechnology = CMOS250_ASIC,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    from_stage: str | None = None,
+) -> FlowResult:
+    """Run the full ASIC flow and return its result record.
+
+    Args:
+        options: flow knobs.
+        tech: process technology.
+        checkpoint: snapshot the context here after every stage.
+        resume: restore completed stages from ``checkpoint``.
+        from_stage: with ``resume``, re-run from this stage onward.
+
+    Raises:
+        FlowError: for unknown workloads, inconsistent options, or --
+            under ``on_error="raise"`` -- any stage failure (with the
+            stage name attached and the cause chained).
+    """
+    check_workload(options)
+    ctx = FlowEngine(ASIC_GRAPH).run(
+        options, tech, checkpoint=checkpoint, resume=resume,
+        from_stage=from_stage,
+    )
+    return finalize_asic(ctx, tech)

@@ -1,0 +1,172 @@
+"""Fingerprint-keyed stage result cache for the flow engine.
+
+Sweep points that share a stage prefix -- same netlist and synthesis
+options, different sizing/variation knobs -- redo exactly the same map,
+placement and clock-tree work.  The engine snapshots the declared
+outputs of every cacheable stage under its input fingerprint (see
+:func:`repro.flows.engine.stage_fingerprint`), so the shared prefix is
+computed once and replayed from the cache everywhere else.
+
+Entries are stored as pickle blobs and unpickled per hit, so every hit
+hands out a *fresh* object graph: downstream stages mutate netlists in
+place (buffering, sizing), and handing the same module to two sweep
+points would corrupt both.  The in-memory side is a bounded LRU; an
+optional directory spills the same blobs to disk, which is how pool
+workers (separate processes) share a cache within a sweep, and how
+``--resume`` sessions reuse work across CLI invocations.
+
+Only trust cache directories you wrote: blobs are pickles, and
+unpickling executes the payload's constructors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Any
+
+#: In-memory entry bound; oldest entries are evicted past it.
+MAX_ENTRIES = 128
+
+#: Suffix of on-disk cache blobs.
+BLOB_SUFFIX = ".stage.pkl"
+
+
+class StageCache:
+    """Bounded LRU of pickled stage outputs, optionally disk-backed.
+
+    Args:
+        directory: spill directory shared across processes (None = memory
+            only).  Created on first write.
+        max_entries: in-memory LRU bound.
+    """
+
+    def __init__(self, directory: str | None = None,
+                 max_entries: int = MAX_ENTRIES) -> None:
+        self.directory = directory
+        self.max_entries = max_entries
+        self._blobs: OrderedDict[str, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, fingerprint + BLOB_SUFFIX)
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """Fresh copy of the outputs stored under a fingerprint, or None."""
+        blob = self._blobs.get(fingerprint)
+        if blob is not None:
+            self._blobs.move_to_end(fingerprint)
+        elif self.directory is not None:
+            try:
+                with open(self._path(fingerprint), "rb") as handle:
+                    blob = handle.read()
+            except OSError:
+                blob = None
+        if blob is None:
+            self.misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:  # corrupt blob: treat as a miss, drop it
+            self._blobs.pop(fingerprint, None)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, fingerprint: str, payload: dict[str, Any]) -> None:
+        """Snapshot stage outputs under a fingerprint (best effort)."""
+        try:
+            blob = pickle.dumps(payload)
+        except Exception:  # unpicklable artifact: simply not cacheable
+            return
+        self._blobs[fingerprint] = blob
+        self._blobs.move_to_end(fingerprint)
+        while len(self._blobs) > self.max_entries:
+            self._blobs.popitem(last=False)
+        self.puts += 1
+        if self.directory is not None:
+            self._spill(fingerprint, blob)
+
+    def _spill(self, fingerprint: str, blob: bytes) -> None:
+        """Atomic disk write; concurrent writers race idempotently."""
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=fingerprint + ".", suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_path, self._path(fingerprint))
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # disk spill is an optimisation, never a failure
+
+    def clear(self) -> None:
+        """Drop in-memory entries (disk blobs are left alone)."""
+        self._blobs.clear()
+
+    def stats(self) -> dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "puts": float(self.puts),
+            "hit_rate": self.hits / total if total else 0.0,
+            "size": float(len(self._blobs)),
+        }
+
+
+_enabled = True
+_cache = StageCache()
+
+
+def get_cache() -> StageCache:
+    """The process-global stage cache the engine uses by default."""
+    return _cache
+
+
+def set_enabled(flag: bool) -> None:
+    """Switch stage caching on/off process-wide."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def configure(directory: str | None) -> None:
+    """Point the global cache at a spill directory (None = memory only)."""
+    _cache.directory = directory
+
+
+def reset() -> None:
+    """Drop entries and zero the counters (directory setting survives)."""
+    _cache.clear()
+    _cache.hits = 0
+    _cache.misses = 0
+    _cache.puts = 0
+
+
+def stats() -> dict[str, float]:
+    """Hit/miss/size snapshot of the global cache."""
+    return _cache.stats()
+
+
+def publish() -> None:
+    """Export the counters as ``flows.cache.*`` gauges through repro.obs."""
+    from repro import obs
+
+    for field, value in stats().items():
+        obs.gauge(f"flows.cache.{field}", float(value))

@@ -1,4 +1,4 @@
-"""The custom implementation flow.
+"""The custom implementation flow, as a stage composition on the engine.
 
 The full-custom methodology of the paper's Sections 4-8, with every lever
 pulled: a short-Leff custom process, deeper pipelining, continuous
@@ -7,24 +7,27 @@ hand-balanced clock with latch-based time borrowing available, domino
 logic on the critical path, and flagship-bin silicon instead of a
 worst-case quote.
 
-Failure policy mirrors :mod:`repro.flows.asic`: ``on_error="raise"``
-aborts with a stage-tagged :class:`FlowError`; ``on_error="keep_going"``
-records failures into ``FlowResult.diagnostics`` and degrades.
+Like :mod:`repro.flows.asic`, the flow is a declarative
+:class:`~repro.flows.engine.StageGraph` (:func:`custom_flow_graph`);
+instrumentation, degradation, fingerprint caching and checkpoint/resume
+come from the shared engine.
+
+Failure policy mirrors the ASIC flow: ``on_error="raise"`` aborts with a
+stage-tagged :class:`FlowError`; ``on_error="keep_going"`` records
+failures into ``FlowResult.diagnostics`` and degrades.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro import obs
 from repro.cells.builder import custom_library
 from repro.circuit.families import DOMINO_PROFILE
-from repro.flows.asic import WORKLOADS
-from repro.flows.results import FlowError, FlowResult
+from repro.flows.asic import WORKLOADS, check_workload
+from repro.flows.engine import FlowContext, FlowEngine, Stage, StageGraph
+from repro.flows.options import CustomFlowOptions
+from repro.flows.results import FlowResult
 from repro.physical.placement import place
 from repro.pipeline.pipeliner import pipeline_module
 from repro.robust.degrade import StageRunner, fallback_timing
-from repro.robust.faults import maybe_trip
 from repro.robust.guards import (
     guarded_size_for_speed,
     guarded_solve_min_period,
@@ -39,47 +42,6 @@ from repro.tech.process import CMOS250_CUSTOM, ProcessTechnology
 from repro.variation.binning import custom_flagship_frequency
 from repro.variation.components import NEW_PROCESS
 from repro.variation.montecarlo import sample_chip_speeds
-
-
-@dataclass(frozen=True)
-class CustomFlowOptions:
-    """Knobs of the custom flow.
-
-    Attributes:
-        workload: one of :data:`repro.flows.asic.WORKLOADS` (custom teams
-            default to the macro-based datapath).
-        bits: datapath width.
-        pipeline_stages: custom designs pipeline aggressively (Section 4);
-            ignored when ``target_cycle_fo4`` is set.
-        target_cycle_fo4: pick the stage count that lands the cycle near
-            this FO4 depth, the way real custom teams chose their pipe
-            depth (Alpha 15 FO4, PowerPC 13 FO4).  None = fixed stages.
-        use_latches: level-sensitive latches + multi-phase borrowing.
-        use_domino: apply domino logic to the combinational critical path
-            (Section 7; modelled via the measured family profile because
-            full-netlist domino conversion is a custom manual step).
-        sizing_moves: continuous sizing budget.
-        flagship_silicon: sell the fast bins (Section 8) instead of the
-            median.
-        seed: placement RNG seed.
-        on_error: ``"raise"`` aborts on the first stage failure;
-            ``"keep_going"`` records the failure into the result's
-            diagnostics and degrades gracefully.
-        fault: chaos hook -- name of a stage at which to trip an
-            injected fault (testing/selftest only; None = off).
-    """
-
-    workload: str = "alu_macro"
-    bits: int = 8
-    pipeline_stages: int = 4
-    target_cycle_fo4: float | None = None
-    use_latches: bool = True
-    use_domino: bool = True
-    sizing_moves: int = 60
-    flagship_silicon: bool = True
-    seed: int = 1
-    on_error: str = "raise"
-    fault: str | None = None
 
 
 def _stages_for_target(
@@ -109,168 +71,267 @@ def _stages_for_target(
     return max(1, min(10, round(logic_fo4 / usable)))
 
 
+def _stage_map(ctx: FlowContext) -> None:
+    options = ctx.options
+    library = custom_library(ctx.tech)
+    comb = WORKLOADS[options.workload](options.bits, library)
+
+    stages_wanted = options.pipeline_stages
+    if options.target_cycle_fo4 is not None:
+        try:
+            stages_wanted = _stages_for_target(
+                comb, library, ctx.tech, options.target_cycle_fo4,
+                options.use_latches, options.use_domino,
+            )
+        except Exception as exc:
+            # The probe is an optimisation, not a requirement: under
+            # keep_going fall back to the fixed stage count instead of
+            # losing the whole flow.
+            if not ctx.keep_going:
+                raise
+            ctx.note(
+                f"stage-count probe failed "
+                f"({type(exc).__name__}: {exc}); using fixed "
+                f"pipeline_stages={options.pipeline_stages}",
+                hint="check target_cycle_fo4 and the library",
+            )
+
+    if stages_wanted > 1:
+        report = pipeline_module(
+            comb, library, stages_wanted,
+            use_latches=options.use_latches,
+        )
+        module = report.module
+        stages = report.stages
+    else:
+        module = register_boundaries(
+            comb, library, use_latches=options.use_latches
+        )
+        stages = 1
+    ctx["library"] = library
+    ctx["module"] = module
+    ctx["stages"] = stages
+    ctx["clock"] = custom_clock(20.0 * ctx.tech.fo4_delay_ps)
+    ctx.span.set(cells=module.instance_count(), stages=stages,
+                 library=library.name)
+
+
+def _stage_place(ctx: FlowContext) -> None:
+    placement = place(
+        ctx["module"], ctx["library"], quality="careful",
+        seed=ctx.options.seed,
+    )
+    ctx["placement"] = placement
+    ctx["wire"] = placement.parasitics(ctx["library"])
+    ctx.notes["wirelength_um"] = placement.total_wirelength_um()
+    ctx.span.set(wirelength_um=placement.total_wirelength_um())
+
+
+def _recover_place(ctx: FlowContext) -> None:
+    ctx.notes["wirelength_um"] = 0.0
+
+
+def _stage_cts(ctx: FlowContext) -> None:
+    clock = ctx["clock"]
+    buffered = buffer_high_fanout(ctx["module"], ctx["library"],
+                                  max_fanout=10)
+    ctx.notes["buffers_added"] = float(buffered.buffers_added)
+    ctx.span.set(buffers_added=buffered.buffers_added,
+                 skew_fraction=clock.skew_fraction)
+
+
+def _stage_size(ctx: FlowContext) -> None:
+    options = ctx.options
+    if options.sizing_moves > 0:
+        sizing = guarded_size_for_speed(
+            ctx["module"], ctx["library"], ctx["clock"],
+            wire=ctx.get("wire"), max_moves=options.sizing_moves,
+        )
+        ctx.notes["sizing_moves"] = float(sizing.moves)
+        ctx.notes["sizing_speedup"] = sizing.speedup
+        ctx.span.set(moves=sizing.moves, speedup=sizing.speedup,
+                     area_growth=sizing.area_growth)
+
+
+def _stage_sta(ctx: FlowContext) -> None:
+    options = ctx.options
+    timing = guarded_solve_min_period(
+        ctx["module"], ctx["library"], ctx["clock"], wire=ctx.get("wire")
+    )
+    period_ps = timing.min_period_ps
+    logic_ps = timing.logic_delay_ps
+
+    if options.use_domino:
+        # Domino accelerates the combinational portion only; registers,
+        # skew and wires keep their cost (Section 7.1's dilution from
+        # 50-100% combinational to ~50% sequential).  The speedup
+        # constant is the family profile, itself validated against
+        # gate-level domino mappings in the test suite and bench E9.
+        domino_factor = DOMINO_PROFILE.combinational_speedup
+        period_ps = period_ps - logic_ps + logic_ps / domino_factor
+        logic_ps = logic_ps / domino_factor
+        ctx.notes["domino_factor"] = domino_factor
+    ctx["period_ps"] = period_ps
+    ctx["logic_ps"] = logic_ps
+    ctx.span.set(min_period_ps=period_ps)
+
+
+def _recover_sta(ctx: FlowContext) -> None:
+    degraded = fallback_timing(ctx["module"], ctx["library"], ctx["clock"])
+    ctx["period_ps"] = degraded.min_period_ps
+    ctx["logic_ps"] = degraded.logic_delay_ps
+
+
+def _stage_quote(ctx: FlowContext) -> None:
+    options = ctx.options
+    typical_mhz = 1.0e6 / ctx["period_ps"]
+    dist = sample_chip_speeds(typical_mhz, NEW_PROCESS, count=4000,
+                              seed=options.seed)
+    if options.flagship_silicon:
+        quoted = custom_flagship_frequency(dist)
+        ctx.notes["quote_method"] = 2.0  # 2 = flagship bin
+    else:
+        quoted = dist.median_mhz
+        ctx.notes["quote_method"] = 3.0  # 3 = typical silicon
+    ctx["quoted"] = quoted
+    ctx.span.set(quoted_mhz=quoted)
+
+
+def _recover_quote(ctx: FlowContext) -> None:
+    ctx["quoted"] = 1.0e6 / ctx["period_ps"]
+    ctx.notes["quote_method"] = -1.0  # -1 = quote stage degraded
+
+
+def _preflight_hook(ctx: FlowContext, runner: StageRunner) -> None:
+    # Pre-flight lint after buffering (so fanout findings are real, not
+    # about-to-be-fixed) but before sizing/STA.
+    if runner.keep_going and "module" in ctx:
+        runner.diagnostics.extend(preflight(ctx["module"], ctx["library"]))
+
+
+def _summary_attrs(ctx: FlowContext) -> dict:
+    attrs: dict = {}
+    if "module" in ctx:
+        attrs["cells"] = ctx["module"].instance_count()
+    if "period_ps" in ctx:
+        attrs["min_period_ps"] = ctx["period_ps"]
+    if "quoted" in ctx:
+        attrs["quoted_mhz"] = ctx["quoted"]
+    return attrs
+
+
+def custom_flow_graph() -> StageGraph:
+    """The custom flow's declarative stage graph."""
+    return StageGraph(
+        flow="custom",
+        stages=(
+            Stage(
+                name="map", run=_stage_map, critical=True,
+                outputs=("module", "library", "stages", "clock"),
+                params=("workload", "bits", "pipeline_stages",
+                        "target_cycle_fo4", "use_latches", "use_domino"),
+            ),
+            Stage(
+                name="place", run=_stage_place,
+                inputs=("module", "library"),
+                outputs=("placement", "wire"),
+                params=("seed",),
+                recover=_recover_place,
+            ),
+            Stage(
+                name="cts", run=_stage_cts,
+                inputs=("module", "library", "clock"),
+                # Buffer insertion synthesises exactly-sized BUF cells
+                # through the continuous factory, so the library is
+                # rewritten alongside the netlist.
+                outputs=("module", "library"),
+            ),
+            Stage(
+                name="size", run=_stage_size,
+                inputs=("module", "library", "clock", "wire"),
+                # Continuous sizing registers freshly generated drive
+                # variants in the library, so the library is rewritten
+                # here too -- a cache replay must restore both.
+                outputs=("module", "library"),
+                params=("sizing_moves",),
+            ),
+            Stage(
+                name="sta", run=_stage_sta,
+                inputs=("module", "library", "clock", "wire"),
+                outputs=("period_ps", "logic_ps"),
+                params=("use_domino",),
+                recover=_recover_sta,
+            ),
+            Stage(
+                name="quote", run=_stage_quote,
+                inputs=("period_ps",),
+                outputs=("quoted",),
+                params=("flagship_silicon", "seed"),
+                recover=_recover_quote,
+            ),
+        ),
+        hooks={"cts": _preflight_hook},
+        root_attrs=lambda ctx: {"workload": ctx.options.workload,
+                                "bits": ctx.options.bits},
+        summary_attrs=_summary_attrs,
+    )
+
+
+#: Module-level graph instance the flow entry point and the CLI share.
+CUSTOM_GRAPH = custom_flow_graph()
+
+
+def finalize_custom(ctx: FlowContext,
+                    tech: ProcessTechnology) -> FlowResult:
+    """Build the result record from a completed custom flow context."""
+    options = ctx.options
+    module = ctx["module"]
+    period_ps = ctx["period_ps"]
+    logic_ps = ctx["logic_ps"]
+    return FlowResult(
+        name=f"custom_{options.workload}{options.bits}_s{ctx['stages']}",
+        style="custom",
+        technology=tech,
+        library_name=ctx["library"].name,
+        typical_frequency_mhz=1.0e6 / period_ps,
+        quoted_frequency_mhz=ctx["quoted"],
+        min_period_ps=period_ps,
+        fo4_depth=period_ps / tech.fo4_delay_ps,
+        logic_fo4=logic_ps / tech.fo4_delay_ps,
+        overhead_fraction=1.0 - logic_ps / period_ps,
+        pipeline_stages=ctx["stages"],
+        gate_count=module.instance_count(),
+        area_um2=total_area_um2(module, ctx["library"]),
+        notes=ctx.notes,
+        diagnostics=ctx.diagnostics,
+        stage_records=ctx.stage_records,
+    )
+
+
 def run_custom_flow(
     options: CustomFlowOptions = CustomFlowOptions(),
     tech: ProcessTechnology = CMOS250_CUSTOM,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    from_stage: str | None = None,
 ) -> FlowResult:
     """Run the full custom flow and return its result record.
+
+    Args:
+        options: flow knobs.
+        tech: process technology.
+        checkpoint: snapshot the context here after every stage.
+        resume: restore completed stages from ``checkpoint``.
+        from_stage: with ``resume``, re-run from this stage onward.
 
     Raises:
         FlowError: for unknown workloads or -- under
             ``on_error="raise"`` -- any stage failure (with the stage
             name attached and the cause chained).
     """
-    if options.workload not in WORKLOADS:
-        raise FlowError(
-            f"unknown workload {options.workload!r}; "
-            f"known: {sorted(WORKLOADS)}",
-            stage="map",
-        )
-    runner = StageRunner(flow="custom", on_error=options.on_error)
-    with obs.span("flow.custom", workload=options.workload,
-                  bits=options.bits) as flow_span:
-        with runner.stage("map", critical=True), \
-                obs.span("flow.custom.map") as sp:
-            maybe_trip(options.fault, "map")
-            library = custom_library(tech)
-            comb = WORKLOADS[options.workload](options.bits, library)
-
-            stages_wanted = options.pipeline_stages
-            if options.target_cycle_fo4 is not None:
-                try:
-                    stages_wanted = _stages_for_target(
-                        comb, library, tech, options.target_cycle_fo4,
-                        options.use_latches, options.use_domino,
-                    )
-                except Exception as exc:
-                    # The probe is an optimisation, not a requirement:
-                    # under keep_going fall back to the fixed stage
-                    # count instead of losing the whole flow.
-                    if not runner.keep_going:
-                        raise
-                    runner.note(
-                        "map",
-                        f"stage-count probe failed "
-                        f"({type(exc).__name__}: {exc}); using fixed "
-                        f"pipeline_stages={options.pipeline_stages}",
-                        hint="check target_cycle_fo4 and the library",
-                    )
-
-            if stages_wanted > 1:
-                report = pipeline_module(
-                    comb, library, stages_wanted,
-                    use_latches=options.use_latches,
-                )
-                module = report.module
-                stages = report.stages
-            else:
-                module = register_boundaries(
-                    comb, library, use_latches=options.use_latches
-                )
-                stages = 1
-            sp.set(cells=module.instance_count(), stages=stages,
-                   library=library.name)
-
-        placement = None
-        wire = None
-        with runner.stage("place"), obs.span("flow.custom.place") as sp:
-            maybe_trip(options.fault, "place")
-            placement = place(
-                module, library, quality="careful", seed=options.seed
-            )
-            wire = placement.parasitics(library)
-            sp.set(wirelength_um=placement.total_wirelength_um())
-
-        notes: dict[str, float] = {
-            "wirelength_um": (
-                placement.total_wirelength_um() if placement else 0.0
-            ),
-        }
-        clock = custom_clock(20.0 * tech.fo4_delay_ps)
-        with runner.stage("cts"), obs.span("flow.custom.cts") as sp:
-            maybe_trip(options.fault, "cts")
-            buffered = buffer_high_fanout(module, library, max_fanout=10)
-            notes["buffers_added"] = float(buffered.buffers_added)
-            sp.set(buffers_added=buffered.buffers_added,
-                   skew_fraction=clock.skew_fraction)
-        if runner.keep_going:
-            # Pre-flight lint after buffering (so fanout findings are
-            # real, not about-to-be-fixed) but before sizing/STA.
-            runner.diagnostics.extend(preflight(module, library))
-
-        with runner.stage("size"), obs.span("flow.custom.size") as sp:
-            maybe_trip(options.fault, "size")
-            if options.sizing_moves > 0:
-                sizing = guarded_size_for_speed(
-                    module, library, clock, wire=wire,
-                    max_moves=options.sizing_moves,
-                )
-                notes["sizing_moves"] = float(sizing.moves)
-                notes["sizing_speedup"] = sizing.speedup
-                sp.set(moves=sizing.moves, speedup=sizing.speedup,
-                       area_growth=sizing.area_growth)
-
-        period_ps = None
-        logic_ps = 0.0
-        with runner.stage("sta"), obs.span("flow.custom.sta") as sp:
-            maybe_trip(options.fault, "sta")
-            timing = guarded_solve_min_period(
-                module, library, clock, wire=wire
-            )
-            period_ps = timing.min_period_ps
-            logic_ps = timing.logic_delay_ps
-
-            if options.use_domino:
-                # Domino accelerates the combinational portion only;
-                # registers, skew and wires keep their cost (Section 7.1's
-                # dilution from 50-100% combinational to ~50% sequential).
-                # The speedup constant is the family profile, itself
-                # validated against gate-level domino mappings in the test
-                # suite and bench E9.
-                domino_factor = DOMINO_PROFILE.combinational_speedup
-                period_ps = period_ps - logic_ps + logic_ps / domino_factor
-                logic_ps = logic_ps / domino_factor
-                notes["domino_factor"] = domino_factor
-            sp.set(min_period_ps=period_ps)
-        if period_ps is None:
-            degraded = fallback_timing(module, library, clock)
-            period_ps = degraded.min_period_ps
-            logic_ps = degraded.logic_delay_ps
-        typical_mhz = 1.0e6 / period_ps
-
-        quoted = None
-        with runner.stage("quote"), obs.span("flow.custom.quote") as sp:
-            maybe_trip(options.fault, "quote")
-            dist = sample_chip_speeds(typical_mhz, NEW_PROCESS, count=4000,
-                                      seed=options.seed)
-            if options.flagship_silicon:
-                quoted = custom_flagship_frequency(dist)
-                notes["quote_method"] = 2.0  # 2 = flagship bin
-            else:
-                quoted = dist.median_mhz
-                notes["quote_method"] = 3.0  # 3 = typical silicon
-            sp.set(quoted_mhz=quoted)
-        if quoted is None:
-            quoted = typical_mhz
-            notes["quote_method"] = -1.0  # -1 = quote stage degraded
-
-        flow_span.set(cells=module.instance_count(),
-                      min_period_ps=period_ps, quoted_mhz=quoted)
-
-    return FlowResult(
-        name=f"custom_{options.workload}{options.bits}_s{stages}",
-        style="custom",
-        technology=tech,
-        library_name=library.name,
-        typical_frequency_mhz=typical_mhz,
-        quoted_frequency_mhz=quoted,
-        min_period_ps=period_ps,
-        fo4_depth=period_ps / tech.fo4_delay_ps,
-        logic_fo4=logic_ps / tech.fo4_delay_ps,
-        overhead_fraction=1.0 - logic_ps / period_ps,
-        pipeline_stages=stages,
-        gate_count=module.instance_count(),
-        area_um2=total_area_um2(module, library),
-        notes=notes,
-        diagnostics=runner.diagnostics,
+    check_workload(options)
+    ctx = FlowEngine(CUSTOM_GRAPH).run(
+        options, tech, checkpoint=checkpoint, resume=resume,
+        from_stage=from_stage,
     )
+    return finalize_custom(ctx, tech)

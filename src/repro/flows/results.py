@@ -24,6 +24,39 @@ class FlowError(ValueError):
         self.stage = stage
 
 
+@dataclass(frozen=True)
+class StageRecord:
+    """Execution record of one engine stage within a flow run.
+
+    Attributes:
+        name: stage name.
+        status: ``"ok"`` (ran), ``"cached"`` (replayed from the
+            fingerprint cache), ``"resumed"`` (restored from a
+            checkpoint), ``"failed"`` (degraded under ``keep_going``),
+            or ``"skipped"`` (cut off by ``--until``).
+        wall_s: wall time the stage took in this run (cache/resume hits
+            report the replay cost, not the original compute).
+        cache_hit: whether the stage's work was reused rather than done.
+        fingerprint: input fingerprint the stage ran (or would run)
+            under; the stage-cache key.
+    """
+
+    name: str
+    status: str
+    wall_s: float
+    cache_hit: bool
+    fingerprint: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "wall_s": self.wall_s,
+            "cache_hit": self.cache_hit,
+            "fingerprint": self.fingerprint,
+        }
+
+
 @dataclass
 class FlowResult:
     """Outcome of one end-to-end implementation flow.
@@ -49,6 +82,9 @@ class FlowResult:
         diagnostics: structured findings collected during the run --
             stage failures captured under ``on_error="keep_going"`` and
             pre-flight validation warnings.  Empty for a clean run.
+        stage_records: per-stage execution records (wall time, cache-hit
+            status, fingerprint) from the stage-graph engine, in run
+            order.
     """
 
     name: str
@@ -66,6 +102,7 @@ class FlowResult:
     area_um2: float
     notes: dict[str, float] = field(default_factory=dict)
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    stage_records: list[StageRecord] = field(default_factory=list)
 
     @property
     def quote_factor(self) -> float:
@@ -110,6 +147,7 @@ class FlowResult:
             "notes": dict(self.notes),
             "degraded": self.degraded,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "stages": [r.to_dict() for r in self.stage_records],
         }
 
     def summary(self) -> str:

@@ -1,0 +1,77 @@
+"""Design-space flow sweeps with shared-prefix stage caching.
+
+:func:`run_flow_sweep` maps a list of flow option records through
+:func:`repro.par.sweep.run_sweep`, so a survey gets the pool runner's
+guarantees (ordered reduce, per-task determinism, span adoption) *and*
+the engine's fingerprint cache: sweep points that share a stage prefix
+-- same netlist and synth options, different sizing/variation knobs --
+compute the prefix once and replay it everywhere else.
+
+Serially (``workers <= 1``) the points share the process-global
+in-memory cache.  Across worker processes the in-memory cache does not
+travel, so a ``cache_dir`` spills stage blobs to disk where every
+worker finds them; with the default fork start method workers also
+inherit whatever the parent already cached.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.flows import cache as stage_cache
+from repro.flows.options import CustomFlowOptions, FlowOptions
+from repro.flows.results import FlowError, FlowResult
+from repro.par.sweep import run_sweep
+from repro.tech.process import ProcessTechnology
+
+
+def _sweep_point(task: tuple) -> FlowResult:
+    """Run one flow point (module-level, so pool workers can pickle it)."""
+    options, tech, cache_dir = task
+    if cache_dir is not None:
+        stage_cache.configure(cache_dir)
+    # Deferred: the flow modules import par.sweep's sibling machinery;
+    # importing them lazily keeps worker startup minimal.
+    from repro.flows.asic import run_asic_flow
+    from repro.flows.custom import run_custom_flow
+
+    run = (run_custom_flow if isinstance(options, CustomFlowOptions)
+           else run_asic_flow)
+    if tech is None:
+        return run(options)
+    return run(options, tech)
+
+
+def run_flow_sweep(
+    option_sets: Sequence[FlowOptions],
+    tech: ProcessTechnology | None = None,
+    workers: int = 1,
+    cache_dir: str | None = None,
+    label: str = "flows.sweep",
+) -> list[FlowResult]:
+    """Run one flow per option record, in task order.
+
+    Args:
+        option_sets: flow option records; :class:`CustomFlowOptions`
+            instances run the custom flow, everything else the ASIC
+            flow.  Mixing styles in one sweep is fine.
+        tech: technology override for every point (None = each flow's
+            default).
+        workers: process count; <= 1 runs serially in-process.
+        cache_dir: directory for the shared on-disk stage cache (None =
+            in-memory only; recommended whenever ``workers > 1``).
+
+    Returns:
+        ``FlowResult`` per option record, in input order, identical for
+        any worker count.
+    """
+    for options in option_sets:
+        if not isinstance(options, FlowOptions):
+            raise FlowError(
+                f"sweep points must be FlowOptions records, got "
+                f"{type(options).__name__}"
+            )
+    if cache_dir is not None:
+        stage_cache.configure(cache_dir)
+    tasks = [(options, tech, cache_dir) for options in option_sets]
+    return run_sweep(_sweep_point, tasks, workers=workers, label=label)

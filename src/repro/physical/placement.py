@@ -198,7 +198,9 @@ def _anneal(placement: Placement, rng: random.Random, steps: int) -> None:
     cooling = math.exp(math.log(0.02) / max(steps, 1))
     for _ in range(steps):
         a, b = rng.sample(names, 2)
-        nets = set(touching[a]) | set(touching[b])
+        # Sorted so the float summation order (and with it every
+        # accept/reject decision) is independent of PYTHONHASHSEED.
+        nets = sorted(set(touching[a]) | set(touching[b]))
         before = sum(placement.net_length_um(n) for n in nets)
         placement.positions[a], placement.positions[b] = (
             placement.positions[b],

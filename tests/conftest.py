@@ -1,0 +1,23 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.flows import cache as stage_cache
+
+
+@pytest.fixture(autouse=True)
+def _cold_stage_cache():
+    """Start every test with an empty stage cache.
+
+    The process-global flow stage cache is deliberately warm across runs
+    in production, but tests assert on inner-stage spans and metrics
+    that a cache replay would (correctly) skip -- so each test gets a
+    cold cache and whatever it warms is dropped afterwards.
+    """
+    stage_cache.reset()
+    stage_cache.configure(None)
+    stage_cache.set_enabled(True)
+    yield
+    stage_cache.reset()
+    stage_cache.configure(None)
+    stage_cache.set_enabled(True)

@@ -169,3 +169,95 @@ class TestObservabilityFlags:
         flat = json.loads(target.read_text())
         assert flat["sta.analyze.calls"] > 0
         assert "sta.solve_min_period.iterations.p50" in flat
+
+
+class TestFlowEngineFlags:
+    def test_list_stages_without_style_shows_both(self, capsys):
+        assert main(["flow", "--list-stages"]) == 0
+        out = capsys.readouterr().out
+        assert "asic flow stages" in out
+        assert "custom flow stages" in out
+        for stage in ("map", "place", "cts", "size", "sta", "quote"):
+            assert stage in out
+
+    def test_list_stages_one_style(self, capsys):
+        assert main(["flow", "custom", "--list-stages"]) == 0
+        out = capsys.readouterr().out
+        assert "custom flow stages" in out
+        assert "asic flow stages" not in out
+
+    def test_style_required_without_list_stages(self, capsys):
+        assert main(["flow"]) == 2
+        assert "requires a style" in capsys.readouterr().err
+
+    def test_until_prints_stage_records(self, capsys):
+        assert main([
+            "flow", "asic", "--bits", "4", "--sizing-moves", "2",
+            "--until", "place",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stopped after 'place'" in out
+        assert "skipped" in out
+
+    def test_until_json_reports_statuses(self, capsys):
+        assert main([
+            "flow", "asic", "--bits", "4", "--sizing-moves", "2",
+            "--until", "cts", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        statuses = {s["name"]: s["status"] for s in payload["stages"]}
+        assert statuses["cts"] == "ok"
+        assert statuses["sta"] == "skipped"
+
+    def test_unknown_until_stage_exits_2(self, capsys):
+        assert main([
+            "flow", "asic", "--bits", "4", "--until", "ghost",
+        ]) == 2
+        assert "unknown --until" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ck = str(tmp_path / "flow.ck")
+        assert main([
+            "flow", "asic", "--bits", "4", "--sizing-moves", "2",
+            "--until", "cts", "--checkpoint", ck,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "flow", "asic", "--bits", "4", "--sizing-moves", "2",
+            "--checkpoint", ck, "--resume", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        statuses = {s["name"]: s["status"] for s in payload["stages"]}
+        assert statuses["map"] == "resumed"
+        assert payload["quoted_frequency_mhz"] > 0
+
+    def test_flow_json_includes_stage_records(self, capsys):
+        assert main([
+            "flow", "asic", "--bits", "4", "--sizing-moves", "2",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in payload["stages"]] == [
+            "map", "place", "cts", "size", "sta", "quote"
+        ]
+        assert all("wall_s" in s for s in payload["stages"])
+
+    def test_no_cache_forces_recompute(self, capsys):
+        args = ["flow", "asic", "--bits", "4", "--sizing-moves", "2",
+                "--no-cache", "--json"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(s["status"] == "ok" for s in payload["stages"])
+
+    def test_bench_json_reports_stage_timings(self, capsys):
+        assert main([
+            "bench", "--count", "500", "--bits", "4",
+            "--sizing-moves", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for stage in ("map", "place", "cts", "size", "sta", "quote"):
+            assert payload[f"flow.stage.{stage}.s"] >= 0.0
+            assert payload[f"flow.stage.{stage}.cached"] is False
+        assert "cache.stage.hit_rate" in payload

@@ -1,0 +1,89 @@
+"""Flow sweeps through the stage cache: prefix sharing and pool workers.
+
+``run_flow_sweep`` is the fingerprint cache's raison d'etre: sweep
+points that differ only in late-stage knobs (sizing moves, quoting
+policy) share the expensive map/place/cts prefix.  These tests pin that
+the sharing actually happens (statuses say ``cached``), that it changes
+no numbers, and that the disk spill makes it work across pool workers.
+"""
+
+import pytest
+
+from repro.flows import (
+    AsicFlowOptions,
+    CustomFlowOptions,
+    FlowError,
+    run_asic_flow,
+    run_flow_sweep,
+)
+
+#: Four points sharing one map/place/cts prefix (only sizing differs).
+PREFIX_SWEEP = [
+    AsicFlowOptions(bits=4, sizing_moves=moves) for moves in (6, 4, 2, 0)
+]
+
+
+def _comparable(result):
+    payload = result.to_dict()
+    payload.pop("stages")
+    return payload
+
+
+def _status(result, stage):
+    return {r.name: r.status for r in result.stage_records}[stage]
+
+
+class TestSerialSweep:
+    def test_shared_prefix_replays_from_cache(self):
+        results = run_flow_sweep(PREFIX_SWEEP)
+        first, rest = results[0], results[1:]
+        assert _status(first, "map") == "ok"
+        for result in rest:
+            assert _status(result, "map") == "cached"
+            assert _status(result, "place") == "cached"
+            assert _status(result, "cts") == "cached"
+            assert _status(result, "size") == "ok"
+
+    def test_sweep_results_match_individual_runs(self):
+        swept = run_flow_sweep(PREFIX_SWEEP)
+        for options, result in zip(PREFIX_SWEEP, swept):
+            alone = run_asic_flow(options)
+            assert _comparable(result) == _comparable(alone)
+
+    def test_mixed_styles_dispatch_correctly(self):
+        results = run_flow_sweep([
+            AsicFlowOptions(bits=4, sizing_moves=2),
+            CustomFlowOptions(bits=4, pipeline_stages=2, sizing_moves=2),
+        ])
+        assert results[0].style == "asic"
+        assert results[1].style == "custom"
+
+    def test_rejects_non_option_records(self):
+        with pytest.raises(FlowError, match="FlowOptions"):
+            run_flow_sweep([{"bits": 4}])
+
+
+class TestPoolSweep:
+    def test_two_workers_with_disk_cache_match_serial(self, tmp_path):
+        serial = run_flow_sweep(PREFIX_SWEEP)
+        pooled = run_flow_sweep(
+            PREFIX_SWEEP, workers=2, cache_dir=str(tmp_path / "stages")
+        )
+        for a, b in zip(serial, pooled):
+            assert _comparable(a) == _comparable(b)
+
+    def test_disk_cache_spills_blobs(self, tmp_path):
+        cache_dir = tmp_path / "stages"
+        run_flow_sweep(PREFIX_SWEEP[:2], cache_dir=str(cache_dir))
+        blobs = list(cache_dir.glob("*.stage.pkl"))
+        assert blobs, "expected spilled stage blobs on disk"
+
+    def test_disk_cache_shares_across_invocations(self, tmp_path):
+        cache_dir = str(tmp_path / "stages")
+        run_flow_sweep(PREFIX_SWEEP[:1], cache_dir=cache_dir)
+        # New in-memory cache, same directory: everything replays.
+        from repro.flows import cache as stage_cache
+
+        stage_cache.reset()
+        again = run_flow_sweep(PREFIX_SWEEP[:1], cache_dir=cache_dir)
+        assert all(r.status == "cached" for r in again[0].stage_records)
