@@ -39,12 +39,19 @@ class Row:
         measured: this reproduction's number, as text.
         ok: whether the measured value lands in (or adjacent to) the
             paper's band.
+        value: the measured value as a number (None when the row was
+            built by hand without one).
+        lo: lower edge of the tolerance band (None = unknown).
+        hi: upper edge of the tolerance band (None = unknown).
     """
 
     claim: str
     paper: str
     measured: str
     ok: bool
+    value: float | None = None
+    lo: float | None = None
+    hi: float | None = None
 
 
 def row(claim: str, paper: str, value: float, lo: float, hi: float,
@@ -55,6 +62,9 @@ def row(claim: str, paper: str, value: float, lo: float, hi: float,
         paper=paper,
         measured=fmt.format(value),
         ok=lo <= value <= hi,
+        value=float(value),
+        lo=float(lo),
+        hi=float(hi),
     )
 
 
@@ -165,7 +175,46 @@ def finalize(path: str = BENCH_JSON) -> dict | None:
         except OSError:
             pass
         raise
+    _record_run(flat)
     return flat
+
+
+def _record_run(flat: dict) -> None:
+    """Append a ``kind="paperbench"`` record to the run ledger.
+
+    Recording happens when the ledger is already enabled in-process or
+    when ``REPRO_RUNS_DIR`` is set (the CI spelling: export the env var,
+    run pytest twice, then ``repro-gap runs regress --gate``).  Claims
+    land with their tolerance bands, so the regression engine can flag
+    band escapes and in-band drift across benchmark runs.
+    """
+    try:
+        from repro.flows.options import digest
+        from repro.obs import ledger as run_ledger
+    except ImportError:
+        return
+    if not run_ledger.enabled():
+        if not os.environ.get(run_ledger.ENV_DIR):
+            return
+        run_ledger.set_enabled(True)
+    rows = _COLLECTED["rows"]
+    claims = {
+        r.claim: {"value": r.value, "lo": r.lo, "hi": r.hi, "ok": r.ok}
+        for r in rows if r.value is not None
+    }
+    run_ledger.record(run_ledger.RunRecord(
+        kind="paperbench",
+        label=f"paperbench.{len(rows)}claims",
+        fingerprint=digest({
+            "kind": "paperbench",
+            "benchmarks": sorted(_COLLECTED["wall_s"]),
+            "claims": sorted(r.claim for r in rows),
+        }),
+        wall_s=float(flat.get("wall_time_s", 0.0)),
+        metrics={k: v for k, v in flat.items()
+                 if isinstance(v, (int, float))},
+        claims=claims,
+    ))
 
 
 atexit.register(finalize)

@@ -12,9 +12,22 @@ want without writing Python:
 * ``variation`` -- sample a die population and print the Section 8
   quoting decomposition;
 * ``stats``     -- run an instrumented gap comparison and print the
-  observability report (spans + metrics);
+  observability report (span tree + metrics); ``stats --top N`` prints
+  the N slowest spans by self time from the last ledger record instead
+  of running anything;
+* ``runs``      -- the persistent run ledger: ``runs list`` shows the
+  recorded trajectory, ``runs show`` renders one record (claims, stage
+  waterfall, span tree), ``runs diff`` compares two records, and
+  ``runs regress`` checks the newest run against the median of its
+  matching-fingerprint baseline (``--gate`` exits nonzero on a
+  regression);
 * ``selftest``  -- fault-injection health check of the whole stack
   (exit 0 when every guard catches its fault, 1 otherwise).
+
+Every command appends a structured run record to the ledger directory
+(``.repro_runs/`` or ``$REPRO_RUNS_DIR``; override with ``--runs-dir``,
+disable with ``--no-ledger``) when it runs a flow, bench, sweep or
+variation -- that trajectory is what ``runs regress`` watches.
 
 ``flow`` and ``gap`` accept ``--keep-going`` to degrade through stage
 failures instead of aborting (failures land in the ``diagnostics`` list
@@ -242,8 +255,31 @@ def _cmd_gap(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    """Run an instrumented ASIC-vs-custom comparison, print the profile."""
+    """Run an instrumented ASIC-vs-custom comparison, print the profile.
+
+    With ``--top N`` nothing is run: the N slowest spans (by self time)
+    of the most recent ledger record that carries a span tree are
+    printed instead, so the hot-spot question does not need a live
+    tracer.
+    """
+    import time as _time
+
     from repro import obs
+    from repro.obs import ledger as run_ledger
+    from repro.obs import render
+
+    if args.top is not None:
+        for record in reversed(run_ledger.get_ledger().records()):
+            if record.spans:
+                print(f"run {record.run_id} ({record.kind}, "
+                      f"{record.label}):")
+                print(render.render_top_spans(record.spans, args.top))
+                return 0
+        print("repro-gap: no ledger record with a span tree found "
+              f"under {run_ledger.runs_dir()!r}; run e.g. "
+              "`repro-gap stats` first", file=sys.stderr)
+        return 1
+
     from repro.flows import (
         AsicFlowOptions,
         CustomFlowOptions,
@@ -254,6 +290,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     already_enabled = obs.enabled()
     if not already_enabled:
         obs.enable()
+    started = _time.perf_counter()
     asic = run_asic_flow(
         AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves)
     )
@@ -264,6 +301,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             sizing_moves=args.sizing_moves,
         )
     )
+    wall_s = _time.perf_counter() - started
     print(asic.summary())
     print(custom.summary())
     print()
@@ -274,6 +312,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.metrics_json:
         written = obs.write_metrics(obs.get_metrics(), args.metrics_json)
         print(f"\nwrote {written} metric keys to {args.metrics_json}")
+    if run_ledger.enabled():
+        from repro.flows.options import digest
+
+        run_ledger.record(run_ledger.RunRecord(
+            kind="stats",
+            label=f"gap{args.bits}",
+            fingerprint=digest({
+                "kind": "stats",
+                "bits": args.bits,
+                "target_fo4": args.target_fo4,
+                "sizing_moves": args.sizing_moves,
+            }),
+            config={"bits": args.bits, "target_fo4": args.target_fo4,
+                    "sizing_moves": args.sizing_moves},
+            wall_s=round(wall_s, 6),
+            metrics=obs.metrics_to_flat(obs.get_metrics()),
+            spans=render.aggregate_spans(obs.get_tracer().finished()),
+        ))
     if not already_enabled:
         obs.disable()
     return 0
@@ -356,6 +412,9 @@ def _cmd_library(args: argparse.Namespace) -> int:
 
 
 def _cmd_variation(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs import ledger as run_ledger
     from repro.variation import (
         MATURE_PROCESS,
         NEW_PROCESS,
@@ -364,11 +423,38 @@ def _cmd_variation(args: argparse.Namespace) -> int:
     )
 
     components = NEW_PROCESS if args.process == "new" else MATURE_PROCESS
+    started = _time.perf_counter()
     dist = sample_chip_speeds(
         args.nominal, components, count=args.count, seed=args.seed,
         workers=args.workers,
     )
+    wall_s = _time.perf_counter() - started
     gap = access_gap(dist)
+    if run_ledger.enabled():
+        from repro.flows.options import digest
+
+        run_ledger.record(run_ledger.RunRecord(
+            kind="variation",
+            label=f"{args.process}.n{args.count}",
+            fingerprint=digest({
+                "kind": "variation",
+                "process": args.process,
+                "nominal": args.nominal,
+                "count": args.count,
+                "seed": args.seed,
+            }),
+            config={"process": args.process, "nominal": args.nominal,
+                    "count": args.count, "seed": args.seed,
+                    "workers": args.workers},
+            wall_s=round(wall_s, 6),
+            metrics={
+                "variation.typical_mhz": round(gap.typical_mhz, 3),
+                "variation.asic_quote_mhz": round(gap.asic_quote_mhz, 3),
+                "variation.tested_mhz": round(gap.tested_mhz, 3),
+                "variation.flagship_mhz": round(gap.flagship_mhz, 3),
+                "variation.spread": round(dist.spread, 4),
+            },
+        ))
     print(f"nominal design frequency : {args.nominal:8.1f} MHz")
     print(f"median silicon           : {gap.typical_mhz:8.1f} MHz")
     print(f"ASIC worst-case quote    : {gap.asic_quote_mhz:8.1f} MHz")
@@ -391,11 +477,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """
     import time
 
+    from repro import obs
     from repro.flows import AsicFlowOptions, run_asic_flow
     from repro.flows import cache as stage_cache
+    from repro.obs import ledger as run_ledger
     from repro.par import memo as par_memo
     from repro.variation import NEW_PROCESS, sample_chip_speeds
 
+    # --json reports histogram percentiles, which need the metrics
+    # registry recording during the run.
+    capture = args.json and not obs.enabled()
+    if capture:
+        obs.enable()
     par_memo.reset()
     stage_cache.reset()
     if args.no_cache:
@@ -440,6 +533,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     payload["cache.stage.misses"] = int(stage_stats["misses"])
     payload["cache.stage.hit_rate"] = round(stage_stats["hit_rate"], 4)
     if args.json:
+        # Histogram percentiles (p50/p95/max and friends) from the
+        # metrics registry, under a "hist." prefix so they cannot
+        # collide with the wall-time keys above.
+        for key, value in obs.metrics_to_flat(obs.get_metrics()).items():
+            payload[f"hist.{key}"] = value
+    if run_ledger.enabled():
+        from repro.flows.options import digest
+
+        run_ledger.record(run_ledger.RunRecord(
+            kind="bench",
+            label=f"bench.w{args.workers}",
+            fingerprint=digest({
+                "kind": "bench",
+                "count": args.count,
+                "seed": args.seed,
+                "bits": args.bits,
+                "sizing_moves": args.sizing_moves,
+                "workers": args.workers,
+                "no_cache": bool(args.no_cache),
+            }),
+            config={"count": args.count, "seed": args.seed,
+                    "bits": args.bits,
+                    "sizing_moves": args.sizing_moves,
+                    "workers": args.workers,
+                    "no_cache": bool(args.no_cache)},
+            wall_s=round(mc_s + flow_s, 6),
+            stages=[rec.to_dict() for rec in result.stage_records],
+            metrics={k: v for k, v in payload.items()
+                     if isinstance(v, (int, float))},
+        ))
+    if capture:
+        obs.disable()
+    if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"monte carlo : {args.count} dies, workers={args.workers}: "
@@ -462,6 +588,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect the persistent run ledger (list/show/diff/regress)."""
+    from repro.obs import ledger as run_ledger
+    from repro.obs import regress as run_regress
+    from repro.obs import render
+
+    ledger = run_ledger.get_ledger()
+    if args.runs_cmd == "list":
+        records = ledger.records(kind=args.kind)
+        if not records:
+            print(f"(no run records under {run_ledger.runs_dir()!r})")
+            return 0
+        if args.last:
+            records = records[-args.last:]
+        print(f"{'run id':<28s} {'kind':<10s} {'label':<20s} "
+              f"{'wall s':>9s} {'stages':<22s} fingerprint")
+        for rec in records:
+            worker = " [worker]" if rec.worker else ""
+            print(f"{rec.run_id:<28s} {rec.kind:<10s} "
+                  f"{rec.label:<20.20s} {rec.wall_s:>9.3f} "
+                  f"{rec.stage_summary():<22s} "
+                  f"{rec.fingerprint[:12]}{worker}")
+        return 0
+    if args.runs_cmd == "show":
+        try:
+            record = ledger.load(args.run)
+        except run_ledger.LedgerError as exc:
+            print(f"repro-gap: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(render.render_run(record))
+        return 0
+    if args.runs_cmd == "diff":
+        try:
+            a = ledger.load(args.run_a)
+            b = ledger.load(args.run_b)
+        except run_ledger.LedgerError as exc:
+            print(f"repro-gap: {exc}", file=sys.stderr)
+            return 1
+        print(render.diff_runs(a, b))
+        return 0
+    # regress
+    records = ledger.records()
+    current = None
+    if args.run != "last":
+        try:
+            current = ledger.load(args.run)
+        except run_ledger.LedgerError as exc:
+            print(f"repro-gap: {exc}", file=sys.stderr)
+            return 1
+    thresholds = run_regress.Thresholds(
+        wall_frac=args.wall_frac,
+        wall_abs_s=args.wall_abs,
+        baseline_n=args.baseline_n,
+    )
+    report = run_regress.regress(records, current=current,
+                                 thresholds=thresholds)
+    if report is None:
+        which = args.run if args.run != "last" else "the newest run"
+        print(f"no baseline for {which}: need at least one earlier "
+              "record with the same kind and fingerprint "
+              f"(ledger: {run_ledger.runs_dir()!r})")
+        # Nothing to compare is not a regression; the gate stays green
+        # so a fresh checkout's first CI run cannot fail on it.
+        return 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.gate and not report.ok:
+        return 3
+    return 0
+
+
+#: Stage names eligible for --inject-fault (with or without "slow:").
+_FAULT_STAGES = ("map", "place", "cts", "size", "sta", "quote")
+
+
+def _fault_spec(value: str) -> str:
+    """argparse type for ``--inject-fault``: STAGE or ``slow:STAGE``."""
+    stage = value[len("slow:"):] if value.startswith("slow:") else value
+    if stage not in _FAULT_STAGES:
+        raise argparse.ArgumentTypeError(
+            f"unknown stage {stage!r} (choose from "
+            f"{', '.join(_FAULT_STAGES)}, optionally as slow:STAGE)"
+        )
+    return value
+
+
 def _obs_flags(parser: argparse.ArgumentParser,
                suppress: bool = False) -> None:
     """Register the global observability flags on a parser.
@@ -472,14 +689,28 @@ def _obs_flags(parser: argparse.ArgumentParser,
     and ``repro-gap gap --profile`` work.
     """
     kwargs = {"default": argparse.SUPPRESS} if suppress else {}
+    none_default = (
+        {"default": argparse.SUPPRESS} if suppress else {"default": None}
+    )
     parser.add_argument(
         "--trace", metavar="FILE",
         help="write a JSON-lines span trace of the command to FILE",
-        **({"default": argparse.SUPPRESS} if suppress else {"default": None}),
+        **none_default,
     )
     parser.add_argument(
         "--profile", action="store_true",
         help="print a per-stage span/metric report after the command",
+        **kwargs,
+    )
+    parser.add_argument(
+        "--runs-dir", metavar="DIR",
+        help="run-ledger directory (default .repro_runs/ or "
+             "$REPRO_RUNS_DIR)",
+        **none_default,
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append a run record to the ledger",
         **kwargs,
     )
 
@@ -521,9 +752,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="degrade through stage failures instead of "
                            "aborting; failures land in diagnostics")
     flow.add_argument("--inject-fault", metavar="STAGE", default=None,
-                      choices=["map", "place", "cts", "size", "sta",
-                               "quote"],
-                      help="deliberately fail the named stage (testing)")
+                      type=_fault_spec,
+                      help="deliberately fail the named stage; "
+                           "slow:STAGE sleeps in it instead of failing "
+                           "(regression-gate testing)")
     flow.add_argument("--list-stages", action="store_true",
                       help="print the flow's stage graph (inputs, "
                            "outputs, params) and exit")
@@ -569,6 +801,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--sizing-moves", type=int, default=20)
     stats.add_argument("--metrics-json", metavar="FILE", default=None,
                        help="also write the flat metrics dump to FILE")
+    stats.add_argument("--top", type=int, default=None, metavar="N",
+                       help="print the N slowest spans (by self time) "
+                            "from the last recorded run instead of "
+                            "running anything")
     stats.set_defaults(func=_cmd_stats)
 
     selftest = sub.add_parser(
@@ -635,36 +871,94 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="print wall times and cache stats as JSON")
     bench.set_defaults(func=_cmd_bench)
+
+    runs = sub.add_parser(
+        "runs",
+        help="inspect the persistent run ledger",
+        parents=[obs_parent],
+    )
+    runs_sub = runs.add_subparsers(dest="runs_cmd", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="list recorded runs, oldest first"
+    )
+    runs_list.add_argument("--kind", default=None,
+                           help="only show runs of this kind "
+                                "(flow, bench, sweep, variation, ...)")
+    runs_list.add_argument("--last", type=int, default=None, metavar="N",
+                           help="only show the newest N records")
+    runs_show = runs_sub.add_parser(
+        "show", help="render one run record (claims, waterfall, spans)"
+    )
+    runs_show.add_argument("run", nargs="?", default="last",
+                           help="run id (unique prefix) or 'last'")
+    runs_show.add_argument("--json", action="store_true",
+                           help="print the raw record as JSON")
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare two run records stage by stage"
+    )
+    runs_diff.add_argument("run_a", help="baseline run id (prefix)")
+    runs_diff.add_argument("run_b", nargs="?", default="last",
+                           help="run id to compare (default 'last')")
+    runs_regress = runs_sub.add_parser(
+        "regress",
+        help="check a run against the median of its matching baselines",
+    )
+    runs_regress.add_argument("run", nargs="?", default="last",
+                              help="run id under test (default 'last')")
+    runs_regress.add_argument("--gate", action="store_true",
+                              help="exit nonzero when a fail-severity "
+                                   "finding is present")
+    runs_regress.add_argument("--wall-frac", type=float, default=0.5,
+                              help="relative wall-time excess that "
+                                   "flags a regression (default 0.5)")
+    runs_regress.add_argument("--wall-abs", type=float, default=0.02,
+                              help="absolute wall-time excess floor in "
+                                   "seconds (default 0.02)")
+    runs_regress.add_argument("--baseline-n", type=int, default=5,
+                              help="matching runs feeding the median "
+                                   "baseline (default 5)")
+    runs_regress.add_argument("--json", action="store_true",
+                              help="print the report as JSON")
+    runs.set_defaults(func=_cmd_runs)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.obs import ledger as run_ledger
+
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
-    if trace_path or profile:
-        from repro import obs
+    run_ledger.configure(getattr(args, "runs_dir", None))
+    run_ledger.set_enabled(not getattr(args, "no_ledger", False))
+    try:
+        if trace_path or profile:
+            from repro import obs
 
-        obs.enable()
-        try:
-            code = args.func(args)
-        finally:
-            obs.disable()
-        if trace_path:
+            obs.enable()
             try:
-                spans = obs.write_trace(obs.get_tracer(), trace_path)
-            except OSError as exc:
-                print(f"repro-gap: cannot write trace: {exc}",
+                code = args.func(args)
+            finally:
+                obs.disable()
+            if trace_path:
+                try:
+                    spans = obs.write_trace(obs.get_tracer(), trace_path)
+                except OSError as exc:
+                    print(f"repro-gap: cannot write trace: {exc}",
+                          file=sys.stderr)
+                    return 1
+                print(f"wrote {spans} spans to {trace_path}",
                       file=sys.stderr)
-                return 1
-            print(f"wrote {spans} spans to {trace_path}", file=sys.stderr)
-        if profile:
-            print()
-            print(obs.render_report())
-        return code
-    return args.func(args)
+            if profile:
+                print()
+                print(obs.render_report())
+            return code
+        return args.func(args)
+    finally:
+        run_ledger.set_enabled(False)
+        run_ledger.configure(None)
 
 
 if __name__ == "__main__":

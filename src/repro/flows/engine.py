@@ -41,6 +41,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 import os
 
 from repro import obs
+from repro.obs import ledger as run_ledger
 from repro.flows import cache as stage_cache
 from repro.flows.options import FlowOptions, digest, options_fingerprint
 from repro.flows.results import FlowError, StageRecord
@@ -486,6 +487,7 @@ class FlowEngine:
         cache = self._active_cache() if options.fault is None else None
         stop_index = names.index(until) if until is not None else None
 
+        run_started = time.perf_counter()
         with obs.span(f"flow.{self.graph.flow}",
                       **self.graph.root_attrs(ctx)) as flow_span:
             for index, stage in enumerate(order):
@@ -521,6 +523,14 @@ class FlowEngine:
             flow_span.set(**self.graph.summary_attrs(ctx))
 
         ctx.diagnostics = runner.diagnostics
+        # Finalizer hook: every completed engine run leaves one ledger
+        # record (a single flag check when recording is off).
+        if run_ledger.enabled():
+            run_ledger.record(run_ledger.flow_record(
+                ctx, tech, wall_s=time.perf_counter() - run_started,
+                root_span=flow_span if isinstance(flow_span, obs.Span)
+                else None,
+            ))
         return ctx
 
     def _load_resume_state(

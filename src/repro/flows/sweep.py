@@ -16,11 +16,13 @@ inherit whatever the parent already cached.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.flows import cache as stage_cache
-from repro.flows.options import CustomFlowOptions, FlowOptions
+from repro.flows.options import CustomFlowOptions, FlowOptions, digest, options_fingerprint
 from repro.flows.results import FlowError, FlowResult
+from repro.obs import ledger as run_ledger
 from repro.par.sweep import run_sweep
 from repro.tech.process import ProcessTechnology
 
@@ -74,4 +76,33 @@ def run_flow_sweep(
     if cache_dir is not None:
         stage_cache.configure(cache_dir)
     tasks = [(options, tech, cache_dir) for options in option_sets]
-    return run_sweep(_sweep_point, tasks, workers=workers, label=label)
+    started = time.perf_counter()
+    results = run_sweep(_sweep_point, tasks, workers=workers, label=label)
+    if run_ledger.enabled():
+        # One sweep-level record on top of the per-point flow records
+        # (which the pool runner merged in from the workers).
+        wall_s = time.perf_counter() - started
+        cache_stats = stage_cache.stats()
+        run_ledger.record(run_ledger.RunRecord(
+            kind="sweep",
+            label=label,
+            fingerprint=digest({
+                "kind": "sweep",
+                "points": [options_fingerprint(o) for o in option_sets],
+                "tech": tech.name if tech is not None else None,
+            }),
+            tech=tech.name if tech is not None else "",
+            config={"points": len(option_sets), "workers": workers,
+                    "cache_dir": cache_dir},
+            wall_s=round(wall_s, 6),
+            metrics={
+                "points": len(option_sets),
+                "workers": workers,
+                "cache.stage.hits": int(cache_stats["hits"]),
+                "cache.stage.misses": int(cache_stats["misses"]),
+                "cache.stage.hit_rate": round(
+                    cache_stats["hit_rate"], 4
+                ),
+            },
+        ))
+    return results

@@ -32,11 +32,26 @@ from repro.obs.instrument import (
     span,
     traced,
 )
+from repro.obs.ledger import (
+    RunLedger,
+    RunRecord,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.regress import (
+    Finding,
+    RegressionReport,
+    Thresholds,
+)
+from repro.obs.render import (
+    aggregate_spans,
+    render_run,
+    render_span_tree,
+    render_waterfall,
 )
 from repro.obs.trace import ObsError, Span, SpanStats, Tracer
 
@@ -44,14 +59,20 @@ __all__ = [
     "MONOTONIC",
     "NOOP_SPAN",
     "Counter",
+    "Finding",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsError",
+    "RegressionReport",
+    "RunLedger",
+    "RunRecord",
     "Span",
     "SpanStats",
+    "Thresholds",
     "TickClock",
     "Tracer",
+    "aggregate_spans",
     "count",
     "disable",
     "enable",
@@ -62,6 +83,9 @@ __all__ = [
     "metrics_to_flat",
     "observe",
     "render_report",
+    "render_run",
+    "render_span_tree",
+    "render_waterfall",
     "report",
     "reset",
     "span",

@@ -60,10 +60,15 @@ def trace_to_jsonl(tracer: Tracer) -> str:
 
 
 def write_trace(tracer: Tracer, path: str) -> int:
-    """Write the JSON-lines trace; returns the span count."""
+    """Write the JSON-lines trace atomically; returns the span count.
+
+    Atomic like the ``BENCH_*.json`` merge (temp file + ``os.replace``),
+    so a crashed run can never leave a truncated trace behind.
+    """
+    from repro.obs.ledger import _atomic_write_text
+
     text = trace_to_jsonl(tracer)
-    with open(path, "w") as handle:
-        handle.write(text)
+    _atomic_write_text(path, text)
     return len(tracer.finished())
 
 
@@ -91,6 +96,7 @@ def metrics_to_flat(registry: MetricsRegistry) -> dict:
             elif isinstance(metric, Histogram):
                 base = metric.name + suffix
                 flat[base + ".count"] = metric.count(**labels)
+                flat[base + ".sum"] = _round(metric.total(**labels))
                 flat[base + ".mean"] = _round(metric.mean(**labels))
                 flat[base + ".p50"] = _round(metric.percentile(50, **labels))
                 flat[base + ".p95"] = _round(metric.percentile(95, **labels))
@@ -99,40 +105,35 @@ def metrics_to_flat(registry: MetricsRegistry) -> dict:
 
 
 def write_metrics(registry: MetricsRegistry, path: str) -> int:
-    """Write the flat metrics dump as JSON; returns the key count."""
+    """Atomically write the flat metrics dump as JSON; returns the key
+    count."""
+    from repro.obs.ledger import _atomic_write_text
+
     flat = metrics_to_flat(registry)
-    with open(path, "w") as handle:
-        json.dump(flat, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _atomic_write_text(
+        path, json.dumps(flat, indent=2, sort_keys=True) + "\n"
+    )
     return len(flat)
 
 
 def report(tracer: Tracer, registry: MetricsRegistry) -> str:
-    """Human-readable profile: span aggregates, then metrics."""
-    lines: list[str] = []
-    stats = tracer.aggregate()
-    if stats:
-        lines.append(
-            f"{'span':<36s} {'calls':>6s} {'total ms':>10s} "
-            f"{'self ms':>10s} {'mean ms':>10s}"
-        )
-        for entry in stats:
-            lines.append(
-                f"{entry.name:<36.36s} {entry.count:>6d} "
-                f"{entry.total_s * 1e3:>10.2f} {entry.self_s * 1e3:>10.2f} "
-                f"{entry.mean_s * 1e3:>10.2f}"
-            )
+    """Human-readable profile: span tree, then metrics.
+
+    The span section is the indented call-path tree from
+    :mod:`repro.obs.render` (total and self milliseconds per node,
+    cache-hit and error annotations) rather than the old flat per-name
+    table, so nesting -- which stage called which solver how often --
+    survives into the terminal view.
+    """
+    from repro.obs.render import render_metrics, render_span_tree
+
+    sections: list[str] = []
+    spans = tracer.finished()
+    if spans:
+        sections.append(render_span_tree(spans))
     flat = metrics_to_flat(registry)
     if flat:
-        if lines:
-            lines.append("")
-        lines.append(f"{'metric':<52s} {'value':>12s}")
-        for key in sorted(flat):
-            value = flat[key]
-            rendered = (
-                f"{value:.3f}" if isinstance(value, float) else str(value)
-            )
-            lines.append(f"{key:<52.52s} {rendered:>12s}")
-    if not lines:
+        sections.append(render_metrics(flat))
+    if not sections:
         return "(no observability data recorded)"
-    return "\n".join(lines)
+    return "\n\n".join(sections)

@@ -1,0 +1,318 @@
+"""Regression detection over the persistent run ledger.
+
+Given a *current* :class:`~repro.obs.ledger.RunRecord`, the engine
+selects a baseline from earlier records with the **same kind and
+fingerprint** (same design point, policy knobs excluded) and compares:
+
+* **wall time** -- the run total and every per-stage wall time, each
+  against the *median* of the last N matching baseline runs.  Stage
+  walls are only compared like-for-like: a stage replayed from the
+  cache is never measured against a stage that actually computed.
+  A regression needs both a relative excess (``wall_frac``) and an
+  absolute excess (``wall_abs_s``), so microsecond noise on trivial
+  stages can never trip the gate;
+* **cache behaviour** -- any metric key ending in ``.hit_rate`` whose
+  value dropped by more than ``hit_rate_drop`` (absolute);
+* **paper claims** -- a claim whose value left its tolerance band
+  ``[lo, hi]`` fails outright; a claim still in band but drifting from
+  the baseline median by more than ``claim_frac`` (relative) warns.
+
+``repro-gap runs regress`` renders the findings; ``--gate`` turns any
+*fail*-severity finding into a nonzero exit, which is how CI watches
+the trajectory without a human eyeballing ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.ledger import RunRecord
+
+#: Finding severities, most severe first.
+SEVERITIES = ("fail", "warn", "info")
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Knobs of the regression comparison.
+
+    Attributes:
+        wall_frac: relative wall-time excess that flags a regression
+            (0.5 = 50% slower than the baseline median).
+        wall_abs_s: absolute excess (seconds) that must *also* be
+            exceeded -- the noise floor for tiny stages.
+        hit_rate_drop: absolute drop in any ``*.hit_rate`` metric that
+            flags a cache regression.
+        claim_frac: relative drift of an in-band claim value from the
+            baseline median that warns.
+        baseline_n: how many of the most recent matching runs feed the
+            median baseline.
+    """
+
+    wall_frac: float = 0.5
+    wall_abs_s: float = 0.02
+    hit_rate_drop: float = 0.15
+    claim_frac: float = 0.05
+    baseline_n: int = 5
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected difference between a run and its baseline.
+
+    Attributes:
+        kind: ``"total_wall"``, ``"stage_wall"``, ``"cache_hit_rate"``,
+            ``"claim_band"`` or ``"claim_drift"``.
+        key: what moved (stage name, metric key, claim name).
+        current: this run's value.
+        baseline: the baseline median.
+        severity: ``"fail"``, ``"warn"`` or ``"info"``.
+        detail: human-readable explanation.
+    """
+
+    kind: str
+    key: str
+    current: float
+    baseline: float
+    severity: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "current": self.current,
+            "baseline": self.baseline,
+            "severity": self.severity,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one run-vs-baseline comparison.
+
+    Attributes:
+        current_id: run id of the record under test.
+        current_label: its label.
+        baseline_ids: run ids the baseline median was built from.
+        checks: how many comparisons were performed.
+        findings: detected regressions/drifts, most severe first.
+    """
+
+    current_id: str
+    current_label: str
+    baseline_ids: list[str] = field(default_factory=list)
+    checks: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "fail"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no fail-severity finding survived."""
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "current_id": self.current_id,
+            "current_label": self.current_label,
+            "baseline_ids": list(self.baseline_ids),
+            "checks": self.checks,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        """Human-readable findings table."""
+        lines = [
+            f"regression check: run {self.current_id} "
+            f"({self.current_label}) vs median of "
+            f"{len(self.baseline_ids)} baseline run(s)"
+        ]
+        if not self.findings:
+            lines.append(f"  OK    {self.checks} checks, no finding")
+            return "\n".join(lines)
+        for f in self.findings:
+            lines.append(
+                f"  {f.severity.upper():<5s} {f.kind:<15s} "
+                f"{f.key:<28.28s} {f.detail}"
+            )
+        warns = sum(1 for f in self.findings if f.severity == "warn")
+        lines.append(
+            f"  {self.checks} checks: {len(self.failures)} failure(s), "
+            f"{warns} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def matching_history(records: Sequence[RunRecord],
+                     current: RunRecord) -> list[RunRecord]:
+    """Earlier records comparable to ``current`` (same kind+fingerprint)."""
+    return [
+        r for r in records
+        if r.run_id != current.run_id
+        and r.kind == current.kind
+        and r.fingerprint == current.fingerprint
+        and (not current.run_id or r.run_id < current.run_id)
+    ]
+
+
+def select_baseline(records: Sequence[RunRecord], current: RunRecord,
+                    n: int = Thresholds.baseline_n) -> list[RunRecord]:
+    """The last ``n`` matching runs (the median inputs), oldest first."""
+    history = matching_history(records, current)
+    return history[-n:] if n > 0 else []
+
+
+def _wall_regressed(current: float, baseline: float,
+                    thresholds: Thresholds) -> bool:
+    excess = current - baseline
+    return (excess > thresholds.wall_abs_s
+            and current > baseline * (1.0 + thresholds.wall_frac))
+
+
+def _pct(current: float, baseline: float) -> str:
+    if baseline <= 0:
+        return "n/a"
+    return f"{(current / baseline - 1.0) * 100.0:+.0f}%"
+
+
+def compare(current: RunRecord, baselines: Sequence[RunRecord],
+            thresholds: Thresholds = Thresholds()) -> RegressionReport:
+    """Compare one run against the median of its baseline runs."""
+    report = RegressionReport(
+        current_id=current.run_id,
+        current_label=current.label or current.kind,
+        baseline_ids=[b.run_id for b in baselines],
+    )
+    if not baselines:
+        return report
+    findings: list[Finding] = []
+
+    # Total wall time.
+    base_wall = _median([b.wall_s for b in baselines])
+    report.checks += 1
+    if _wall_regressed(current.wall_s, base_wall, thresholds):
+        findings.append(Finding(
+            kind="total_wall", key="run", severity="fail",
+            current=current.wall_s, baseline=base_wall,
+            detail=f"{current.wall_s:.4f} s vs {base_wall:.4f} s "
+                   f"({_pct(current.wall_s, base_wall)})",
+        ))
+
+    # Per-stage wall times, compared like-for-like on cache-hit status.
+    for stage in current.stages:
+        name = stage.get("name")
+        hit = bool(stage.get("cache_hit"))
+        peers = [
+            float(s.get("wall_s", 0.0))
+            for b in baselines for s in b.stages
+            if s.get("name") == name and bool(s.get("cache_hit")) == hit
+        ]
+        if not peers:
+            continue
+        report.checks += 1
+        wall = float(stage.get("wall_s", 0.0))
+        base = _median(peers)
+        if _wall_regressed(wall, base, thresholds):
+            findings.append(Finding(
+                kind="stage_wall", key=str(name), severity="fail",
+                current=wall, baseline=base,
+                detail=f"{wall:.4f} s vs {base:.4f} s "
+                       f"({_pct(wall, base)}"
+                       f"{', cached' if hit else ''})",
+            ))
+
+    # Cache hit-rate drops across any *.hit_rate metric.
+    for key, value in sorted(current.metrics.items()):
+        if not key.endswith(".hit_rate"):
+            continue
+        if not isinstance(value, (int, float)):
+            continue
+        peers = [
+            float(b.metrics[key]) for b in baselines
+            if isinstance(b.metrics.get(key), (int, float))
+        ]
+        if not peers:
+            continue
+        report.checks += 1
+        base = _median(peers)
+        if base - float(value) > thresholds.hit_rate_drop:
+            findings.append(Finding(
+                kind="cache_hit_rate", key=key, severity="fail",
+                current=float(value), baseline=base,
+                detail=f"{float(value):.1%} vs {base:.1%} baseline",
+            ))
+
+    # Paper claims: band escapes fail, in-band drift warns.
+    for claim, entry in sorted(current.claims.items()):
+        if not isinstance(entry, dict) or "value" not in entry:
+            continue
+        value = float(entry["value"])
+        report.checks += 1
+        if not entry.get("ok", True):
+            lo, hi = entry.get("lo"), entry.get("hi")
+            findings.append(Finding(
+                kind="claim_band", key=claim, severity="fail",
+                current=value, baseline=value,
+                detail=f"value {value:.4g} left tolerance band "
+                       f"[{lo}, {hi}]",
+            ))
+            continue
+        peers = [
+            float(b.claims[claim]["value"]) for b in baselines
+            if isinstance(b.claims.get(claim), dict)
+            and "value" in b.claims[claim]
+        ]
+        if not peers:
+            continue
+        base = _median(peers)
+        scale = max(abs(base), 1e-12)
+        if abs(value - base) / scale > thresholds.claim_frac:
+            findings.append(Finding(
+                kind="claim_drift", key=claim, severity="warn",
+                current=value, baseline=base,
+                detail=f"value {value:.4g} drifted from baseline "
+                       f"median {base:.4g} ({_pct(value, base)})",
+            ))
+
+    order = {sev: i for i, sev in enumerate(SEVERITIES)}
+    findings.sort(key=lambda f: (order.get(f.severity, 99), f.kind, f.key))
+    report.findings = findings
+    return report
+
+
+def regress(records: Sequence[RunRecord],
+            current: RunRecord | None = None,
+            thresholds: Thresholds = Thresholds()) -> RegressionReport | None:
+    """Check the newest (or given) run against its ledger baseline.
+
+    Args:
+        records: ledger records, oldest first.
+        current: run under test; None picks the newest record.
+        thresholds: comparison knobs.
+
+    Returns:
+        The report, or None when there is no current run or no earlier
+        matching-fingerprint run to build a baseline from.
+    """
+    if current is None:
+        if not records:
+            return None
+        current = records[-1]
+    baselines = select_baseline(records, current, thresholds.baseline_n)
+    if not baselines:
+        return None
+    return compare(current, baselines, thresholds)

@@ -15,6 +15,12 @@ Monte Carlo sampler and the design-space surveys rely on:
   :meth:`repro.obs.trace.Tracer.adopt`, so ``--trace`` output stays
   complete under ``--workers N``.
 
+When the run ledger is recording in the parent, workers are switched
+into *buffering* mode: run records they would have written (e.g. the
+flow records of a design-space sweep point) come back with the results
+and are merged into the parent's ledger, marked ``worker=True`` -- one
+ledger regardless of worker count.
+
 ``workers <= 1`` (or a single task) short-circuits to a plain serial
 loop in-process -- no pool, no pickling -- which is also the fallback
 the tiny-container CI path exercises before turning workers on.
@@ -29,6 +35,7 @@ import numpy as np
 
 from repro import obs
 from repro.obs import instrument as _instrument
+from repro.obs import ledger as _ledger
 
 
 class SweepError(ValueError):
@@ -48,14 +55,18 @@ def task_seeds(seed: int, count: int) -> list[int]:
     return [int(child.generate_state(2, np.uint64)[0]) for child in children]
 
 
-def _pool_task(payload: tuple) -> tuple[Any, list | None]:
-    """Worker-side wrapper: run one task, capture its spans if asked."""
-    fn, task, capture = payload
-    if not capture:
-        return fn(task), None
-    _instrument.enable(fresh=True)
+def _pool_task(payload: tuple) -> tuple[Any, list | None, list | None]:
+    """Worker-side wrapper: run one task; capture spans and buffer run
+    records if the parent asked for them."""
+    fn, task, capture, ledger_on = payload
+    if ledger_on:
+        _ledger.enable_buffering()
+    if capture:
+        _instrument.enable(fresh=True)
     result = fn(task)
-    return result, obs.get_tracer().finished()
+    spans = obs.get_tracer().finished() if capture else None
+    records = _ledger.drain_buffer() if ledger_on else None
+    return result, spans, records
 
 
 def run_sweep(
@@ -89,13 +100,16 @@ def run_sweep(
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        payloads = [(fn, task, capture) for task in items]
+        ledger_on = _ledger.enabled()
+        payloads = [(fn, task, capture, ledger_on) for task in items]
         with ctx.Pool(processes=workers) as pool:
             raw = pool.map(_pool_task, payloads)
         results = []
         tracer = obs.get_tracer()
-        for result, spans in raw:
+        for result, spans, records in raw:
             results.append(result)
             if spans:
                 tracer.adopt(spans)
+            if records:
+                _ledger.adopt(records)
         return results

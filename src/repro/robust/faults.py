@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass
 
 from repro.cells.delay import LinearDelayArc, NLDMArc
@@ -36,16 +37,33 @@ class FaultInjectionError(RuntimeError):
     """Raised when an explicitly requested fault trips."""
 
 
+#: Sleep injected by a ``slow:<stage>`` fault (seconds) -- large enough
+#: to clear any regression-gate threshold against a sub-second stage.
+SLOW_FAULT_S = 0.25
+
+
 def maybe_trip(fault: str | None, stage: str) -> None:
     """Trip an injected fault if ``fault`` names this stage.
+
+    Two fault spellings:
+
+    * ``"<stage>"`` raises :class:`FaultInjectionError` at that stage
+      (the degradation/abort path);
+    * ``"slow:<stage>"`` sleeps :data:`SLOW_FAULT_S` seconds instead of
+      failing -- an artificial wall-time regression the run-ledger gate
+      (``repro-gap runs regress --gate``) must catch.
 
     The flows call this at the top of every stage; it is a single
     comparison when no fault is armed.
     """
-    if fault is not None and fault == stage:
+    if fault is None:
+        return
+    if fault == stage:
         raise FaultInjectionError(
             f"injected fault tripped at stage {stage!r}"
         )
+    if fault == f"slow:{stage}":
+        time.sleep(SLOW_FAULT_S)
 
 
 @dataclass(frozen=True)

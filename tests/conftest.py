@@ -3,6 +3,22 @@
 import pytest
 
 from repro.flows import cache as stage_cache
+from repro.obs import ledger as run_ledger
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory, recording off.
+
+    CLI-invoking tests would otherwise write ``.repro_runs/`` records
+    into the repository working directory; with the env override every
+    test that turns the ledger on (directly or through ``cli.main``)
+    lands in its own tmp dir instead.
+    """
+    monkeypatch.setenv(run_ledger.ENV_DIR, str(tmp_path / "repro_runs"))
+    run_ledger.reset_state()
+    yield
+    run_ledger.reset_state()
 
 
 @pytest.fixture(autouse=True)
