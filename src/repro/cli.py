@@ -21,6 +21,9 @@ want without writing Python:
   ``runs regress`` checks the newest run against the median of its
   matching-fingerprint baseline (``--gate`` exits nonzero on a
   regression);
+* ``top``       -- live dashboard over an ``--events FILE`` JSONL
+  stream (``--follow`` to watch a run in progress from another
+  terminal);
 * ``selftest``  -- fault-injection health check of the whole stack
   (exit 0 when every guard catches its fault, 1 otherwise).
 
@@ -47,6 +50,16 @@ fingerprint cache.  ``bench --json`` reports per-stage wall times as
 The global ``--profile`` flag prints a per-stage span/metric report
 after any command, and ``--trace FILE`` writes the span tree as
 JSON-lines.  Both work before or after the subcommand name.
+
+Live telemetry rides the same global flags: ``--events FILE`` streams
+bus events (span opens/closes, flow-stage progress, sweep task
+completions, worker heartbeats) to FILE as JSON lines *while the
+command runs*; ``--live`` renders a terminal dashboard from the same
+stream; ``--stall-timeout S`` turns a silent pool worker into a
+structured diagnostic (exit 4) instead of a hung sweep; and
+``--trace-chrome FILE`` exports the span tree in Chrome Trace Event
+format for chrome://tracing or ui.perfetto.dev.  ``repro-gap stats
+--prom`` emits the metrics registry as Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -312,6 +325,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.metrics_json:
         written = obs.write_metrics(obs.get_metrics(), args.metrics_json)
         print(f"\nwrote {written} metric keys to {args.metrics_json}")
+    if args.prom is not None:
+        if args.prom == "-":
+            print()
+            print(obs.metrics_to_prom(obs.get_metrics()), end="")
+        else:
+            lines = obs.write_prom(obs.get_metrics(), args.prom)
+            print(f"\nwrote {lines} Prometheus exposition lines to "
+                  f"{args.prom}")
     if run_ledger.enabled():
         from repro.flows.options import digest
 
@@ -588,6 +609,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render a dashboard from a live-event JSONL stream.
+
+    One-shot by default: fold every event in the file and print the
+    closing frame.  With ``--follow`` the file is re-polled and the
+    frame repainted until interrupted (or ``--timeout`` elapses), which
+    is how a second terminal watches a long run started with
+    ``--events FILE``.
+    """
+    import os as _os
+    import time as _time
+
+    from repro.obs import live as obs_live
+    from repro.obs.events import read_events
+
+    if not args.follow and not _os.path.exists(args.events_file):
+        print(f"repro-gap: no event stream at {args.events_file!r} "
+              "(start a run with --events FILE first)", file=sys.stderr)
+        return 1
+    dashboard = obs_live.Dashboard(stream=sys.stdout,
+                                   refresh_s=args.interval)
+    deadline = (_time.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    consumed = 0
+    try:
+        while True:
+            if _os.path.exists(args.events_file):
+                # Re-scan from the top and skip what was already fed:
+                # events files are append-only, so position == identity.
+                position = 0
+                for event in read_events(args.events_file):
+                    position += 1
+                    if position > consumed:
+                        dashboard.feed(event, paint=False)
+                consumed = max(consumed, position)
+            if not args.follow:
+                break
+            dashboard.paint()
+            if deadline is not None and _time.monotonic() >= deadline:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    print(dashboard.final())
+    if consumed == 0:
+        print("repro-gap: stream contained no events", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     """Inspect the persistent run ledger (list/show/diff/regress)."""
     from repro.obs import ledger as run_ledger
@@ -713,6 +784,36 @@ def _obs_flags(parser: argparse.ArgumentParser,
         help="do not append a run record to the ledger",
         **kwargs,
     )
+    parser.add_argument(
+        "--events", metavar="FILE",
+        help="stream live telemetry events to FILE as JSON lines "
+             "(watch with `repro-gap top FILE`)",
+        **none_default,
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="render a live progress dashboard on stderr while the "
+             "command runs",
+        **kwargs,
+    )
+    parser.add_argument(
+        "--trace-chrome", metavar="FILE",
+        help="write the span trace in Chrome Trace Event format "
+             "(open in chrome://tracing or ui.perfetto.dev)",
+        **none_default,
+    )
+    parser.add_argument(
+        "--heartbeat-s", type=float, metavar="S",
+        help="sweep worker heartbeat interval in seconds "
+             "(default 1.0)",
+        **none_default,
+    )
+    parser.add_argument(
+        "--stall-timeout", type=float, metavar="S",
+        help="abort a sweep with a stall diagnostic (exit 4) when a "
+             "busy worker sends no event for S seconds (default: off)",
+        **none_default,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -805,6 +906,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the N slowest spans (by self time) "
                             "from the last recorded run instead of "
                             "running anything")
+    stats.add_argument("--prom", nargs="?", const="-", default=None,
+                       metavar="FILE",
+                       help="also emit the metrics registry in "
+                            "Prometheus text exposition format (to "
+                            "FILE, or stdout when no FILE is given)")
     stats.set_defaults(func=_cmd_stats)
 
     selftest = sub.add_parser(
@@ -872,6 +978,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print wall times and cache stats as JSON")
     bench.set_defaults(func=_cmd_bench)
 
+    top = sub.add_parser(
+        "top",
+        help="render a dashboard from a --events JSONL stream",
+        parents=[obs_parent],
+    )
+    top.add_argument("events_file",
+                     help="event stream written by --events FILE")
+    top.add_argument("--follow", action="store_true",
+                     help="keep polling the file and repainting until "
+                          "interrupted (watch a run in progress)")
+    top.add_argument("--interval", type=float, default=0.5, metavar="S",
+                     help="poll/repaint interval in seconds "
+                          "(default 0.5)")
+    top.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="with --follow, stop after S seconds")
+    top.set_defaults(func=_cmd_top)
+
     runs = sub.add_parser(
         "runs",
         help="inspect the persistent run ledger",
@@ -923,6 +1046,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_spans(writer, trace_path: str, what: str) -> int | None:
+    """Export the finished span tree; None means the write failed."""
+    from repro import obs
+
+    try:
+        return writer(obs.get_tracer(), trace_path)
+    except OSError as exc:
+        print(f"repro-gap: cannot write {what}: {exc}", file=sys.stderr)
+        return None
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     from repro.obs import ledger as run_ledger
@@ -930,36 +1064,113 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
+    chrome_path = getattr(args, "trace_chrome", None)
     profile = getattr(args, "profile", False)
+    events_path = getattr(args, "events", None)
+    live_flag = bool(getattr(args, "live", False))
+    heartbeat_s = getattr(args, "heartbeat_s", None)
+    stall_timeout = getattr(args, "stall_timeout", None)
     run_ledger.configure(getattr(args, "runs_dir", None))
     run_ledger.set_enabled(not getattr(args, "no_ledger", False))
+    capture = bool(trace_path or chrome_path or profile)
+    streaming = bool(live_flag or events_path is not None
+                     or heartbeat_s is not None
+                     or stall_timeout is not None)
+    dashboard = None
+    stall_errors: tuple = ()
+    if streaming:
+        from repro.obs import live as obs_live
+        from repro.par.sweep import SweepStallError
+
+        stall_errors = (SweepStallError,)
+        if heartbeat_s is not None or stall_timeout is not None:
+            obs_live.configure_watch(
+                heartbeat_s=(heartbeat_s if heartbeat_s is not None
+                             else obs_live.DEFAULT_HEARTBEAT_S),
+                stall_timeout_s=stall_timeout,
+            )
+        bus = obs_live.enable(jsonl=events_path)
+        if live_flag:
+            dashboard = obs_live.Dashboard()
+            bus.add_callback(dashboard)
     try:
-        if trace_path or profile:
+        if capture:
             from repro import obs
 
             obs.enable()
-            try:
-                code = args.func(args)
-            finally:
+        try:
+            code = args.func(args)
+        except stall_errors as exc:
+            # A worker went silent past --stall-timeout: report the
+            # structured diagnostic instead of hanging (exit 4).
+            print(f"repro-gap: {exc}", file=sys.stderr)
+            for report in getattr(exc, "reports", []):
+                print(f"repro-gap:   {report.get('source', '?')}: "
+                      f"silent {report.get('silent_s', 0.0):.2f} s "
+                      f"(task {report.get('task', '?')!r}, last event "
+                      f"{report.get('last_kind', '?')!r})",
+                      file=sys.stderr)
+            return 4
+        finally:
+            if capture:
+                from repro import obs
+
                 obs.disable()
+        if capture:
+            from repro import obs
+
             if trace_path:
-                try:
-                    spans = obs.write_trace(obs.get_tracer(), trace_path)
-                except OSError as exc:
-                    print(f"repro-gap: cannot write trace: {exc}",
-                          file=sys.stderr)
+                spans = _write_spans(obs.write_trace, trace_path, "trace")
+                if spans is None:
                     return 1
                 print(f"wrote {spans} spans to {trace_path}",
                       file=sys.stderr)
+            if chrome_path:
+                spans = _write_spans(obs.write_chrome_trace, chrome_path,
+                                     "chrome trace")
+                if spans is None:
+                    return 1
+                print(f"wrote {spans} spans to {chrome_path} "
+                      "(chrome://tracing)", file=sys.stderr)
             if profile:
                 print()
                 print(obs.render_report())
-            return code
-        return args.func(args)
+        return code
     finally:
+        if streaming:
+            from repro.obs import live as obs_live
+
+            if dashboard is not None:
+                try:
+                    dashboard.stream.write(dashboard.final() + "\n")
+                    dashboard.stream.flush()
+                except OSError:
+                    pass
+            sink = obs_live.sink_path()
+            if sink:
+                print(f"wrote live events to {sink}", file=sys.stderr)
+            obs_live.disable()
         run_ledger.set_enabled(False)
         run_ledger.configure(None)
 
 
+def _entry() -> int:
+    """Console-script wrapper: exit quietly when stdout's pipe closes.
+
+    ``repro-gap top events.jsonl | head`` closes our stdout mid-print;
+    that is normal pipeline behaviour, not an error worth a traceback.
+    """
+    try:
+        return main()
+    except BrokenPipeError:
+        # Detach stdout so the interpreter's shutdown flush does not
+        # raise a second BrokenPipeError after we have handled this one.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_entry())

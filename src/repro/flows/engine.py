@@ -42,6 +42,7 @@ import os
 
 from repro import obs
 from repro.obs import ledger as run_ledger
+from repro.obs import live as obs_live
 from repro.flows import cache as stage_cache
 from repro.flows.options import FlowOptions, digest, options_fingerprint
 from repro.flows.results import FlowError, StageRecord
@@ -501,6 +502,11 @@ class FlowEngine:
                         wall_s=snap.record.wall_s,
                         cache_hit=True, fingerprint=fp,
                     ))
+                    obs_live.emit(
+                        "stage.done", f"flow.{ctx.flow}.{stage.name}",
+                        flow=ctx.flow, stage=stage.name, status="resumed",
+                        cache_hit=True,
+                    )
                     for key in stage.outputs:
                         key_fps[key] = fp
                     # Hooks already ran before the snapshot's successor
@@ -512,8 +518,23 @@ class FlowEngine:
                         name=stage.name, status="skipped", wall_s=0.0,
                         cache_hit=False, fingerprint=fp,
                     ))
+                    obs_live.emit(
+                        "stage.done", f"flow.{ctx.flow}.{stage.name}",
+                        flow=ctx.flow, stage=stage.name, status="skipped",
+                        cache_hit=False,
+                    )
                     continue
+                obs_live.emit(
+                    "stage.start", f"flow.{ctx.flow}.{stage.name}",
+                    flow=ctx.flow, stage=stage.name, index=index,
+                    total=len(order),
+                )
                 record = self._run_stage(ctx, runner, stage, fp, cache)
+                obs_live.emit(
+                    "stage.done", f"flow.{ctx.flow}.{stage.name}",
+                    flow=ctx.flow, stage=stage.name, status=record.status,
+                    wall_s=record.wall_s, cache_hit=record.cache_hit,
+                )
                 for key in stage.outputs:
                     key_fps[key] = fp
                 hook = self.graph.hooks.get(stage.name)
@@ -591,6 +612,10 @@ class FlowEngine:
                               cached=True):
                     pass
                 obs.count("flows.engine.cache_hits", stage=stage.name)
+                obs_live.emit(
+                    "stage.cache", f"flow.{ctx.flow}.{stage.name}",
+                    flow=ctx.flow, stage=stage.name, fingerprint=fp,
+                )
                 record = StageRecord(
                     name=stage.name, status="cached",
                     wall_s=time.perf_counter() - started,

@@ -44,6 +44,17 @@ def _sweep_point(task: tuple) -> FlowResult:
     return run(options, tech)
 
 
+def _point_metrics(result: FlowResult) -> dict:
+    """Per-point scalars for live ``task.done`` events (module-level so
+    pool workers can pickle it)."""
+    return {
+        "quoted_mhz": result.quoted_frequency_mhz,
+        "typical_mhz": result.typical_frequency_mhz,
+        "fo4_depth": result.fo4_depth,
+        "area_um2": result.area_um2,
+    }
+
+
 def run_flow_sweep(
     option_sets: Sequence[FlowOptions],
     tech: ProcessTechnology | None = None,
@@ -77,7 +88,8 @@ def run_flow_sweep(
         stage_cache.configure(cache_dir)
     tasks = [(options, tech, cache_dir) for options in option_sets]
     started = time.perf_counter()
-    results = run_sweep(_sweep_point, tasks, workers=workers, label=label)
+    results = run_sweep(_sweep_point, tasks, workers=workers, label=label,
+                        summarize=_point_metrics)
     if run_ledger.enabled():
         # One sweep-level record on top of the per-point flow records
         # (which the pool runner merged in from the workers).

@@ -9,12 +9,17 @@ speed unless someone is looking.
 """
 
 from repro.obs.clock import MONOTONIC, TickClock
+from repro.obs.events import Event, EventError, parse_event, read_events
 from repro.obs.export import (
     metrics_to_flat,
+    metrics_to_prom,
     report,
     span_to_dict,
+    trace_to_chrome,
     trace_to_jsonl,
+    write_chrome_trace,
     write_metrics,
+    write_prom,
     write_trace,
 )
 from repro.obs.instrument import (
@@ -35,6 +40,16 @@ from repro.obs.instrument import (
 from repro.obs.ledger import (
     RunLedger,
     RunRecord,
+)
+from repro.obs.live import (
+    Dashboard,
+    EventBus,
+    Heartbeat,
+    StallDetector,
+    StallReport,
+    Subscription,
+    SweepAggregate,
+    WatchConfig,
 )
 from repro.obs.metrics import (
     Counter,
@@ -59,8 +74,13 @@ __all__ = [
     "MONOTONIC",
     "NOOP_SPAN",
     "Counter",
+    "Dashboard",
+    "Event",
+    "EventBus",
+    "EventError",
     "Finding",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "MetricsRegistry",
     "ObsError",
@@ -69,9 +89,14 @@ __all__ = [
     "RunRecord",
     "Span",
     "SpanStats",
+    "StallDetector",
+    "StallReport",
+    "Subscription",
+    "SweepAggregate",
     "Thresholds",
     "TickClock",
     "Tracer",
+    "WatchConfig",
     "aggregate_spans",
     "count",
     "disable",
@@ -81,7 +106,10 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "metrics_to_flat",
+    "metrics_to_prom",
     "observe",
+    "parse_event",
+    "read_events",
     "render_report",
     "render_run",
     "render_span_tree",
@@ -90,8 +118,11 @@ __all__ = [
     "reset",
     "span",
     "span_to_dict",
+    "trace_to_chrome",
     "trace_to_jsonl",
     "traced",
+    "write_chrome_trace",
     "write_metrics",
+    "write_prom",
     "write_trace",
 ]

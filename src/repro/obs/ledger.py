@@ -87,6 +87,9 @@ class RunRecord:
         diagnostics: structured findings from the run.
         worker: True when the record was produced in a pool worker and
             merged into the parent ledger.
+        events_path: JSONL event-stream file the live bus was sinking
+            to while this run executed ("" when the bus was off) --
+            ``repro-gap top`` replays it.
     """
 
     kind: str
@@ -105,6 +108,7 @@ class RunRecord:
     spans: list = field(default_factory=list)
     diagnostics: list = field(default_factory=list)
     worker: bool = False
+    events_path: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -124,6 +128,7 @@ class RunRecord:
             "spans": self.spans,
             "diagnostics": self.diagnostics,
             "worker": self.worker,
+            "events_path": self.events_path,
         }
 
     @classmethod
@@ -153,6 +158,7 @@ class RunRecord:
             spans=list(payload.get("spans") or []),
             diagnostics=list(payload.get("diagnostics") or []),
             worker=bool(payload.get("worker", False)),
+            events_path=str(payload.get("events_path", "") or ""),
         )
 
     def stage_summary(self) -> str:
@@ -382,6 +388,13 @@ def record(rec: RunRecord) -> str | None:
     if not _enabled:
         return None
     finalize_identity(rec)
+    if not rec.events_path:
+        # Finalizer hook: runs executed under an active live-bus JSONL
+        # sink record where their event stream landed, so `runs show`
+        # can point `repro-gap top` at it.
+        from repro.obs import live as _live
+
+        rec.events_path = _live.sink_path() or ""
     if _buffer is not None:
         _buffer.append(rec.to_dict())
         return None

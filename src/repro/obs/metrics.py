@@ -9,7 +9,10 @@ observations, which is exact and cheap at this system's volumes
 
 from __future__ import annotations
 
+import math
 import threading
+import warnings
+from typing import Callable
 
 from repro.obs.trace import ObsError
 
@@ -22,6 +25,21 @@ DEFAULT_MAX_SERIES = 64
 
 def _label_key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+#: Live-telemetry hook: ``fn(kind, name, labels, value)`` called on
+#: every counter increment, gauge set, and histogram observation;
+#: installed by :func:`repro.obs.live.enable`.  One None check when no
+#: listener is installed.
+_metric_listener: Callable[[str, str, dict, float], None] | None = None
+
+
+def set_metric_listener(
+    listener: Callable[[str, str, dict, float], None] | None,
+) -> None:
+    """Install (or with None, remove) the metric-delta listener."""
+    global _metric_listener
+    _metric_listener = listener
 
 
 class _Metric:
@@ -76,6 +94,8 @@ class Counter(_Metric):
                     )
                 current = 0.0
             self._series[key] = float(current) + value
+        if _metric_listener is not None:
+            _metric_listener("counter", self.name, labels, value)
 
     def value(self, **labels: str) -> float:
         with self._lock:
@@ -98,6 +118,8 @@ class Gauge(_Metric):
                     f"label sets; label cardinality is unbounded"
                 )
             self._series[key] = float(value)
+        if _metric_listener is not None:
+            _metric_listener("gauge", self.name, labels, value)
 
     def value(self, **labels: str) -> float:
         with self._lock:
@@ -117,6 +139,8 @@ class Histogram(_Metric):
     def observe(self, value: float, **labels: str) -> None:
         series = self._series_for(labels, list)
         series.append(float(value))
+        if _metric_listener is not None:
+            _metric_listener("histogram", self.name, labels, value)
 
     def values(self, **labels: str) -> list[float]:
         with self._lock:
@@ -133,14 +157,25 @@ class Histogram(_Metric):
         return sum(values) / len(values) if values else 0.0
 
     def percentile(self, pct: float, **labels: str) -> float:
-        """Linearly interpolated percentile of the raw observations."""
+        """Linearly interpolated percentile of the raw observations.
+
+        An empty series has no percentiles: the result is NaN with a
+        :class:`RuntimeWarning` (not an exception -- a dashboard asking
+        for p95 of a series that has not observed yet is a display
+        problem, not a programming error).  A single-sample series
+        returns that sample for every percentile.
+        """
         if not 0.0 <= pct <= 100.0:
             raise ObsError("percentile must be within [0, 100]")
         values = sorted(self.values(**labels))
         if not values:
-            raise ObsError(
-                f"histogram {self.name!r} has no observations for {labels}"
+            warnings.warn(
+                f"histogram {self.name!r} has no observations for "
+                f"{labels}; percentile({pct:g}) is NaN",
+                RuntimeWarning,
+                stacklevel=2,
             )
+            return math.nan
         if len(values) == 1:
             return values[0]
         rank = pct / 100.0 * (len(values) - 1)

@@ -257,6 +257,9 @@ def render_run(record: "object") -> str:
     diagnostics = rec.get("diagnostics") or []
     if diagnostics:
         lines.append(f"  diagnostics: {len(diagnostics)}")
+    if rec.get("events_path"):
+        lines.append(f"  events: {rec['events_path']}  "
+                     f"(repro-gap top {rec['events_path']})")
     sections = []
     if rec.get("claims"):
         sections.append(render_claims(rec["claims"]))

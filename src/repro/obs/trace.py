@@ -25,6 +25,21 @@ class ObsError(ValueError):
 #: Attribute values a span accepts (JSON-representable scalars).
 AttrValue = Any  # int | float | str | bool
 
+#: Live-telemetry hook: ``fn(phase, span)`` with phase ``"open"`` or
+#: ``"close"``, installed by :func:`repro.obs.live.enable`.  Module
+#: level (not per tracer) so enabling the bus instruments whichever
+#: tracer is active, including pool workers' fresh ones; one None check
+#: when no listener is installed.
+_span_listener: Callable[[str, "Span"], None] | None = None
+
+
+def set_span_listener(
+    listener: Callable[[str, "Span"], None] | None,
+) -> None:
+    """Install (or with None, remove) the span open/close listener."""
+    global _span_listener
+    _span_listener = listener
+
 
 @dataclass
 class Span:
@@ -148,6 +163,8 @@ class Tracer:
         if attrs:
             span.set(**attrs)
         stack.append(span)
+        if _span_listener is not None:
+            _span_listener("open", span)
         return _SpanContext(self, span)
 
     def _finish(self, span: Span) -> None:
@@ -161,6 +178,8 @@ class Tracer:
         if span.parent is not None:
             with self._lock:
                 self._spans[span.parent].child_s += span.duration_s
+        if _span_listener is not None:
+            _span_listener("close", span)
 
     def wrap(
         self, name: str | None = None

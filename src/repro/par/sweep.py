@@ -1,4 +1,4 @@
-"""Deterministic process-pool sweep runner.
+"""Deterministic process-pool sweep runner with live event streaming.
 
 Fans a list of tasks across worker processes with three guarantees the
 Monte Carlo sampler and the design-space surveys rely on:
@@ -15,6 +15,26 @@ Monte Carlo sampler and the design-space surveys rely on:
   :meth:`repro.obs.trace.Tracer.adopt`, so ``--trace`` output stays
   complete under ``--workers N``.
 
+On top of those, the runner is the cross-process transport of the live
+telemetry layer (:mod:`repro.obs.live`).  When the live bus is enabled
+in the parent (or stall detection is requested), each worker gets its
+own bus whose events -- span open/close, flow-stage progress, task
+start/done, heartbeats -- are *forwarded over a multiprocessing queue
+as they happen*; the parent drains the queue between completion polls
+and re-sequences the events into its own bus, so dashboards and JSONL
+sinks see worker progress live instead of at ordered-reduce time.  The
+result path is unchanged: span adoption and ledger merging still run on
+the shipped-back lists, so traces and metrics are identical with the
+bus on or off.
+
+Worker liveness rides the same channel: a daemon :class:`~repro.obs.
+live.Heartbeat` thread in each worker publishes periodic beacons even
+while the worker's main thread is inside a solver, and the parent's
+:class:`~repro.obs.live.StallDetector` raises a structured
+:class:`SweepStallError` when a busy worker goes silent past the
+configured timeout -- a wedged worker becomes a diagnostic, not a hung
+sweep.
+
 When the run ledger is recording in the parent, workers are switched
 into *buffering* mode: run records they would have written (e.g. the
 flow records of a design-space sweep point) come back with the results
@@ -22,13 +42,16 @@ and are merged into the parent's ledger, marked ``worker=True`` -- one
 ledger regardless of worker count.
 
 ``workers <= 1`` (or a single task) short-circuits to a plain serial
-loop in-process -- no pool, no pickling -- which is also the fallback
-the tiny-container CI path exercises before turning workers on.
+loop in-process -- no pool, no pickling -- which still publishes the
+same per-task progress events when the bus is on.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import queue as _queue_mod
+import time
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -36,10 +59,40 @@ import numpy as np
 from repro import obs
 from repro.obs import instrument as _instrument
 from repro.obs import ledger as _ledger
+from repro.obs import live as _live
+from repro.obs.events import Event
 
 
 class SweepError(ValueError):
     """Raised for invalid sweep configuration."""
+
+
+class SweepStallError(RuntimeError):
+    """A pool worker went silent past the stall timeout.
+
+    Attributes:
+        reports: structured :class:`~repro.obs.live.StallReport` dicts,
+            worst (longest-silent) first.
+    """
+
+    def __init__(self, message: str, reports: list[dict]) -> None:
+        super().__init__(message)
+        self.reports = reports
+
+
+#: Sentinel: "read this knob from repro.obs.live.watch_config()".
+_WATCH_DEFAULT = object()
+
+#: Parent-side completion poll interval while draining worker events.
+_POLL_S = 0.05
+
+#: Event kinds not forwarded across the worker queue.  Metric deltas
+#: fire per observation inside hot solver loops; streaming each one
+#: through a multiprocessing queue would cost more than the metric is
+#: worth, and worker metrics were never merged into the parent registry
+#: anyway.  Everything coarser (spans, stages, tasks, heartbeats) goes
+#: through.
+FORWARD_SKIP_KINDS = frozenset({"metric.delta"})
 
 
 def task_seeds(seed: int, count: int) -> list[int]:
@@ -55,18 +108,210 @@ def task_seeds(seed: int, count: int) -> list[int]:
     return [int(child.generate_state(2, np.uint64)[0]) for child in children]
 
 
+# ---------------------------------------------------------------------------
+# Worker side.
+
+#: Per-worker-process live state set up by :func:`_pool_init`.
+_worker_heartbeat: _live.Heartbeat | None = None
+
+
+def _pool_init(event_queue: Any, heartbeat_s: float | None) -> None:
+    """Pool initializer: wire this worker's bus to the parent queue.
+
+    Runs once per worker process.  The worker gets a fresh bus labelled
+    ``worker-<pid>`` whose events are forwarded (minus the kinds in
+    :data:`FORWARD_SKIP_KINDS`) into the parent's queue, plus an
+    optional heartbeat beacon thread.
+    """
+    global _worker_heartbeat
+    if event_queue is None:
+        return
+    bus = _live.enable(source=f"worker-{os.getpid()}", fresh=True)
+
+    def forward(payload: dict) -> None:
+        if payload.get("kind") not in FORWARD_SKIP_KINDS:
+            event_queue.put_nowait(payload)
+
+    bus.set_forward(forward)
+    _worker_heartbeat = None
+    if heartbeat_s is not None and heartbeat_s > 0:
+        _worker_heartbeat = _live.Heartbeat(bus, heartbeat_s).start()
+
+
+def _task_metrics(summarize: Callable[[Any], dict] | None,
+                  result: Any) -> dict:
+    """Safe ``m.<key>`` attrs for a task.done event."""
+    if summarize is None:
+        return {}
+    try:
+        summary = summarize(result)
+    except Exception:
+        return {}
+    return {
+        f"m.{key}": float(value)
+        for key, value in summary.items()
+        if isinstance(value, (int, float))
+    }
+
+
 def _pool_task(payload: tuple) -> tuple[Any, list | None, list | None]:
-    """Worker-side wrapper: run one task; capture spans and buffer run
-    records if the parent asked for them."""
-    fn, task, capture, ledger_on = payload
+    """Worker-side wrapper: run one task; capture spans, buffer run
+    records, and publish task progress events if the parent asked."""
+    fn, task, index, label, capture, ledger_on, summarize = payload
     if ledger_on:
         _ledger.enable_buffering()
     if capture:
         _instrument.enable(fresh=True)
-    result = fn(task)
+    if _worker_heartbeat is not None:
+        _worker_heartbeat.set_task(index)
+    _live.emit("task.start", label, index=index)
+    started = time.perf_counter()
+    try:
+        result = fn(task)
+    except BaseException:
+        _live.emit("task.done", label, index=index, error=True,
+                   wall_s=time.perf_counter() - started)
+        if _worker_heartbeat is not None:
+            _worker_heartbeat.set_task(None)
+        raise
+    _live.emit(
+        "task.done", label, index=index,
+        wall_s=time.perf_counter() - started,
+        **_task_metrics(summarize, result),
+    )
+    if _worker_heartbeat is not None:
+        _worker_heartbeat.set_task(None)
     spans = obs.get_tracer().finished() if capture else None
     records = _ledger.drain_buffer() if ledger_on else None
     return result, spans, records
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+
+def _resolve_watch(heartbeat_s: Any, stall_timeout_s: Any):
+    """Apply :func:`repro.obs.live.watch_config` defaults to the knobs."""
+    config = _live.watch_config()
+    if heartbeat_s is _WATCH_DEFAULT:
+        heartbeat_s = config.heartbeat_s
+    if stall_timeout_s is _WATCH_DEFAULT:
+        stall_timeout_s = config.stall_timeout_s
+    if stall_timeout_s is not None and stall_timeout_s <= 0:
+        raise SweepError("stall timeout must be positive")
+    return heartbeat_s, stall_timeout_s
+
+
+class _StreamMonitor:
+    """Parent-side event pump: drain, re-sequence, detect stalls.
+
+    Owns the per-sweep progress state (done counts, ETA) and the stall
+    detector; :meth:`pump` is called between completion polls and after
+    the pool drains.
+    """
+
+    def __init__(self, label: str, total: int,
+                 stall_timeout_s: float | None) -> None:
+        self.label = label
+        self.total = total
+        self.done = 0
+        self.started = time.monotonic()
+        self.detector = (
+            _live.StallDetector(stall_timeout_s)
+            if stall_timeout_s is not None else None
+        )
+
+    def pump(self, event_queue: Any) -> None:
+        """Drain pending worker events into the parent bus."""
+        progressed = False
+        while True:
+            try:
+                payload = event_queue.get_nowait()
+            except _queue_mod.Empty:
+                break
+            if _live.enabled():
+                event = _live.get_bus().ingest(payload)
+            else:
+                try:
+                    event = Event.from_dict(payload)
+                except ValueError:
+                    event = None
+            if event is None:
+                continue
+            if self.detector is not None:
+                self.detector.note(event)
+            # Only this sweep's own completions count: a task's flow can
+            # run nested serial sweeps whose task.done events share the
+            # stream but carry their own label.
+            if event.kind == "task.done" and event.name == self.label:
+                self.done += 1
+                progressed = True
+        if progressed and _live.enabled():
+            elapsed = time.monotonic() - self.started
+            attrs: dict = {"done": self.done, "total": self.total}
+            if 0 < self.done < self.total:
+                attrs["eta_s"] = (elapsed / self.done
+                                  * (self.total - self.done))
+            _live.emit("sweep.progress", self.label, **attrs)
+
+    def final_pump(self, event_queue: Any, grace_s: float = 0.5) -> None:
+        """Drain the tail of the stream after the pool finishes.
+
+        Results arriving via the pool do not imply the event queue is
+        empty -- the workers' feeder threads race the result path -- so
+        keep draining briefly until every task completion has been seen
+        (or the grace period ends; the stream is advisory, results
+        never wait on it past that).
+        """
+        deadline = time.monotonic() + grace_s
+        self.pump(event_queue)
+        while self.done < self.total and time.monotonic() < deadline:
+            time.sleep(0.005)
+            self.pump(event_queue)
+
+    def check_stalls(self) -> None:
+        """Raise :class:`SweepStallError` if a busy worker went silent."""
+        if self.detector is None:
+            return
+        stalled = self.detector.check()
+        if not stalled:
+            return
+        for report in stalled:
+            _live.emit("stall", report.source,
+                       detail=report.describe(), **report.to_dict())
+        raise SweepStallError(
+            f"sweep {self.label!r}: {stalled[0].describe()} "
+            f"(stall timeout {self.detector.timeout_s:g} s; "
+            f"{self.done}/{self.total} tasks done)",
+            reports=[report.to_dict() for report in stalled],
+        )
+
+
+def _run_serial(fn: Callable[[Any], Any], items: Sequence[Any],
+                label: str,
+                summarize: Callable[[Any], dict] | None) -> list[Any]:
+    """In-process loop, publishing the same progress events as a pool."""
+    results = []
+    streaming = _live.enabled()
+    started = time.monotonic()
+    for index, task in enumerate(items):
+        if streaming:
+            _live.emit("task.start", label, index=index)
+        task_started = time.perf_counter()
+        result = fn(task)
+        results.append(result)
+        if streaming:
+            _live.emit(
+                "task.done", label, index=index,
+                wall_s=time.perf_counter() - task_started,
+                **_task_metrics(summarize, result),
+            )
+            attrs: dict = {"done": index + 1, "total": len(items)}
+            if index + 1 < len(items):
+                elapsed = time.monotonic() - started
+                attrs["eta_s"] = (elapsed / (index + 1)
+                                  * (len(items) - index - 1))
+            _live.emit("sweep.progress", label, **attrs)
+    return results
 
 
 def run_sweep(
@@ -74,6 +319,9 @@ def run_sweep(
     tasks: Iterable[Any],
     workers: int = 1,
     label: str = "par.sweep",
+    summarize: Callable[[Any], dict] | None = None,
+    heartbeat_s: Any = _WATCH_DEFAULT,
+    stall_timeout_s: Any = _WATCH_DEFAULT,
 ) -> list[Any]:
     """Map ``fn`` over ``tasks``, optionally across worker processes.
 
@@ -81,29 +329,73 @@ def run_sweep(
         fn: picklable task function (module-level callable).
         tasks: task inputs; materialised up front for ordered dispatch.
         workers: process count; <= 1 runs serially in-process.
-        label: span name the sweep is recorded under.
+        label: span name the sweep is recorded under (also the ``name``
+            of its task/progress events).
+        summarize: optional picklable ``result -> {key: scalar}`` hook;
+            its values ride each ``task.done`` event as ``m.<key>``
+            attrs and feed the live running aggregates
+            (:func:`repro.obs.live.get_aggregate`).
+        heartbeat_s: worker heartbeat interval in seconds; None
+            disables the beacon.  Defaults to the process-wide
+            :func:`repro.obs.live.watch_config`.
+        stall_timeout_s: raise :class:`SweepStallError` when a busy
+            worker sends no event (heartbeats included) for this many
+            seconds; None disables detection.  Defaults to the
+            process-wide watch config.
 
     Returns:
         ``[fn(t) for t in tasks]`` in task order, regardless of
         ``workers``.
+
+    Raises:
+        SweepStallError: stall detection was armed and a worker went
+            silent past the timeout; the pool is terminated.
     """
     if workers < 0:
         raise SweepError("workers must be non-negative")
+    heartbeat_s, stall_timeout_s = _resolve_watch(
+        heartbeat_s, stall_timeout_s
+    )
     items: Sequence[Any] = list(tasks)
     capture = obs.enabled()
     with obs.span(label, tasks=len(items), workers=max(workers, 1)):
         obs.count("par.sweep.runs")
         obs.count("par.sweep.tasks", len(items))
         if workers <= 1 or len(items) <= 1:
-            return [fn(task) for task in items]
+            return _run_serial(fn, items, label, summarize)
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
         ledger_on = _ledger.enabled()
-        payloads = [(fn, task, capture, ledger_on) for task in items]
-        with ctx.Pool(processes=workers) as pool:
-            raw = pool.map(_pool_task, payloads)
+        payloads = [
+            (fn, task, index, label, capture, ledger_on, summarize)
+            for index, task in enumerate(items)
+        ]
+        # The streaming transport only exists when someone is watching:
+        # with the bus off and no stall policy, the pool path is
+        # byte-for-byte the old one (no queue, no initializer).
+        streaming = _live.enabled() or stall_timeout_s is not None
+        event_queue = ctx.Queue() if streaming else None
+        pool_kwargs: dict = {"processes": workers}
+        if streaming:
+            pool_kwargs.update(
+                initializer=_pool_init,
+                initargs=(event_queue, heartbeat_s),
+            )
+        with ctx.Pool(**pool_kwargs) as pool:
+            if not streaming:
+                raw = pool.map(_pool_task, payloads)
+            else:
+                monitor = _StreamMonitor(label, len(items),
+                                         stall_timeout_s)
+                pending = pool.map_async(_pool_task, payloads)
+                while not pending.ready():
+                    monitor.pump(event_queue)
+                    monitor.check_stalls()
+                    pending.wait(_POLL_S)
+                monitor.final_pump(event_queue)
+                raw = pending.get()
         results = []
         tracer = obs.get_tracer()
         for result, spans, records in raw:

@@ -170,6 +170,85 @@ class TestObservabilityFlags:
         assert flat["sta.analyze.calls"] > 0
         assert "sta.solve_min_period.iterations.p50" in flat
 
+    def test_stats_prom_stdout_and_file(self, tmp_path, capsys):
+        assert main(["stats", "--bits", "4", "--sizing-moves", "2",
+                     "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sta_analyze_calls_total counter" in out
+        assert "_bucket{le=" in out
+        target = tmp_path / "m.prom"
+        assert main(["stats", "--bits", "4", "--sizing-moves", "2",
+                     "--prom", str(target)]) == 0
+        text = target.read_text()
+        # Second run replays stages from cache, so assert on metrics
+        # that exist either way rather than per-stage counters.
+        assert "# TYPE" in text and "_total" in text
+        assert f"{len(text.splitlines())} Prometheus" \
+            in capsys.readouterr().out
+
+
+class TestLiveTelemetryFlags:
+    def test_events_stream_and_top(self, tmp_path, capsys):
+        from repro.obs.events import read_events
+
+        stream = tmp_path / "ev.jsonl"
+        assert main(["--events", str(stream), "flow", "asic",
+                     "--bits", "4", "--sizing-moves", "2"]) == 0
+        capsys.readouterr()
+        events = list(read_events(str(stream)))
+        kinds = {e.kind for e in events}
+        assert "stage.start" in kinds and "stage.done" in kinds
+        # A second terminal replays the stream into a dashboard.
+        assert main(["top", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "live telemetry" in out
+        assert "flow asic" in out
+
+    def test_top_missing_stream_errors(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "absent.jsonl")]) == 1
+        assert "no event stream" in capsys.readouterr().err
+
+    def test_live_dashboard_written_to_stderr(self, capsys):
+        assert main(["--live", "variation", "--count", "2000",
+                     "--workers", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "live telemetry" in err
+
+    def test_trace_chrome_export(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["flow", "asic", "--bits", "4",
+                     "--sizing-moves", "2",
+                     "--trace-chrome", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        assert "flow.asic.sta" in names
+        assert "chrome" in capsys.readouterr().err
+
+    def test_stall_timeout_exits_4_with_diagnostic(self, capsys,
+                                                   monkeypatch):
+        from repro import cli as cli_mod
+        from repro.par.sweep import SweepStallError
+
+        def stalling(args):
+            raise SweepStallError("sweep 'x': worker silent", reports=[
+                {"source": "worker-1", "silent_s": 0.5, "task": "2",
+                 "last_kind": "task.start"},
+            ])
+
+        monkeypatch.setattr(cli_mod, "_cmd_survey", stalling)
+        assert main(["--stall-timeout", "0.5", "survey"]) == 4
+        err = capsys.readouterr().err
+        assert "worker-1" in err
+        assert "silent 0.50 s" in err
+
+    def test_live_disabled_after_cli_run(self, tmp_path):
+        from repro.obs import live
+
+        assert main(["--events", str(tmp_path / "e.jsonl"),
+                     "survey"]) == 0
+        assert not live.enabled()
+
 
 class TestFlowEngineFlags:
     def test_list_stages_without_style_shows_both(self, capsys):

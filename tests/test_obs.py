@@ -159,8 +159,27 @@ class TestMetrics:
         hist.observe(1.0)
         with pytest.raises(ObsError):
             hist.percentile(101)
-        with pytest.raises(ObsError):
-            hist.percentile(50, missing="label")
+
+    def test_histogram_percentile_empty_is_nan_with_warning(self):
+        import math
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("ms")
+        with pytest.warns(RuntimeWarning, match="no observations"):
+            value = hist.percentile(50)
+        assert math.isnan(value)
+        # An unseen label series is just as empty.
+        hist.observe(1.0)
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(hist.percentile(50, missing="label"))
+
+    def test_histogram_percentile_single_sample(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("ms")
+        hist.observe(7.5)
+        assert hist.percentile(0) == 7.5
+        assert hist.percentile(50) == 7.5
+        assert hist.percentile(100) == 7.5
 
     def test_label_cardinality_bounded(self):
         reg = MetricsRegistry(max_series=4)
@@ -240,6 +259,60 @@ class TestExport:
     def test_empty_report(self):
         text = obs.report(Tracer(), MetricsRegistry())
         assert "no observability data" in text
+
+    def test_chrome_trace_shape(self):
+        tracer, _ = self._traced_run()
+        doc = json.loads(obs.trace_to_chrome(tracer))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        assert [e["name"] for e in complete] == [
+            "flow", "flow.map", "flow.sta",
+        ]
+        # TickClock ticks once per start/stop: flow spans ticks 0..5.
+        flow = complete[0]
+        assert flow["ts"] == 0
+        assert flow["dur"] == pytest.approx(5e6)  # 5 s in microseconds
+        assert flow["args"] == {"bits": 8}
+        assert all(e["pid"] == 0 for e in complete)
+        assert meta and meta[0]["name"] == "thread_name"
+
+    def test_chrome_trace_deterministic_and_written(self, tmp_path):
+        first = obs.trace_to_chrome(self._traced_run()[0])
+        second = obs.trace_to_chrome(self._traced_run()[0])
+        assert first == second
+        out = tmp_path / "trace.json"
+        assert obs.write_chrome_trace(self._traced_run()[0],
+                                      str(out)) == 3
+        json.loads(out.read_text())
+
+    def test_prometheus_exposition(self):
+        _, reg = self._traced_run()
+        text = obs.metrics_to_prom(reg)
+        assert '# TYPE sta_calls_total counter' in text
+        assert 'sta_calls_total{stage="size"} 3.0' in text
+        assert "# TYPE samples_per_sec gauge" in text
+        assert "samples_per_sec 1000000.0" in text
+        assert "# TYPE sta_ms histogram" in text
+        assert 'sta_ms_bucket{le="+Inf"} 1' in text
+        assert "sta_ms_sum 1.5" in text
+        assert "sta_ms_count 1" in text
+        # Exposition format: every line is a comment or name[{..}] value.
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2
+
+    def test_prometheus_label_escaping(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("odd.name").inc(1.0, path='a"b\\c', note="x\ny")
+        text = obs.metrics_to_prom(reg)
+        assert 'odd_name_total{note="x\\ny",path="a\\"b\\\\c"} 1.0' \
+            in text
+        out = tmp_path / "metrics.prom"
+        assert obs.write_prom(reg, str(out)) == len(
+            out.read_text().splitlines()
+        )
 
 
 class TestGlobalSwitch:

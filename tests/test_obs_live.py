@@ -1,0 +1,452 @@
+"""Tests for the live telemetry layer (repro.obs.live + transport).
+
+The contracts under test: bus sequencing and delivery (subscriptions,
+callbacks, forward hook, JSONL sink), the tracer/metrics listener
+integration, heartbeats and stall detection, the sweep runner's
+cross-process event streaming (events from pool workers arrive *while*
+``run_sweep`` is still running, and the merged trace/metrics are
+byte-identical with the bus on or off), and the dashboard's state
+folding.
+"""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import TickClock, metrics_to_flat, trace_to_jsonl
+from repro.obs import live
+from repro.obs.events import Event, EventError, parse_event, read_events
+from repro.par.sweep import SweepStallError, run_sweep
+
+
+@pytest.fixture(autouse=True)
+def _clean_live_and_obs():
+    """Every test starts and ends with both layers off and empty."""
+    live.disable()
+    live.configure_watch()
+    live.get_aggregate().reset()
+    obs.disable()
+    obs.reset()
+    yield
+    live.disable()
+    live.configure_watch()
+    live.get_aggregate().reset()
+    obs.disable()
+    obs.reset()
+
+
+def _ev(kind, name, source="main", **attrs):
+    return Event(kind=kind, name=name, source=source, attrs=attrs)
+
+
+class TestEvent:
+    def test_round_trip_and_json(self):
+        event = Event(kind="task.done", name="s", seq=4, ts=1.25,
+                      source="worker-7", source_seq=2,
+                      attrs={"index": 1, "wall_s": 0.5})
+        again = Event.from_dict(event.to_dict())
+        assert again == event
+        assert parse_event(event.to_json()) == event
+
+    def test_source_seq_omitted_when_native(self):
+        event = Event(kind="log", name="x", seq=3, source_seq=3)
+        assert "source_seq" not in event.to_dict()
+        assert Event.from_dict(event.to_dict()).source_seq == 3
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(EventError):
+            Event.from_dict({"name": "no kind"})
+        with pytest.raises(EventError):
+            Event.from_dict("not a dict")
+        with pytest.raises(EventError):
+            parse_event("{broken json")
+
+    def test_read_events_skips_bad_and_partial_tail(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        path.write_text(
+            Event(kind="log", name="ok", seq=1).to_json() + "\n"
+            + "{not json}\n"
+            + '{"kind": "log", "name": "mid-write tail"'
+        )
+        assert [e.name for e in read_events(str(path))] == ["ok"]
+        with pytest.raises(EventError):
+            list(read_events(str(path), skip_bad=False))
+
+
+class TestEventBus:
+    def test_publish_assigns_monotonic_seq_and_clock(self):
+        bus = live.EventBus(clock=TickClock())
+        sub = bus.subscribe()
+        bus.publish("log", "a")
+        bus.publish("log", "b", note=1)
+        events = sub.drain()
+        assert [e.seq for e in events] == [1, 2]
+        assert [e.ts for e in events] == [0.0, 1.0]
+        assert events[1].attrs == {"note": 1}
+        assert events[0].source_seq == events[0].seq
+
+    def test_subscription_bounded_drops_oldest(self):
+        bus = live.EventBus()
+        sub = bus.subscribe(maxlen=3)
+        for i in range(5):
+            bus.publish("log", f"e{i}")
+        assert sub.dropped == 2
+        assert [e.name for e in sub.drain()] == ["e2", "e3", "e4"]
+        assert len(sub) == 0
+        assert bus.stats()["dropped"] == 2
+
+    def test_ingest_resequences_but_keeps_origin(self):
+        bus = live.EventBus()
+        bus.publish("log", "local")
+        event = bus.ingest({"kind": "task.done", "name": "s", "seq": 7,
+                            "source": "worker-9", "ts": 1.5})
+        assert event.seq == 2
+        assert event.source == "worker-9"
+        assert event.source_seq == 7
+        assert bus.ingest({"name": "kindless"}) is None
+
+    def test_broken_callback_does_not_break_publish(self):
+        bus = live.EventBus()
+        bus.add_callback(lambda e: 1 / 0)
+        sub = bus.subscribe()
+        bus.publish("log", "x")
+        assert len(sub) == 1
+
+    def test_forward_hook_gets_dicts_and_dies_on_error(self):
+        bus = live.EventBus()
+        seen = []
+        bus.set_forward(seen.append)
+        bus.publish("log", "a")
+
+        def broken(payload):
+            raise OSError("queue gone")
+
+        bus.set_forward(broken)
+        bus.publish("log", "b")  # hook raises once, then is dropped
+        bus.publish("log", "c")
+        assert [p["name"] for p in seen] == ["a"]
+        assert isinstance(seen[0], dict)
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        bus = live.EventBus(clock=TickClock())
+        bus.attach_jsonl(path)
+        assert bus.sink_path == path
+        bus.publish("log", "one", note="a")
+        bus.publish("log", "two")
+        bus.detach_jsonl()
+        assert bus.sink_path is None
+        events = list(read_events(path))
+        assert [e.name for e in events] == ["one", "two"]
+        assert [e.seq for e in events] == [1, 2]
+        assert events[0].attrs == {"note": "a"}
+
+
+class TestListenerIntegration:
+    def test_span_and_metric_events_published(self):
+        obs.enable()
+        sub = live.enable().subscribe()
+        with obs.span("stage.x", cells=4):
+            obs.count("calls", 2.0)
+        obs.gauge("speed", 5.0)
+        events = sub.drain()
+        kinds = [(e.kind, e.name) for e in events]
+        assert ("span.open", "stage.x") in kinds
+        assert ("span.close", "stage.x") in kinds
+        assert ("metric.delta", "calls") in kinds
+        assert ("metric.delta", "speed") in kinds
+        close = next(e for e in events if e.kind == "span.close")
+        assert "duration_ms" in close.attrs
+
+    def test_disable_unhooks_listeners(self):
+        obs.enable()
+        sub = live.enable().subscribe()
+        live.disable()
+        with obs.span("quiet"):
+            obs.count("calls")
+        assert sub.drain() == []
+        assert not live.enabled()
+        live.emit("log", "nothing")  # no-op when off, must not raise
+
+    def test_cross_thread_spans_interleave_with_consistent_stacks(self):
+        obs.enable()
+        sub = live.enable().subscribe()
+        barrier = threading.Barrier(2)
+
+        def work(tag):
+            barrier.wait()
+            for _ in range(10):
+                with obs.span(f"{tag}.outer"):
+                    with obs.span(f"{tag}.inner"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",),
+                             name=f"lane-{i}")
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = sub.drain()
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)  # strictly monotonic merge
+        opens = [e for e in events if e.kind == "span.open"]
+        assert len(opens) == 40
+        for lane in ("lane-0", "lane-1"):
+            depths = [e.attrs["depth"] for e in opens
+                      if e.attrs["thread"] == lane]
+            # Each thread's own stack stays outer(0)/inner(1) however
+            # the two streams interleave on the shared bus.
+            assert depths == [0, 1] * 10
+        assert len(obs.get_tracer().finished()) == 40
+
+
+class TestFlowEngineEvents:
+    def test_stages_publish_start_done_and_cache(self):
+        from repro.flows import AsicFlowOptions, run_asic_flow
+
+        sub = live.enable().subscribe()
+        options = AsicFlowOptions(bits=4, sizing_moves=2)
+        run_asic_flow(options)
+        events = sub.drain()
+        starts = [e for e in events if e.kind == "stage.start"]
+        dones = [e for e in events if e.kind == "stage.done"]
+        assert len(starts) == len(dones) >= 6
+        assert starts[0].attrs["flow"] == "asic"
+        assert starts[0].attrs["total"] == len(starts)
+        assert all(e.attrs["status"] == "ok" for e in dones)
+        # Same options again: the stage cache replays, and each replay
+        # announces itself both ways.
+        run_asic_flow(options)
+        events = sub.drain()
+        cached = [e for e in events if e.kind == "stage.cache"]
+        replayed = [e for e in events if e.kind == "stage.done"
+                    and e.attrs.get("cache_hit")]
+        assert cached and replayed
+
+
+class TestHeartbeat:
+    def test_beacon_reports_task_and_busy_time(self):
+        bus = live.EventBus(source="w")
+        sub = bus.subscribe()
+        beacon = live.Heartbeat(bus, 0.02).start()
+        try:
+            beacon.set_task(3)
+            time.sleep(0.1)
+        finally:
+            beacon.stop()
+        beats = [e for e in sub.drain() if e.kind == "heartbeat"]
+        assert beats
+        tasked = [b for b in beats if b.attrs.get("task") == "3"]
+        assert tasked
+        assert tasked[-1].attrs["busy_s"] >= 0.0
+        count = len(beats)
+        time.sleep(0.06)  # stopped: no further beats
+        assert len([e for e in sub.drain()
+                    if e.kind == "heartbeat"]) == 0
+        assert count >= 2
+
+
+class TestStallDetector:
+    def test_flags_silent_busy_worker_worst_first(self):
+        now = [0.0]
+        detector = live.StallDetector(1.0, clock=lambda: now[0])
+        detector.note(_ev("task.start", "s", source="w1", index=5))
+        detector.note(_ev("task.start", "s", source="w2", index=6))
+        now[0] = 0.5
+        detector.note(_ev("heartbeat", "w2", source="w2", task="6"))
+        now[0] = 1.2
+        reports = detector.check()  # w1 silent 1.2 s; w2 only 0.7 s
+        assert [r.source for r in reports] == ["w1"]
+        assert reports[0].task == "5"
+        assert reports[0].last_kind == "task.start"
+        assert "w1" in reports[0].describe()
+        now[0] = 2.0
+        assert [r.source for r in detector.check()] == ["w1", "w2"]
+
+    def test_idle_workers_never_stall(self):
+        now = [0.0]
+        detector = live.StallDetector(0.5, clock=lambda: now[0])
+        detector.note(_ev("task.start", "s", source="w1", index=0))
+        detector.note(_ev("task.done", "s", source="w1", index=0))
+        now[0] = 10.0
+        assert detector.check() == []
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            live.StallDetector(0.0)
+
+
+class TestSweepAggregate:
+    def test_folds_task_metrics_incrementally(self):
+        aggregate = live.SweepAggregate()
+        for value in (3.0, 1.0, 2.0):
+            aggregate(_ev("task.done", "s", **{"m.mhz": value,
+                                               "m.note": "text"}))
+        aggregate(_ev("heartbeat", "w"))  # ignored kind
+        assert aggregate.done == 3
+        snap = aggregate.snapshot()
+        assert set(snap) == {"mhz"}  # non-numeric attrs dropped
+        assert snap["mhz"] == {"count": 3, "min": 1.0, "median": 2.0,
+                               "max": 3.0, "mean": 2.0}
+        aggregate.reset()
+        assert aggregate.done == 0 and aggregate.snapshot() == {}
+
+
+def square(x):
+    """Top-level so it pickles into pool workers."""
+    return x * x
+
+
+def square_metrics(result):
+    return {"sq": result}
+
+
+def deterministic_traced(x):
+    """Worker task with a fake clock: spans are byte-reproducible."""
+    obs.get_tracer().clock = TickClock(start=1000.0 * x)
+    with obs.span("det.task", x=x):
+        obs.count("det.calls")
+    return x
+
+
+def slow_second_task(x):
+    if x == 1:
+        time.sleep(0.5)
+    return x
+
+
+class TestSweepStreaming:
+    def test_serial_sweep_publishes_progress_and_aggregates(self):
+        sub = live.enable().subscribe()
+        run_sweep(square, [1, 2, 3], workers=1, label="s",
+                  summarize=square_metrics)
+        kinds = [e.kind for e in sub.drain()]
+        assert kinds.count("task.start") == 3
+        assert kinds.count("task.done") == 3
+        assert kinds.count("sweep.progress") == 3
+        assert live.get_aggregate().snapshot()["sq"]["max"] == 9.0
+
+    def test_worker_events_arrive_before_run_sweep_returns(self):
+        bus = live.enable()
+        streamed_during_run = []
+
+        def witness(event):
+            if event.source.startswith("worker-"):
+                streamed_during_run.append(event.kind)
+
+        bus.add_callback(witness)
+        results = run_sweep(square, list(range(8)), workers=2,
+                            label="live.sweep", summarize=square_metrics,
+                            heartbeat_s=0.02)
+        # The callback only ever fires inside run_sweep's drain loop --
+        # anything recorded proves streaming, not post-hoc merging.
+        assert results == [x * x for x in range(8)]
+        assert "task.done" in streamed_during_run
+        assert live.get_aggregate().snapshot()["sq"]["count"] == 8
+        stats = bus.stats()["by_kind"]
+        assert stats["task.done"] == 8
+        assert stats["sweep.progress"] >= 1
+
+    def test_trace_and_metrics_identical_with_bus_on_and_off(self):
+        def run_once():
+            obs.enable()
+            obs.get_tracer().clock = TickClock()
+            results = run_sweep(deterministic_traced, [1, 2, 3, 4],
+                                workers=2, label="det.sweep")
+            trace = trace_to_jsonl(obs.get_tracer())
+            flat = metrics_to_flat(obs.get_metrics())
+            obs.disable()
+            obs.reset()
+            return results, trace, flat
+
+        baseline = run_once()          # bus off: the plain pool path
+        live.enable()
+        with_bus = run_once()          # bus on: streaming transport
+        live.disable()
+        assert with_bus == baseline
+        assert '"det.task"' in baseline[1]
+
+    def test_stall_raises_structured_error(self):
+        with pytest.raises(SweepStallError) as info:
+            run_sweep(slow_second_task, [0, 1, 2, 3], workers=2,
+                      label="stall.sweep", heartbeat_s=None,
+                      stall_timeout_s=0.12)
+        report = info.value.reports[0]
+        assert report["source"].startswith("worker-")
+        assert report["silent_s"] > 0.12
+        assert "silent" in str(info.value)
+
+    def test_heartbeat_keeps_slow_worker_alive(self):
+        # Same slow task, longer than the stall timeout -- but the
+        # beacon thread beats through the sleep, so no stall fires.
+        results = run_sweep(slow_second_task, [0, 1, 2, 3], workers=2,
+                            label="alive.sweep", heartbeat_s=0.05,
+                            stall_timeout_s=0.3)
+        assert results == [0, 1, 2, 3]
+
+    def test_watch_config_supplies_defaults(self):
+        live.configure_watch(heartbeat_s=None, stall_timeout_s=0.1)
+        with pytest.raises(SweepStallError):
+            run_sweep(slow_second_task, [0, 1, 2, 3], workers=2,
+                      label="cfg.sweep")
+
+
+class TestDashboard:
+    def test_folds_progress_cache_lanes_and_stalls(self):
+        dash = live.Dashboard(stream=io.StringIO(), refresh_s=999.0)
+        dash.feed(_ev("stage.start", "flow.asic.map", flow="asic",
+                      stage="map", index=0, total=6), paint=False)
+        dash.feed(_ev("stage.done", "flow.asic.map", flow="asic",
+                      stage="map", status="ok", wall_s=0.1,
+                      cache_hit=False), paint=False)
+        dash.feed(_ev("task.start", "sweep", source="worker-1",
+                      index=0), paint=False)
+        dash.feed(_ev("heartbeat", "worker-1", source="worker-1",
+                      task="0", busy_s=2.0), paint=False)
+        dash.feed(_ev("sweep.progress", "sweep", done=2, total=8,
+                      eta_s=3.5), paint=False)
+        dash.feed(_ev("stall", "worker-2",
+                      detail="worker worker-2 silent for 1.00 s"),
+                  paint=False)
+        frame = dash.render()
+        assert "flow asic" in frame
+        assert "1/6" in frame
+        assert "2/8" in frame and "eta" in frame
+        assert "worker-1" in frame and "busy" in frame
+        assert "STALL: worker worker-2" in frame
+
+    def test_cache_replay_counted_once(self):
+        # A replayed stage emits stage.cache AND stage.done(cache_hit);
+        # the hit-rate counter must move once, not twice.
+        dash = live.Dashboard(stream=io.StringIO(), refresh_s=999.0)
+        dash.feed(_ev("stage.start", "flow.asic.map", flow="asic",
+                      stage="map", index=0, total=1), paint=False)
+        dash.feed(_ev("stage.cache", "flow.asic.map", flow="asic",
+                      stage="map"), paint=False)
+        dash.feed(_ev("stage.done", "flow.asic.map", flow="asic",
+                      stage="map", status="ok", wall_s=0.0,
+                      cache_hit=True), paint=False)
+        assert "stage cache: 1 hits / 1 stages (100%)" in dash.render()
+
+    def test_log_mode_appends_compact_lines(self):
+        buffer = io.StringIO()
+        dash = live.Dashboard(stream=buffer, refresh_s=0.0)
+        for i in range(3):
+            dash.feed(_ev("sweep.progress", "s", done=i + 1, total=3))
+        output = buffer.getvalue()
+        assert output.count("live telemetry") >= 1
+        assert "\x1b[" not in output  # no ANSI when not a TTY
+        assert "tasks 3/3" in output.splitlines()[-1]
+
+    def test_final_frame_is_full_view(self):
+        dash = live.Dashboard(stream=io.StringIO(), refresh_s=999.0)
+        dash.feed(_ev("sweep.progress", "s", done=3, total=3),
+                  paint=False)
+        assert "3/3" in dash.final()
