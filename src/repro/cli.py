@@ -60,6 +60,16 @@ structured diagnostic (exit 4) instead of a hung sweep; and
 ``--trace-chrome FILE`` exports the span tree in Chrome Trace Event
 format for chrome://tracing or ui.perfetto.dev.  ``repro-gap stats
 --prom`` emits the metrics registry as Prometheus text exposition.
+
+``sweep`` runs a fault-tolerant design-space sweep over a bits x
+pipeline-stages grid: worker crashes, task hangs and stalls are
+retried under a deterministic :class:`~repro.robust.retry.RetryPolicy`
+(``--max-attempts``, ``--backoff-s``, ``--task-timeout``; ``--no-retry``
+restores fail-fast), tasks that exhaust retries are quarantined
+(sweep completes, exit 5), ``--resume-sweep`` replays points already
+completed in the run ledger, and ``--chaos SPEC`` injects a
+process-level fault (``kill-worker:N``, ``hang-task:N``,
+``crash-task:N``, ``corrupt-result:N``) for drills.
 """
 
 from __future__ import annotations
@@ -485,6 +495,109 @@ def _cmd_variation(args: argparse.Namespace) -> int:
           f"flagship/quote {gap.flagship_over_quote:.2f}x   "
           f"bin spread {dist.spread:.2f}x")
     return 0
+
+
+def _int_list(text: str) -> list[int]:
+    """Argparse type: comma-separated ints (a sweep grid axis)."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _chaos_spec(text: str) -> str:
+    """Argparse type: validate a sweep chaos spelling early."""
+    from repro.robust.faults import FaultInjectionError, SweepChaos
+
+    try:
+        SweepChaos.parse(text)
+    except FaultInjectionError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Fault-tolerant design-space sweep over a bits x stages grid."""
+    from repro.flows import AsicFlowOptions, CustomFlowOptions, FlowError
+    from repro.flows.sweep import run_flow_sweep_report
+    from repro.robust.retry import RetryError, RetryPolicy, TaskFailure
+
+    on_error = "keep_going" if args.keep_going else "raise"
+    workload = args.workload or (
+        "alu_macro" if args.style == "custom" else "alu"
+    )
+    option_sets = []
+    for bits in args.bits:
+        for stages in args.stages:
+            if args.style == "custom":
+                option_sets.append(CustomFlowOptions(
+                    workload=workload, bits=bits, pipeline_stages=stages,
+                    sizing_moves=args.sizing_moves, seed=args.seed,
+                    on_error=on_error,
+                ))
+            else:
+                option_sets.append(AsicFlowOptions(
+                    workload=workload, bits=bits, pipeline_stages=stages,
+                    sizing_moves=args.sizing_moves, seed=args.seed,
+                    on_error=on_error,
+                ))
+    retry = None
+    if not args.no_retry:
+        try:
+            retry = RetryPolicy(
+                max_attempts=args.max_attempts,
+                backoff_s=args.backoff_s,
+                timeout_s=args.task_timeout,
+            )
+        except RetryError as exc:
+            print(f"repro-gap: invalid retry policy: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = run_flow_sweep_report(
+            option_sets, workers=args.workers, cache_dir=args.cache_dir,
+            retry=retry, resume=args.resume_sweep, chaos=args.chaos,
+        )
+    except FlowError as exc:
+        return _flow_error_exit(exc, args.json)
+    quarantined = [r for r in report.results
+                   if isinstance(r, TaskFailure)]
+    if args.json:
+        print(json.dumps(
+            {
+                "label": report.label,
+                "points": report.tasks,
+                "workers": report.workers,
+                "ok": report.ok,
+                "results": [r.to_dict() for r in report.results],
+                "failures": [f.to_dict() for f in report.failures],
+                "retries": report.retries,
+                "replays": report.replays,
+                "workers_lost": report.workers_lost,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for index, res in enumerate(report.results):
+            if isinstance(res, TaskFailure):
+                print(f"[{index}] QUARANTINED: {res}")
+            else:
+                replayed = (" (replayed)" if index in report.replays
+                            else "")
+                print(f"[{index}] {res.summary()}{replayed}")
+        print(f"\n{report.tasks - len(quarantined)}/{report.tasks} "
+              f"points ok; {len(report.replays)} replayed from ledger, "
+              f"{report.retries} retries, "
+              f"{report.workers_lost} workers replaced")
+        if quarantined:
+            print("repro-gap: sweep completed with quarantined points",
+                  file=sys.stderr)
+    return 5 if quarantined else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -929,6 +1042,54 @@ def build_parser() -> argparse.ArgumentParser:
     selftest.add_argument("--json", action="store_true",
                           help="print the scenario reports as JSON")
     selftest.set_defaults(func=_cmd_selftest)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fault-tolerant design-space sweep (exit 5 = quarantined "
+             "points)",
+        parents=[obs_parent],
+    )
+    sweep.add_argument("style", choices=["asic", "custom"],
+                       help="flow to sweep")
+    sweep.add_argument("--workload", default=None,
+                       help="workload (default: alu, or alu_macro for "
+                            "custom)")
+    sweep.add_argument("--bits", type=_int_list, default=[4, 8],
+                       metavar="N,N,...",
+                       help="comma-separated bit widths (grid axis)")
+    sweep.add_argument("--stages", type=_int_list, default=[1],
+                       metavar="N,N,...",
+                       help="comma-separated pipeline depths (grid axis)")
+    sweep.add_argument("--sizing-moves", type=int, default=20)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--keep-going", action="store_true",
+                       help="degrade through stage failures instead of "
+                            "aborting each point")
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--cache-dir", default=None,
+                       help="shared on-disk stage cache directory")
+    sweep.add_argument("--resume-sweep", action="store_true",
+                       help="replay points already completed in the run "
+                            "ledger instead of recomputing them")
+    sweep.add_argument("--max-attempts", type=int, default=3,
+                       help="tries per task before quarantine")
+    sweep.add_argument("--backoff-s", type=float, default=0.05,
+                       help="base retry backoff (deterministic "
+                            "exponential)")
+    sweep.add_argument("--task-timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-task wall-clock budget; a hung worker "
+                            "is killed and the task retried")
+    sweep.add_argument("--no-retry", action="store_true",
+                       help="fail fast: first failure aborts the sweep")
+    sweep.add_argument("--chaos", type=_chaos_spec, default=None,
+                       metavar="SPEC",
+                       help="inject a process-level fault: kill-worker:N,"
+                            " hang-task:N, crash-task:N, or "
+                            "corrupt-result:N (N = task index)")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the sweep report as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
 
     roadmap = sub.add_parser("roadmap", help="project the gap forward",
                              parents=[obs_parent])

@@ -31,7 +31,7 @@ from repro.flows.options import (
     options_fingerprint,
 )
 from repro.flows.results import FlowError, FlowResult, StageRecord
-from repro.flows.sweep import run_flow_sweep
+from repro.flows.sweep import run_flow_sweep, run_flow_sweep_report
 
 __all__ = [
     "ASIC_GRAPH",
@@ -53,5 +53,6 @@ __all__ = [
     "run_asic_flow",
     "run_custom_flow",
     "run_flow_sweep",
+    "run_flow_sweep_report",
     "stage_fingerprint",
 ]

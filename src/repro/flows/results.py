@@ -56,6 +56,17 @@ class StageRecord:
             "fingerprint": self.fingerprint,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StageRecord":
+        """Rebuild a stage record from its :meth:`to_dict` form."""
+        return cls(
+            name=str(payload.get("name", "")),
+            status=str(payload.get("status", "")),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            fingerprint=str(payload.get("fingerprint", "")),
+        )
+
 
 @dataclass
 class FlowResult:
@@ -149,6 +160,61 @@ class FlowResult:
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "stages": [r.to_dict() for r in self.stage_records],
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FlowResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        The inverse of :meth:`to_dict` up to the technology object,
+        which is resolved back through the
+        :data:`~repro.tech.process.TECHNOLOGIES` registry by name --
+        the same objects every flow run uses, so a replayed result is
+        ``==``-comparable (and ``to_dict``-identical) to a freshly
+        computed one.  This is what ledger-backed sweep resume rests
+        on.
+
+        Raises:
+            FlowError: when the payload names an unknown technology.
+        """
+        from repro.tech.process import get_technology
+
+        tech_name = str(payload.get("technology", ""))
+        try:
+            technology = get_technology(tech_name)
+        except KeyError as exc:
+            raise FlowError(
+                f"cannot rebuild flow result: {exc.args[0]}"
+            ) from None
+        return cls(
+            name=str(payload.get("name", "")),
+            style=str(payload.get("style", "")),
+            technology=technology,
+            library_name=str(payload.get("library_name", "")),
+            typical_frequency_mhz=float(
+                payload.get("typical_frequency_mhz", 0.0)
+            ),
+            quoted_frequency_mhz=float(
+                payload.get("quoted_frequency_mhz", 0.0)
+            ),
+            min_period_ps=float(payload.get("min_period_ps", 0.0)),
+            fo4_depth=float(payload.get("fo4_depth", 0.0)),
+            logic_fo4=float(payload.get("logic_fo4", 0.0)),
+            overhead_fraction=float(
+                payload.get("overhead_fraction", 0.0)
+            ),
+            pipeline_stages=int(payload.get("pipeline_stages", 0)),
+            gate_count=int(payload.get("gate_count", 0)),
+            area_um2=float(payload.get("area_um2", 0.0)),
+            notes=dict(payload.get("notes") or {}),
+            diagnostics=[
+                Diagnostic.from_dict(d)
+                for d in payload.get("diagnostics") or []
+            ],
+            stage_records=[
+                StageRecord.from_dict(s)
+                for s in payload.get("stages") or []
+            ],
+        )
 
     def summary(self) -> str:
         """One-line human-readable result."""

@@ -90,6 +90,15 @@ class RunRecord:
         events_path: JSONL event-stream file the live bus was sinking
             to while this run executed ("" when the bus was off) --
             ``repro-gap top`` replays it.
+        result: full result payload for runs that are *replayable* --
+            ``kind="sweep.point"`` records carry the point's
+            ``FlowResult.to_dict()`` so ``--resume-sweep`` can rebuild
+            completed points without recomputing them.  Empty for
+            record kinds that only exist for comparison.
+        failures: failure/post-mortem payloads -- quarantined
+            :class:`~repro.robust.retry.TaskFailure` dicts and
+            escalated stall reports on sweep records -- so ``runs
+            show`` supports post-mortems, not just successes.
     """
 
     kind: str
@@ -109,6 +118,8 @@ class RunRecord:
     diagnostics: list = field(default_factory=list)
     worker: bool = False
     events_path: str = ""
+    result: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -129,6 +140,8 @@ class RunRecord:
             "diagnostics": self.diagnostics,
             "worker": self.worker,
             "events_path": self.events_path,
+            "result": self.result,
+            "failures": self.failures,
         }
 
     @classmethod
@@ -159,6 +172,8 @@ class RunRecord:
             diagnostics=list(payload.get("diagnostics") or []),
             worker=bool(payload.get("worker", False)),
             events_path=str(payload.get("events_path", "") or ""),
+            result=dict(payload.get("result") or {}),
+            failures=list(payload.get("failures") or []),
         )
 
     def stage_summary(self) -> str:

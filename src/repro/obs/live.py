@@ -485,6 +485,14 @@ class StallDetector:
         elif event.kind == "heartbeat" and "task" in event.attrs:
             self._task[source] = str(event.attrs["task"])
 
+    def forget(self, source: str) -> None:
+        """Drop a source from tracking (e.g. a worker the sweep
+        supervisor killed and replaced -- its silence is expected)."""
+        self._last_seen.pop(source, None)
+        self._last_kind.pop(source, None)
+        self._task.pop(source, None)
+        self._busy.pop(source, None)
+
     def check(self) -> list[StallReport]:
         """Busy sources silent past the timeout, worst first."""
         now = self.clock()
@@ -643,6 +651,10 @@ class Dashboard:
         self._events = 0
         self._cache_hits = 0
         self._stage_runs = 0
+        self._retries = 0
+        self._quarantined = 0
+        self._replays = 0
+        self._workers_lost = 0
         self._stalls: deque[str] = deque(maxlen=4)
         self._started = clock()
         self._last_paint = 0.0
@@ -703,6 +715,14 @@ class Dashboard:
                 sweep.eta_s = float(eta) if eta is not None else None
             elif event.kind == "stall":
                 self._stalls.append(str(attrs.get("detail", event.name)))
+            elif event.kind == "task.retry":
+                self._retries += 1
+            elif event.kind == "task.quarantine":
+                self._quarantined += 1
+            elif event.kind == "task.replay":
+                self._replays += 1
+            elif event.kind == "worker.lost":
+                self._workers_lost += 1
         if paint:
             self.maybe_paint()
 
@@ -761,6 +781,14 @@ class Dashboard:
                 lines.append(
                     f"  {source:<14.14s} done={lane.done:<4d}"
                     f"{task}{busy}  [{lane.last_kind}]"
+                )
+            if (self._retries or self._quarantined or self._replays
+                    or self._workers_lost):
+                lines.append(
+                    f"  recovery: {self._retries} retries, "
+                    f"{self._quarantined} quarantined, "
+                    f"{self._replays} replayed, "
+                    f"{self._workers_lost} workers lost"
                 )
             for stall in self._stalls:
                 lines.append(f"  STALL: {stall}")

@@ -1,4 +1,4 @@
-"""Deterministic process-pool sweep runner with live event streaming.
+"""Deterministic, fault-tolerant process sweep runner with live events.
 
 Fans a list of tasks across worker processes with three guarantees the
 Monte Carlo sampler and the design-space surveys rely on:
@@ -15,6 +15,19 @@ Monte Carlo sampler and the design-space surveys rely on:
   :meth:`repro.obs.trace.Tracer.adopt`, so ``--trace`` output stays
   complete under ``--workers N``.
 
+The pool is a *supervisor*, not a ``multiprocessing.Pool``: the parent
+owns one long-lived worker process per slot, dispatches tasks over
+duplex pipes, and watches liveness.  A worker that dies mid-task
+(segfault, OOM kill, ``os._exit``), wedges past the per-task timeout,
+goes silent past the stall timeout, or ships an unpicklable result is
+killed and replaced, and its task is re-dispatched under the sweep's
+:class:`~repro.robust.retry.RetryPolicy` -- deterministic exponential
+backoff, bounded attempts, and quarantine for tasks that exhaust them.
+A quarantined task's slot in the ordered results holds a structured
+:class:`~repro.robust.retry.TaskFailure` instead of aborting the sweep.
+Without a retry policy the first failure propagates, matching the
+plain-``Pool`` semantics this runner replaced.
+
 On top of those, the runner is the cross-process transport of the live
 telemetry layer (:mod:`repro.obs.live`).  When the live bus is enabled
 in the parent (or stall detection is requested), each worker gets its
@@ -25,34 +38,46 @@ and re-sequences the events into its own bus, so dashboards and JSONL
 sinks see worker progress live instead of at ordered-reduce time.  The
 result path is unchanged: span adoption and ledger merging still run on
 the shipped-back lists, so traces and metrics are identical with the
-bus on or off.
+bus on or off.  The queue is drained in a ``finally:`` with a bounded,
+env-overridable grace (:data:`DRAIN_GRACE_ENV`), so the events leading
+up to a failure reach sinks too.
 
 Worker liveness rides the same channel: a daemon :class:`~repro.obs.
 live.Heartbeat` thread in each worker publishes periodic beacons even
 while the worker's main thread is inside a solver, and the parent's
-:class:`~repro.obs.live.StallDetector` raises a structured
-:class:`SweepStallError` when a busy worker goes silent past the
-configured timeout -- a wedged worker becomes a diagnostic, not a hung
-sweep.
+:class:`~repro.obs.live.StallDetector` flags a busy worker gone silent
+past the configured timeout.  With a retry policy armed the stall is
+*escalated to a retry* -- the worker is killed and the task
+re-dispatched; without one it raises a structured
+:class:`SweepStallError`, so a wedged worker becomes a diagnostic, not
+a hung sweep.
 
 When the run ledger is recording in the parent, workers are switched
 into *buffering* mode: run records they would have written (e.g. the
 flow records of a design-space sweep point) come back with the results
 and are merged into the parent's ledger, marked ``worker=True`` -- one
-ledger regardless of worker count.
+ledger regardless of worker count.  Records are adopted as each task
+*arrives*, not at ordered-reduce time, so a sweep killed halfway keeps
+every completed point on disk for ``--resume-sweep``.
 
 ``workers <= 1`` (or a single task) short-circuits to a plain serial
 loop in-process -- no pool, no pickling -- which still publishes the
-same per-task progress events when the bus is on.
+same per-task progress events when the bus is on and honours the same
+retry/quarantine policy (minus the wall-clock timeout, which needs a
+killable process).
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import queue as _queue_mod
 import time
-from typing import Any, Callable, Iterable, Sequence
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -61,6 +86,8 @@ from repro.obs import instrument as _instrument
 from repro.obs import ledger as _ledger
 from repro.obs import live as _live
 from repro.obs.events import Event
+from repro.robust import faults as _faults
+from repro.robust.retry import RetryPolicy, TaskFailure
 
 
 class SweepError(ValueError):
@@ -80,11 +107,26 @@ class SweepStallError(RuntimeError):
         self.reports = reports
 
 
+class SweepWorkerError(RuntimeError):
+    """A worker failed in a way that is not the task function raising.
+
+    Raised (absent a retry policy) when a worker process dies mid-task,
+    when its result cannot be pickled across the pipe, or when the
+    shipped result cannot be unpickled in the parent.
+    """
+
+
 #: Sentinel: "read this knob from repro.obs.live.watch_config()".
 _WATCH_DEFAULT = object()
 
 #: Parent-side completion poll interval while draining worker events.
 _POLL_S = 0.05
+
+#: Env var overriding the post-sweep event-drain grace period (s).
+DRAIN_GRACE_ENV = "REPRO_SWEEP_DRAIN_GRACE_S"
+
+#: Default post-sweep event-drain grace period (s).
+DRAIN_GRACE_DEFAULT_S = 0.5
 
 #: Event kinds not forwarded across the worker queue.  Metric deltas
 #: fire per observation inside hot solver loops; streaming each one
@@ -93,6 +135,18 @@ _POLL_S = 0.05
 #: anyway.  Everything coarser (spans, stages, tasks, heartbeats) goes
 #: through.
 FORWARD_SKIP_KINDS = frozenset({"metric.delta"})
+
+
+def _drain_grace_s() -> float:
+    """Post-sweep event-drain grace, env-overridable."""
+    raw = os.environ.get(DRAIN_GRACE_ENV)
+    if raw is None:
+        return DRAIN_GRACE_DEFAULT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return DRAIN_GRACE_DEFAULT_S
+    return max(0.0, value)
 
 
 def task_seeds(seed: int, count: int) -> list[int]:
@@ -109,34 +163,66 @@ def task_seeds(seed: int, count: int) -> list[int]:
 
 
 # ---------------------------------------------------------------------------
-# Worker side.
+# Attempt visibility.
 
-#: Per-worker-process live state set up by :func:`_pool_init`.
-_worker_heartbeat: _live.Heartbeat | None = None
+#: Attempt number of the task currently executing in this process (set
+#: in the worker loop and the serial loop around each invocation).
+_current_attempt = 0
 
 
-def _pool_init(event_queue: Any, heartbeat_s: float | None) -> None:
-    """Pool initializer: wire this worker's bus to the parent queue.
+def current_attempt() -> int:
+    """Attempt number (0-based) of the task currently running.
 
-    Runs once per worker process.  The worker gets a fresh bus labelled
-    ``worker-<pid>`` whose events are forwarded (minus the kinds in
-    :data:`FORWARD_SKIP_KINDS`) into the parent's queue, plus an
-    optional heartbeat beacon thread.
+    Task functions that want retry-aware seeding combine this with
+    :func:`repro.robust.retry.attempt_seed`; attempt 0 leaves the base
+    seed unchanged, so fault-free runs are bit-identical with retries
+    on or off.
     """
-    global _worker_heartbeat
-    if event_queue is None:
-        return
-    bus = _live.enable(source=f"worker-{os.getpid()}", fresh=True)
+    return _current_attempt
 
-    def forward(payload: dict) -> None:
-        if payload.get("kind") not in FORWARD_SKIP_KINDS:
-            event_queue.put_nowait(payload)
 
-    bus.set_forward(forward)
-    _worker_heartbeat = None
-    if heartbeat_s is not None and heartbeat_s > 0:
-        _worker_heartbeat = _live.Heartbeat(bus, heartbeat_s).start()
+# ---------------------------------------------------------------------------
+# Report types.
 
+@dataclass
+class SweepReport:
+    """Everything a fault-tolerant sweep did, beyond the results.
+
+    Attributes:
+        label: the sweep label.
+        tasks: task count.
+        workers: requested worker count.
+        results: per-task outcomes in task order; a task that exhausted
+            its retries holds a :class:`~repro.robust.retry.TaskFailure`
+            placeholder at its index.
+        failures: the quarantined :class:`TaskFailure` records, by
+            task index.
+        retries: how many re-dispatches the supervisor performed.
+        replays: task indices replayed from precomputed results
+            (ledger-backed resume) instead of executed.
+        stalls: stall reports the supervisor escalated to retries.
+        workers_lost: worker processes that died or were killed and
+            replaced.
+    """
+
+    label: str
+    tasks: int
+    workers: int
+    results: list[Any] = field(default_factory=list)
+    failures: list[TaskFailure] = field(default_factory=list)
+    retries: int = 0
+    replays: list[int] = field(default_factory=list)
+    stalls: list[dict] = field(default_factory=list)
+    workers_lost: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every task produced a real result."""
+        return not self.failures
+
+
+# ---------------------------------------------------------------------------
+# Worker side.
 
 def _task_metrics(summarize: Callable[[Any], dict] | None,
                   result: Any) -> dict:
@@ -154,36 +240,105 @@ def _task_metrics(summarize: Callable[[Any], dict] | None,
     }
 
 
-def _pool_task(payload: tuple) -> tuple[Any, list | None, list | None]:
-    """Worker-side wrapper: run one task; capture spans, buffer run
-    records, and publish task progress events if the parent asked."""
-    fn, task, index, label, capture, ledger_on, summarize = payload
-    if ledger_on:
-        _ledger.enable_buffering()
-    if capture:
-        _instrument.enable(fresh=True)
-    if _worker_heartbeat is not None:
-        _worker_heartbeat.set_task(index)
-    _live.emit("task.start", label, index=index)
-    started = time.perf_counter()
+def _send_reply(conn: Any, reply: tuple) -> None:
+    """Ship a reply to the parent; degrade to an error on pickle
+    failure.
+
+    ``Connection.send`` pickles before writing, so a failure here never
+    leaves a partial message on the pipe -- the fallback reply is the
+    first (and only) thing the parent reads for this task.
+    """
     try:
-        result = fn(task)
-    except BaseException:
-        _live.emit("task.done", label, index=index, error=True,
-                   wall_s=time.perf_counter() - started)
-        if _worker_heartbeat is not None:
-            _worker_heartbeat.set_task(None)
-        raise
-    _live.emit(
-        "task.done", label, index=index,
-        wall_s=time.perf_counter() - started,
-        **_task_metrics(summarize, result),
-    )
-    if _worker_heartbeat is not None:
-        _worker_heartbeat.set_task(None)
-    spans = obs.get_tracer().finished() if capture else None
-    records = _ledger.drain_buffer() if ledger_on else None
-    return result, spans, records
+        conn.send(reply)
+        return
+    except Exception as exc:
+        kind, index, attempt = reply[0], reply[1], reply[2]
+        what = "result" if kind == "done" else "exception"
+        fallback = (
+            "error", index, attempt,
+            SweepWorkerError(
+                f"worker could not ship its {what} for task {index}: "
+                f"{exc!r}"
+            ),
+        )
+        try:
+            conn.send(fallback)
+        except Exception:
+            # The pipe itself is gone; exiting surfaces as a crash.
+            os._exit(1)
+
+
+def _worker_main(conn: Any, fn: Callable[[Any], Any],
+                 summarize: Callable[[Any], dict] | None,
+                 event_queue: Any, heartbeat_s: float | None,
+                 capture: bool, ledger_on: bool,
+                 chaos_spec: str | None, label: str) -> None:
+    """Worker process main loop: receive tasks, run, reply.
+
+    Replicates the per-task behaviour of the old pool path -- fresh
+    span capture and ledger buffering per task, task.start/task.done
+    events, heartbeat task tagging -- but stays resident across tasks
+    so the supervisor can re-dispatch work to it.
+    """
+    global _current_attempt
+    heartbeat = None
+    if event_queue is not None:
+        bus = _live.enable(source=f"worker-{os.getpid()}", fresh=True)
+
+        def forward(payload: dict) -> None:
+            if payload.get("kind") not in FORWARD_SKIP_KINDS:
+                event_queue.put_nowait(payload)
+
+        bus.set_forward(forward)
+        if heartbeat_s is not None and heartbeat_s > 0:
+            heartbeat = _live.Heartbeat(bus, heartbeat_s).start()
+    chaos = (_faults.SweepChaos.parse(chaos_spec)
+             if chaos_spec is not None else None)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "stop":
+            break
+        _, index, attempt, task = message
+        if ledger_on:
+            _ledger.enable_buffering()
+        if capture:
+            _instrument.enable(fresh=True)
+        if heartbeat is not None:
+            heartbeat.set_task(index)
+        _current_attempt = attempt
+        _live.emit("task.start", label, index=index, attempt=attempt)
+        started = time.perf_counter()
+        try:
+            if chaos is not None:
+                chaos.trip_in_worker(index, attempt)
+            result = fn(task)
+            if chaos is not None:
+                result = chaos.corrupt_result(index, attempt, result)
+        except Exception as exc:
+            _live.emit("task.done", label, index=index, error=True,
+                       attempt=attempt,
+                       wall_s=time.perf_counter() - started)
+            if heartbeat is not None:
+                heartbeat.set_task(None)
+            _send_reply(conn, ("error", index, attempt, exc))
+            continue
+        _live.emit(
+            "task.done", label, index=index, attempt=attempt,
+            wall_s=time.perf_counter() - started,
+            **_task_metrics(summarize, result),
+        )
+        if heartbeat is not None:
+            heartbeat.set_task(None)
+        spans = obs.get_tracer().finished() if capture else None
+        records = _ledger.drain_buffer() if ledger_on else None
+        _send_reply(conn, ("done", index, attempt, result, spans, records))
+    try:
+        conn.close()
+    except Exception:
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -202,32 +357,63 @@ def _resolve_watch(heartbeat_s: Any, stall_timeout_s: Any):
 
 
 class _StreamMonitor:
-    """Parent-side event pump: drain, re-sequence, detect stalls.
+    """Parent-side event pump: drain, re-sequence, track progress.
 
     Owns the per-sweep progress state (done counts, ETA) and the stall
     detector; :meth:`pump` is called between completion polls and after
-    the pool drains.
+    the workers drain.  Completion is counted over *unique task
+    indices* -- a retried task's extra task.done events do not inflate
+    progress -- and the supervisor marks quarantines and replays
+    directly so progress converges with the bus on or off.
     """
 
     def __init__(self, label: str, total: int,
                  stall_timeout_s: float | None) -> None:
         self.label = label
         self.total = total
-        self.done = 0
         self.started = time.monotonic()
+        self._seen: set[int] = set()
         self.detector = (
             _live.StallDetector(stall_timeout_s)
             if stall_timeout_s is not None else None
         )
 
-    def pump(self, event_queue: Any) -> None:
-        """Drain pending worker events into the parent bus."""
-        progressed = False
+    @property
+    def done(self) -> int:
+        return len(self._seen)
+
+    def mark(self, index: int) -> None:
+        """Count one task index as settled (done/quarantined/replayed)."""
+        if index in self._seen:
+            return
+        self._seen.add(index)
+        if not _live.enabled():
+            return
+        elapsed = time.monotonic() - self.started
+        attrs: dict = {"done": self.done, "total": self.total}
+        if 0 < self.done < self.total:
+            attrs["eta_s"] = (elapsed / self.done
+                              * (self.total - self.done))
+        _live.emit("sweep.progress", self.label, **attrs)
+
+    def pump(self, event_queue: Any) -> int:
+        """Drain pending worker events into the parent bus.
+
+        Returns the number of payloads drained, so :meth:`final_pump`
+        can tell a quiet stream from a racing one.
+        """
+        drained = 0
         while True:
             try:
                 payload = event_queue.get_nowait()
             except _queue_mod.Empty:
                 break
+            except Exception:
+                # A worker killed mid-write can corrupt the queue's
+                # framing; the stream is advisory, so stop draining
+                # rather than poison the sweep.
+                break
+            drained += 1
             if _live.enabled():
                 event = _live.get_bus().ingest(payload)
             else:
@@ -242,79 +428,495 @@ class _StreamMonitor:
             # Only this sweep's own completions count: a task's flow can
             # run nested serial sweeps whose task.done events share the
             # stream but carry their own label.
-            if event.kind == "task.done" and event.name == self.label:
-                self.done += 1
-                progressed = True
-        if progressed and _live.enabled():
-            elapsed = time.monotonic() - self.started
-            attrs: dict = {"done": self.done, "total": self.total}
-            if 0 < self.done < self.total:
-                attrs["eta_s"] = (elapsed / self.done
-                                  * (self.total - self.done))
-            _live.emit("sweep.progress", self.label, **attrs)
+            if (event.kind == "task.done" and event.name == self.label
+                    and not event.attrs.get("error")):
+                self.mark(int(event.attrs.get("index", -1)))
+        return drained
 
-    def final_pump(self, event_queue: Any, grace_s: float = 0.5) -> None:
-        """Drain the tail of the stream after the pool finishes.
+    def final_pump(self, event_queue: Any,
+                   grace_s: float | None = None,
+                   settle_s: float = 0.05) -> None:
+        """Drain the tail of the stream after the workers finish.
 
-        Results arriving via the pool do not imply the event queue is
+        Results arriving over the pipes do not imply the event queue is
         empty -- the workers' feeder threads race the result path -- so
-        keep draining briefly until every task completion has been seen
-        (or the grace period ends; the stream is advisory, results
-        never wait on it past that).
+        keep draining until the stream has been quiet for ``settle_s``
+        or the grace period ends (the stream is advisory; results never
+        wait on it past that).  Runs on failure paths too, so sinks see
+        the events leading up to a stall or quarantine.
         """
+        if grace_s is None:
+            grace_s = _drain_grace_s()
         deadline = time.monotonic() + grace_s
-        self.pump(event_queue)
-        while self.done < self.total and time.monotonic() < deadline:
+        quiet_since = None
+        while time.monotonic() < deadline:
+            if self.pump(event_queue):
+                quiet_since = None
+            elif quiet_since is None:
+                quiet_since = time.monotonic()
+            elif (self.done >= self.total
+                    or time.monotonic() - quiet_since >= settle_s):
+                break
             time.sleep(0.005)
-            self.pump(event_queue)
 
-    def check_stalls(self) -> None:
-        """Raise :class:`SweepStallError` if a busy worker went silent."""
-        if self.detector is None:
+
+# ---------------------------------------------------------------------------
+# The supervisor.
+
+class _Worker:
+    """One supervised worker process and its dispatch pipe."""
+
+    __slots__ = ("process", "conn", "current", "dispatched_at")
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self.process = process
+        self.conn = conn
+        self.current: tuple[int, int] | None = None  # (index, attempt)
+        self.dispatched_at = 0.0
+
+    @property
+    def source(self) -> str:
+        return f"worker-{self.process.pid}"
+
+
+class _Supervisor:
+    """Parent-side task supervisor: dispatch, collect, recover.
+
+    Owns the worker processes, the pending/backoff queues, and all
+    recovery paths: worker death, per-task timeout, stall escalation,
+    and unpicklable results.  Results and quarantines are keyed by task
+    index; the caller assembles the ordered reduce.
+    """
+
+    def __init__(self, ctx: Any, fn: Callable[[Any], Any],
+                 items: Sequence[Any], worker_count: int, label: str,
+                 summarize: Callable[[Any], dict] | None, capture: bool,
+                 ledger_on: bool, event_queue: Any,
+                 heartbeat_s: float | None,
+                 monitor: _StreamMonitor | None,
+                 retry: RetryPolicy | None,
+                 chaos_spec: str | None) -> None:
+        self.ctx = ctx
+        self.fn = fn
+        self.items = items
+        self.worker_count = worker_count
+        self.label = label
+        self.summarize = summarize
+        self.capture = capture
+        self.ledger_on = ledger_on
+        self.event_queue = event_queue
+        self.heartbeat_s = heartbeat_s
+        self.monitor = monitor
+        self.retry = retry
+        self.chaos_spec = chaos_spec
+        self.workers: list[_Worker] = []
+        self.results: dict[int, Any] = {}
+        self.failures: dict[int, TaskFailure] = {}
+        self.spans_by_index: dict[int, list] = {}
+        self.failure_reports: dict[int, list[dict]] = {}
+        self.retries = 0
+        self.replays: list[int] = []
+        self.stall_reports: list[dict] = []
+        self.workers_lost = 0
+        self.pending: deque[tuple[int, int]] = deque()
+        self.backoff: list[tuple[float, int, int]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self.ctx.Pipe()
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.fn, self.summarize, self.event_queue,
+                  self.heartbeat_s, self.capture, self.ledger_on,
+                  self.chaos_spec, self.label),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _kill(self, worker: _Worker) -> None:
+        """Forcibly stop a worker and close its pipe."""
+        try:
+            worker.process.terminate()
+            worker.process.join(0.5)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(0.5)
+        except Exception:
+            pass
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+
+    def _replace(self, position: int, worker: _Worker,
+                 reason: str, index: int) -> None:
+        """Account a lost worker, forget its stall state, respawn."""
+        self.workers_lost += 1
+        if self.monitor is not None and self.monitor.detector is not None:
+            self.monitor.detector.forget(worker.source)
+        _live.emit("worker.lost", self.label, pid=worker.process.pid or 0,
+                   reason=reason, index=index)
+        if self._remaining() > 0:
+            self.workers[position] = self._spawn()
+
+    def _remaining(self) -> int:
+        return len(self.items) - len(self.results) - len(self.failures)
+
+    def shutdown(self) -> None:
+        """Stop every worker: politely when idle, forcibly otherwise."""
+        for worker in self.workers:
+            if worker.current is None and worker.process.is_alive():
+                try:
+                    worker.conn.send(("stop",))
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 1.0
+        for worker in self.workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+        for worker in self.workers:
+            if worker.process.is_alive():
+                self._kill(worker)
+            else:
+                try:
+                    worker.conn.close()
+                except Exception:
+                    pass
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, precomputed: Mapping[int, Any] | None) -> None:
+        total = len(self.items)
+        for index in sorted(precomputed or {}):
+            if 0 <= index < total and index not in self.results:
+                self.results[index] = precomputed[index]
+                self.replays.append(index)
+                _live.emit("task.replay", self.label, index=index)
+                if self.monitor is not None:
+                    self.monitor.mark(index)
+        self.pending.extend(
+            (index, 0) for index in range(total)
+            if index not in self.results
+        )
+        if not self.pending:
             return
-        stalled = self.detector.check()
+        for _ in range(min(self.worker_count, len(self.pending))):
+            self.workers.append(self._spawn())
+        while self._remaining() > 0:
+            now = time.monotonic()
+            self._promote_backoff(now)
+            self._dispatch(now)
+            self._collect()
+            if self.monitor is not None and self.event_queue is not None:
+                self.monitor.pump(self.event_queue)
+            self._reap()
+            self._enforce_timeout(time.monotonic())
+            self._check_stalls()
+
+    def _promote_backoff(self, now: float) -> None:
+        while self.backoff and self.backoff[0][0] <= now:
+            _, index, attempt = heapq.heappop(self.backoff)
+            self.pending.append((index, attempt))
+
+    def _dispatch(self, now: float) -> None:
+        for worker in self.workers:
+            if not self.pending:
+                return
+            if worker.current is not None or not worker.process.is_alive():
+                continue
+            index, attempt = self.pending.popleft()
+            try:
+                worker.conn.send(("task", index, attempt,
+                                  self.items[index]))
+            except Exception:
+                if worker.process.is_alive():
+                    # The task itself would not pickle: a caller error,
+                    # same as the old pool path -- surface it.
+                    raise
+                self.pending.appendleft((index, attempt))
+                continue
+            worker.current = (index, attempt)
+            worker.dispatched_at = now
+
+    def _collect(self) -> None:
+        busy = [w for w in self.workers if w.current is not None]
+        if not busy:
+            # Nothing in flight: wait out the nearest backoff (or one
+            # poll) so the loop does not spin.
+            if not self.pending:
+                delay = _POLL_S
+                if self.backoff:
+                    delay = min(
+                        delay,
+                        max(0.0, self.backoff[0][0] - time.monotonic()),
+                    )
+                if delay > 0:
+                    time.sleep(delay)
+            return
+        try:
+            ready = _mp_connection.wait(
+                [w.conn for w in busy], timeout=_POLL_S
+            )
+        except OSError:
+            return
+        for conn in ready:
+            worker = next(w for w in busy if w.conn is conn)
+            if worker.current is None:
+                continue
+            index, attempt = worker.current
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                continue  # pipe died; the reaper handles the process
+            except Exception as exc:
+                worker.current = None
+                self._task_failed(
+                    index, attempt, "corrupt",
+                    f"result for task {index} could not be decoded: "
+                    f"{exc!r}",
+                )
+                continue
+            self._handle_message(worker, message)
+
+    def _handle_message(self, worker: _Worker, message: tuple) -> None:
+        kind = message[0]
+        if kind == "done":
+            _, index, attempt, result, spans, records = message
+            worker.current = None
+            self.results[index] = result
+            if spans:
+                self.spans_by_index[index] = spans
+            if records:
+                # Adopt immediately: a sweep killed later still keeps
+                # every completed point on disk for resume.
+                _ledger.adopt(records)
+            if self.monitor is not None:
+                self.monitor.mark(index)
+        elif kind == "error":
+            _, index, attempt, exc = message
+            worker.current = None
+            self._task_failed(index, attempt, "error", repr(exc), exc=exc)
+
+    # -- recovery paths ----------------------------------------------------
+
+    def _reap(self) -> None:
+        for position, worker in enumerate(list(self.workers)):
+            if worker.process.is_alive():
+                continue
+            # Drain any reply it managed to send before dying.
+            try:
+                while worker.conn.poll(0):
+                    self._handle_message(worker, worker.conn.recv())
+            except Exception:
+                pass
+            current = worker.current
+            worker.current = None
+            index = current[0] if current else -1
+            self._replace(position, worker, "crash", index)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+            if current is not None:
+                index, attempt = current
+                code = worker.process.exitcode
+                self._task_failed(
+                    index, attempt, "crash",
+                    f"worker pid {worker.process.pid} exited with code "
+                    f"{code} while running task {index}",
+                )
+
+    def _enforce_timeout(self, now: float) -> None:
+        if self.retry is None or self.retry.timeout_s is None:
+            return
+        for position, worker in enumerate(list(self.workers)):
+            if worker.current is None:
+                continue
+            if now - worker.dispatched_at <= self.retry.timeout_s:
+                continue
+            index, attempt = worker.current
+            worker.current = None
+            self._kill(worker)
+            self._replace(position, worker, "hang", index)
+            self._task_failed(
+                index, attempt, "hang",
+                f"task {index} exceeded the {self.retry.timeout_s:g} s "
+                f"per-task timeout; worker killed",
+            )
+
+    def _check_stalls(self) -> None:
+        if self.monitor is None or self.monitor.detector is None:
+            return
+        detector = self.monitor.detector
+        stalled = detector.check()
         if not stalled:
             return
         for report in stalled:
             _live.emit("stall", report.source,
                        detail=report.describe(), **report.to_dict())
-        raise SweepStallError(
-            f"sweep {self.label!r}: {stalled[0].describe()} "
-            f"(stall timeout {self.detector.timeout_s:g} s; "
-            f"{self.done}/{self.total} tasks done)",
-            reports=[report.to_dict() for report in stalled],
-        )
+        if self.retry is None:
+            raise SweepStallError(
+                f"sweep {self.label!r}: {stalled[0].describe()} "
+                f"(stall timeout {detector.timeout_s:g} s; "
+                f"{self.monitor.done}/{self.monitor.total} tasks done)",
+                reports=[report.to_dict() for report in stalled],
+            )
+        # Escalate to retry: kill the silent worker, re-dispatch.
+        by_source = {w.source: (pos, w)
+                     for pos, w in enumerate(self.workers)}
+        for report in stalled:
+            self.stall_reports.append(report.to_dict())
+            detector.forget(report.source)
+            entry = by_source.get(report.source)
+            if entry is None:
+                continue
+            position, worker = entry
+            if worker.current is None:
+                continue
+            index, attempt = worker.current
+            worker.current = None
+            self._kill(worker)
+            self._replace(position, worker, "stall", index)
+            self._task_failed(
+                index, attempt, "stall", report.describe(),
+                report=report.to_dict(),
+            )
 
+    def _task_failed(self, index: int, attempt: int, kind: str,
+                     error: str, exc: BaseException | None = None,
+                     report: dict | None = None) -> None:
+        attempts = attempt + 1
+        if report is not None:
+            self.failure_reports.setdefault(index, []).append(report)
+        if self.retry is not None and not self.retry.exhausted(attempts):
+            delay = self.retry.delay_s(attempts)
+            self.retries += 1
+            _live.emit("task.retry", self.label, index=index,
+                       attempt=attempts, failure=kind, error=error)
+            heapq.heappush(
+                self.backoff, (time.monotonic() + delay, index, attempts)
+            )
+            return
+        if self.retry is None or not self.retry.quarantine:
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SweepWorkerError(
+                f"sweep {self.label!r}: task {index} failed "
+                f"({kind}): {error}"
+            )
+        failure = TaskFailure(
+            index=index, label=self.label, kind=kind, error=error,
+            attempts=attempts,
+            reports=tuple(self.failure_reports.get(index, ())),
+        )
+        self.failures[index] = failure
+        _live.emit("task.quarantine", self.label, index=index,
+                   attempts=attempts, failure=kind, error=error)
+        if self.monitor is not None:
+            self.monitor.mark(index)
+
+
+# ---------------------------------------------------------------------------
+# Serial path.
 
 def _run_serial(fn: Callable[[Any], Any], items: Sequence[Any],
-                label: str,
-                summarize: Callable[[Any], dict] | None) -> list[Any]:
-    """In-process loop, publishing the same progress events as a pool."""
-    results = []
+                label: str, summarize: Callable[[Any], dict] | None,
+                retry: RetryPolicy | None, chaos_spec: str | None,
+                precomputed: Mapping[int, Any] | None) -> SweepReport:
+    """In-process loop, publishing the same progress events as a pool.
+
+    Honours the retry/quarantine policy (backoff via ``time.sleep``)
+    but not the per-task timeout -- preempting a task needs a killable
+    process.  Chaos faults that target the process level (kill-worker,
+    hang-task, corrupt-result) are pool-only; only ``crash-task`` (a
+    plain raise) applies here.
+    """
+    global _current_attempt
+    chaos = (_faults.SweepChaos.parse(chaos_spec)
+             if chaos_spec is not None else None)
+    report = SweepReport(label=label, tasks=len(items), workers=1)
+    precomputed = dict(precomputed or {})
     streaming = _live.enabled()
     started = time.monotonic()
+    results: list[Any] = []
+
+    def progress(done: int) -> None:
+        if not streaming:
+            return
+        attrs: dict = {"done": done, "total": len(items)}
+        if 0 < done < len(items):
+            elapsed = time.monotonic() - started
+            attrs["eta_s"] = elapsed / done * (len(items) - done)
+        _live.emit("sweep.progress", label, **attrs)
+
     for index, task in enumerate(items):
-        if streaming:
-            _live.emit("task.start", label, index=index)
-        task_started = time.perf_counter()
-        result = fn(task)
-        results.append(result)
-        if streaming:
-            _live.emit(
-                "task.done", label, index=index,
-                wall_s=time.perf_counter() - task_started,
-                **_task_metrics(summarize, result),
-            )
-            attrs: dict = {"done": index + 1, "total": len(items)}
-            if index + 1 < len(items):
-                elapsed = time.monotonic() - started
-                attrs["eta_s"] = (elapsed / (index + 1)
-                                  * (len(items) - index - 1))
-            _live.emit("sweep.progress", label, **attrs)
-    return results
+        if index in precomputed:
+            results.append(precomputed[index])
+            report.replays.append(index)
+            _live.emit("task.replay", label, index=index)
+            progress(index + 1)
+            continue
+        attempt = 0
+        while True:
+            if streaming:
+                _live.emit("task.start", label, index=index,
+                           attempt=attempt)
+            _current_attempt = attempt
+            task_started = time.perf_counter()
+            try:
+                if chaos is not None and chaos.kind == "crash-task":
+                    chaos.trip_in_worker(index, attempt)
+                result = fn(task)
+            except Exception as exc:
+                wall_s = time.perf_counter() - task_started
+                if streaming:
+                    _live.emit("task.done", label, index=index,
+                               error=True, attempt=attempt,
+                               wall_s=wall_s)
+                attempts = attempt + 1
+                if retry is not None and not retry.exhausted(attempts):
+                    report.retries += 1
+                    _live.emit("task.retry", label, index=index,
+                               attempt=attempts, failure="error",
+                               error=repr(exc))
+                    delay = retry.delay_s(attempts)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt = attempts
+                    continue
+                if retry is None or not retry.quarantine:
+                    _current_attempt = 0
+                    raise
+                failure = TaskFailure(
+                    index=index, label=label, kind="error",
+                    error=repr(exc), attempts=attempts,
+                )
+                report.failures.append(failure)
+                results.append(failure)
+                _live.emit("task.quarantine", label, index=index,
+                           attempts=attempts, failure="error",
+                           error=repr(exc))
+                break
+            results.append(result)
+            if streaming:
+                _live.emit(
+                    "task.done", label, index=index, attempt=attempt,
+                    wall_s=time.perf_counter() - task_started,
+                    **_task_metrics(summarize, result),
+                )
+            break
+        _current_attempt = 0
+        progress(index + 1)
+    report.results = results
+    return report
 
 
-def run_sweep(
+# ---------------------------------------------------------------------------
+# Entry points.
+
+def run_sweep_report(
     fn: Callable[[Any], Any],
     tasks: Iterable[Any],
     workers: int = 1,
@@ -322,8 +924,16 @@ def run_sweep(
     summarize: Callable[[Any], dict] | None = None,
     heartbeat_s: Any = _WATCH_DEFAULT,
     stall_timeout_s: Any = _WATCH_DEFAULT,
-) -> list[Any]:
-    """Map ``fn`` over ``tasks``, optionally across worker processes.
+    retry: RetryPolicy | None = None,
+    chaos: str | None = None,
+    precomputed: Mapping[int, Any] | None = None,
+) -> SweepReport:
+    """Map ``fn`` over ``tasks`` and return a full :class:`SweepReport`.
+
+    The fault-tolerant entry point: everything :func:`run_sweep` does,
+    plus per-task retry/timeout/quarantine under ``retry``, chaos
+    injection under ``chaos``, and replay of ``precomputed`` results
+    (ledger-backed resume).
 
     Args:
         fn: picklable task function (module-level callable).
@@ -338,70 +948,113 @@ def run_sweep(
         heartbeat_s: worker heartbeat interval in seconds; None
             disables the beacon.  Defaults to the process-wide
             :func:`repro.obs.live.watch_config`.
-        stall_timeout_s: raise :class:`SweepStallError` when a busy
-            worker sends no event (heartbeats included) for this many
-            seconds; None disables detection.  Defaults to the
-            process-wide watch config.
+        stall_timeout_s: flag a busy worker silent for this many
+            seconds as stalled; with ``retry`` armed the worker is
+            killed and the task re-dispatched, otherwise
+            :class:`SweepStallError` is raised.  None disables
+            detection.  Defaults to the process-wide watch config.
+        retry: per-task :class:`~repro.robust.retry.RetryPolicy`; None
+            keeps fail-fast semantics (first failure propagates).
+        chaos: fault-injection spec (``kill-worker:N``, ``hang-task:N``,
+            ``crash-task:N``, ``corrupt-result:N``) tripped on attempt 0
+            of task N -- the selftest harness for the recovery paths.
+        precomputed: ``{task index: result}`` replayed into the ordered
+            results without executing (counted in ``report.replays``).
 
     Returns:
-        ``[fn(t) for t in tasks]`` in task order, regardless of
-        ``workers``.
+        A :class:`SweepReport`; ``report.results`` is the ordered
+        reduce, with :class:`~repro.robust.retry.TaskFailure`
+        placeholders for quarantined tasks.
 
     Raises:
-        SweepStallError: stall detection was armed and a worker went
-            silent past the timeout; the pool is terminated.
+        SweepStallError: stall detection armed without a retry policy
+            and a worker went silent past the timeout.
+        SweepWorkerError: a worker died or shipped an undecodable
+            result and no retry policy was armed (or the policy has
+            ``quarantine=False``).
     """
     if workers < 0:
         raise SweepError("workers must be non-negative")
     heartbeat_s, stall_timeout_s = _resolve_watch(
         heartbeat_s, stall_timeout_s
     )
+    if chaos is not None:
+        _faults.SweepChaos.parse(str(chaos))  # validate the spelling now
     items: Sequence[Any] = list(tasks)
     capture = obs.enabled()
     with obs.span(label, tasks=len(items), workers=max(workers, 1)):
         obs.count("par.sweep.runs")
         obs.count("par.sweep.tasks", len(items))
         if workers <= 1 or len(items) <= 1:
-            return _run_serial(fn, items, label, summarize)
+            return _run_serial(fn, items, label, summarize, retry,
+                               chaos, precomputed)
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
         ledger_on = _ledger.enabled()
-        payloads = [
-            (fn, task, index, label, capture, ledger_on, summarize)
-            for index, task in enumerate(items)
-        ]
         # The streaming transport only exists when someone is watching:
-        # with the bus off and no stall policy, the pool path is
-        # byte-for-byte the old one (no queue, no initializer).
+        # with the bus off and no stall policy there is no queue, and
+        # workers never touch the live layer.
         streaming = _live.enabled() or stall_timeout_s is not None
         event_queue = ctx.Queue() if streaming else None
-        pool_kwargs: dict = {"processes": workers}
-        if streaming:
-            pool_kwargs.update(
-                initializer=_pool_init,
-                initargs=(event_queue, heartbeat_s),
-            )
-        with ctx.Pool(**pool_kwargs) as pool:
-            if not streaming:
-                raw = pool.map(_pool_task, payloads)
-            else:
-                monitor = _StreamMonitor(label, len(items),
-                                         stall_timeout_s)
-                pending = pool.map_async(_pool_task, payloads)
-                while not pending.ready():
-                    monitor.pump(event_queue)
-                    monitor.check_stalls()
-                    pending.wait(_POLL_S)
+        monitor = (_StreamMonitor(label, len(items), stall_timeout_s)
+                   if streaming else None)
+        supervisor = _Supervisor(
+            ctx=ctx, fn=fn, items=items, worker_count=workers,
+            label=label, summarize=summarize, capture=capture,
+            ledger_on=ledger_on, event_queue=event_queue,
+            heartbeat_s=heartbeat_s if streaming else None,
+            monitor=monitor, retry=retry, chaos_spec=chaos,
+        )
+        try:
+            supervisor.run(precomputed)
+        finally:
+            supervisor.shutdown()
+            if monitor is not None and event_queue is not None:
                 monitor.final_pump(event_queue)
-                raw = pending.get()
-        results = []
         tracer = obs.get_tracer()
-        for result, spans, records in raw:
-            results.append(result)
-            if spans:
-                tracer.adopt(spans)
-            if records:
-                _ledger.adopt(records)
-        return results
+        for index in sorted(supervisor.spans_by_index):
+            tracer.adopt(supervisor.spans_by_index[index])
+        results = [
+            supervisor.results[i] if i in supervisor.results
+            else supervisor.failures[i]
+            for i in range(len(items))
+        ]
+        return SweepReport(
+            label=label, tasks=len(items), workers=workers,
+            results=results,
+            failures=[supervisor.failures[i]
+                      for i in sorted(supervisor.failures)],
+            retries=supervisor.retries,
+            replays=sorted(supervisor.replays),
+            stalls=list(supervisor.stall_reports),
+            workers_lost=supervisor.workers_lost,
+        )
+
+
+def run_sweep(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    workers: int = 1,
+    label: str = "par.sweep",
+    summarize: Callable[[Any], dict] | None = None,
+    heartbeat_s: Any = _WATCH_DEFAULT,
+    stall_timeout_s: Any = _WATCH_DEFAULT,
+    retry: RetryPolicy | None = None,
+    chaos: str | None = None,
+    precomputed: Mapping[int, Any] | None = None,
+) -> list[Any]:
+    """Map ``fn`` over ``tasks``, optionally across worker processes.
+
+    Thin wrapper over :func:`run_sweep_report` returning just the
+    ordered results -- ``[fn(t) for t in tasks]`` in task order
+    regardless of ``workers``, with
+    :class:`~repro.robust.retry.TaskFailure` placeholders at the
+    indices of quarantined tasks when a ``retry`` policy is armed.
+    """
+    return run_sweep_report(
+        fn, tasks, workers=workers, label=label, summarize=summarize,
+        heartbeat_s=heartbeat_s, stall_timeout_s=stall_timeout_s,
+        retry=retry, chaos=chaos, precomputed=precomputed,
+    ).results

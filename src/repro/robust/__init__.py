@@ -7,7 +7,10 @@ The flow stack's defensive perimeter.  Four parts:
 * :mod:`repro.robust.guards` -- convergence and NaN/Inf guards around
   the iterative solvers (period solving, sizing);
 * :mod:`repro.robust.faults` -- a deterministic fault-injection harness
-  backing ``repro-gap selftest`` and the error-path test suite;
+  backing ``repro-gap selftest`` and the error-path test suite,
+  including process-level sweep chaos (:class:`SweepChaos`);
+* :mod:`repro.robust.retry` -- the per-task retry/timeout/quarantine
+  policy the fault-tolerant sweep supervisor runs under;
 * :mod:`repro.robust.degrade` -- stage-level failure capture so flows
   run under ``on_error="keep_going"`` return partial results with
   diagnostics instead of aborting.
@@ -23,8 +26,17 @@ from repro.robust.faults import (
     FaultInjectionError,
     FaultInjector,
     FaultReport,
+    SweepChaos,
     maybe_trip,
+    run_chaos_selftest,
     run_selftest,
+)
+from repro.robust.retry import (
+    RetryError,
+    RetryPolicy,
+    TaskFailure,
+    attempt_seed,
+    is_task_failure,
 )
 from repro.robust.guards import (
     GuardError,
@@ -56,9 +68,14 @@ __all__ = [
     "FaultReport",
     "GuardError",
     "NonFiniteError",
+    "RetryError",
+    "RetryPolicy",
     "Severity",
     "StageRunner",
+    "SweepChaos",
+    "TaskFailure",
     "ValidationError",
+    "attempt_seed",
     "disable_guard",
     "enable_all_guards",
     "ensure_finite",
@@ -67,9 +84,11 @@ __all__ = [
     "guarded_size_for_speed",
     "guarded_solve_min_period",
     "has_errors",
+    "is_task_failure",
     "maybe_trip",
     "preflight",
     "require_clean",
+    "run_chaos_selftest",
     "run_selftest",
     "validate_library",
     "validate_module",

@@ -18,11 +18,21 @@ Flows additionally expose an explicit chaos hook: passing
 ``fault="<stage>"`` in the flow options trips
 :func:`maybe_trip` at that stage, which is how the degradation path is
 exercised end-to-end without monkeypatching.
+
+On top of the in-process faults, :class:`SweepChaos` spells
+*process-level* chaos for the fault-tolerant sweep supervisor
+(:mod:`repro.par.sweep`): ``kill-worker:N`` hard-exits the worker
+process mid-task, ``hang-task:N`` wedges the task past any timeout,
+``crash-task:N`` raises inside the task, and ``corrupt-result:N``
+ships a result the parent cannot unpickle -- each tripping exactly
+once, on the first attempt of task index ``N``, so a retrying sweep
+recovers deterministically and a retry-free sweep aborts.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -64,6 +74,94 @@ def maybe_trip(fault: str | None, stage: str) -> None:
         )
     if fault == f"slow:{stage}":
         time.sleep(SLOW_FAULT_S)
+
+
+#: Sweep-chaos spellings understood by :meth:`SweepChaos.parse`.
+SWEEP_CHAOS_KINDS = (
+    "kill-worker", "hang-task", "crash-task", "corrupt-result",
+)
+
+#: How long a ``hang-task`` fault sleeps (seconds).  Far past any
+#: sensible per-task timeout or stall window, so the supervisor -- not
+#: the sleep expiring -- must end it.
+HANG_FAULT_S = 60.0
+
+#: Exit status a ``kill-worker`` fault dies with (distinctive in
+#: ``worker exited with code ...`` diagnostics).
+WORKER_KILL_EXIT = 37
+
+
+@dataclass(frozen=True)
+class SweepChaos:
+    """One process-level chaos fault, armed on a single task index.
+
+    Attributes:
+        kind: one of :data:`SWEEP_CHAOS_KINDS`.
+        index: the task index the fault trips on (first attempt only,
+            so retries recover and results stay deterministic).
+    """
+
+    kind: str
+    index: int
+
+    @classmethod
+    def parse(cls, spec: str) -> "SweepChaos":
+        """Parse ``"kind:index"`` (e.g. ``"kill-worker:1"``)."""
+        kind, sep, raw_index = str(spec).partition(":")
+        if not sep or kind not in SWEEP_CHAOS_KINDS:
+            raise FaultInjectionError(
+                f"unknown sweep chaos spec {spec!r}; expected "
+                f"KIND:INDEX with KIND in {', '.join(SWEEP_CHAOS_KINDS)}"
+            )
+        try:
+            index = int(raw_index)
+        except ValueError:
+            raise FaultInjectionError(
+                f"sweep chaos index must be an integer, got {raw_index!r}"
+            ) from None
+        if index < 0:
+            raise FaultInjectionError("sweep chaos index must be >= 0")
+        return cls(kind=kind, index=index)
+
+    def armed_for(self, index: int, attempt: int) -> bool:
+        """Whether the fault trips for this (task, attempt) pair."""
+        return index == self.index and attempt == 0
+
+    def trip_in_worker(self, index: int, attempt: int) -> None:
+        """Worker-side pre-task hook: die, wedge, or raise as armed.
+
+        ``corrupt-result`` does nothing here -- it perturbs the result
+        on the way out (:meth:`corrupt_result`).
+        """
+        if not self.armed_for(index, attempt):
+            return
+        if self.kind == "kill-worker":
+            # Simulates a SIGKILL / OOM-kill mid-task: no cleanup, no
+            # exception propagation, the pipe just goes dead.
+            os._exit(WORKER_KILL_EXIT)
+        if self.kind == "hang-task":
+            time.sleep(HANG_FAULT_S)
+        elif self.kind == "crash-task":
+            raise FaultInjectionError(
+                f"chaos: injected crash in task {index}"
+            )
+
+    def corrupt_result(self, index: int, attempt: int, result):
+        """Worker-side post-task hook: poison the shipped result."""
+        if self.kind == "corrupt-result" and self.armed_for(index, attempt):
+            return _CorruptResult()
+        return result
+
+
+def _explode_on_unpickle():
+    raise FaultInjectionError("chaos: corrupt result payload")
+
+
+class _CorruptResult:
+    """Pickles fine in the worker, detonates on unpickle in the parent."""
+
+    def __reduce__(self):
+        return (_explode_on_unpickle, ())
 
 
 @dataclass(frozen=True)
@@ -191,7 +289,110 @@ def _scenario(fault: str, passed: bool, outcome: str,
                        detail=detail)
 
 
-def run_selftest(seed: int = 0, bits: int = 4) -> list[FaultReport]:
+def _chaos_probe(task):
+    """Tiny deterministic sweep task (module-level so workers pickle it)."""
+    return (task, task * task)
+
+
+def _chaos_probe_fail_negative(task):
+    """Sweep task that always fails on negative inputs (quarantine bait)."""
+    if task < 0:
+        raise ValueError(f"probe task rejects negative input {task}")
+    return task * task
+
+
+def run_chaos_selftest(workers: int = 2) -> list[FaultReport]:
+    """Process-level chaos scenarios over the sweep supervisor.
+
+    Each scenario arms one :class:`SweepChaos` fault in a pool sweep
+    with a retry policy and requires the results to match the
+    fault-free run exactly (recovery is invisible in the output); where
+    cheap, it also re-runs without the retry policy and requires the
+    same fault to abort -- proving the recovery path, not fault
+    tolerance by accident, absorbed the failure.
+    """
+    from repro.par.sweep import run_sweep, run_sweep_report
+    from repro.robust.retry import RetryPolicy, TaskFailure
+
+    tasks = list(range(3))
+    expected = [_chaos_probe(t) for t in tasks]
+    reports: list[FaultReport] = []
+
+    def run(name: str, scenario) -> None:
+        try:
+            reports.append(scenario(name))
+        except Exception as exc:  # selftest must never crash
+            reports.append(_scenario(
+                name, False, f"unexpected:{type(exc).__name__}", str(exc)
+            ))
+
+    def chaos_recovers(spelling: str, timeout_s: float | None = None,
+                       check_abort: bool = True):
+        def scenario(name: str) -> FaultReport:
+            policy = RetryPolicy(max_attempts=2, backoff_s=0.0,
+                                 timeout_s=timeout_s)
+            report = run_sweep_report(
+                _chaos_probe, tasks, workers=workers, retry=policy,
+                chaos=spelling, label=f"selftest.{name}",
+            )
+            recovered = (report.results == expected
+                         and not report.failures
+                         and report.retries >= 1)
+            aborted = True
+            if check_abort:
+                try:
+                    run_sweep(_chaos_probe, tasks, workers=workers,
+                              chaos=spelling,
+                              label=f"selftest.{name}.bare")
+                    aborted = False
+                except Exception:
+                    pass
+            ok = recovered and aborted
+            if not recovered:
+                outcome = "not-recovered"
+            elif not aborted:
+                outcome = "fault-inert"
+            else:
+                outcome = "recovered+load-bearing"
+            return _scenario(
+                name, ok, outcome,
+                f"{spelling}: {report.retries} retry dispatch(es), "
+                f"{len(report.failures)} quarantined",
+            )
+        return scenario
+
+    def quarantine_partial(name: str) -> FaultReport:
+        bait = [0, 1, -1]
+        report = run_sweep_report(
+            _chaos_probe_fail_negative, bait, workers=workers,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            label=f"selftest.{name}",
+        )
+        placeholder = report.results[2]
+        ok = (
+            isinstance(placeholder, TaskFailure)
+            and placeholder.attempts == 2
+            and placeholder.kind == "error"
+            and report.results[:2] == [0, 1]
+            and len(report.failures) == 1
+        )
+        return _scenario(
+            name, ok, "quarantined" if ok else "wrong-shape",
+            f"slot 2 -> {placeholder}",
+        )
+
+    run("chaos_kill_worker_recovers", chaos_recovers("kill-worker:1"))
+    run("chaos_hang_task_times_out",
+        chaos_recovers("hang-task:2", timeout_s=0.5, check_abort=False))
+    run("chaos_crash_task_retries", chaos_recovers("crash-task:0"))
+    run("chaos_corrupt_result_retries",
+        chaos_recovers("corrupt-result:1"))
+    run("retry_exhaustion_quarantines", quarantine_partial)
+    return reports
+
+
+def run_selftest(seed: int = 0, bits: int = 4,
+                 chaos: bool = True) -> list[FaultReport]:
     """Run the full fault-injection scenario suite.
 
     Every scenario perturbs a freshly built input, so scenarios are
@@ -379,4 +580,6 @@ def run_selftest(seed: int = 0, bits: int = 4) -> list[FaultReport]:
     run("solver_convergence_fallback", convergence_fallback)
     run("keep_going_degrades", keep_going_degrades)
     run("raise_mode_names_stage", raise_mode_names_stage)
+    if chaos:
+        reports.extend(run_chaos_selftest())
     return reports

@@ -1,0 +1,174 @@
+"""Deterministic per-task retry policy for fault-tolerant sweeps.
+
+The sweep supervisor (:mod:`repro.par.sweep`) consults one
+:class:`RetryPolicy` per sweep: how many attempts a task gets, how long
+to back off between them, how long a single attempt may run before the
+worker is presumed wedged and killed, and whether a task that exhausts
+its attempts is *quarantined* (the sweep completes and the task's slot
+in the ordered results holds a structured :class:`TaskFailure`) or
+aborts the sweep.
+
+Everything here is deterministic by construction:
+
+* the backoff schedule is a pure function of the attempt number
+  (:meth:`RetryPolicy.delay_s`) -- no jitter, so two runs of the same
+  failing sweep retry on the same schedule;
+* :func:`attempt_seed` derives per-attempt RNG seeds from a task's base
+  seed with :class:`numpy.random.SeedSequence` spawning, and attempt 0
+  *is* the base seed -- a task that succeeds first try is bit-identical
+  to a run with retries disabled, and a retried task re-runs with the
+  same inputs unless it explicitly opts into attempt-aware seeding via
+  :func:`repro.par.sweep.current_attempt`.
+
+A :class:`TaskFailure` is the quarantine record: picklable, JSON-ready,
+and carried both in the sweep's ordered results (placeholder at the
+failed task's index) and in the sweep's run-ledger record, so
+``repro-gap runs show`` supports post-mortems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class RetryError(ValueError):
+    """Raised for invalid retry-policy configuration."""
+
+
+#: Failure kinds a :class:`TaskFailure` can carry, by recovery path:
+#: ``error``   -- the task function raised in a healthy worker;
+#: ``crash``   -- the worker process died while running the task;
+#: ``hang``    -- the task exceeded the per-task timeout and its worker
+#:                was killed;
+#: ``stall``   -- the stall detector flagged the worker silent and the
+#:                supervisor escalated to a retry;
+#: ``corrupt`` -- the worker's result could not be unpickled.
+FAILURE_KINDS = ("error", "crash", "hang", "stall", "corrupt")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the sweep supervisor handles a failing task.
+
+    Attributes:
+        max_attempts: total tries a task gets (1 = no retries).
+        backoff_s: delay before the first retry; 0 retries immediately.
+        backoff_factor: multiplier applied per further retry
+            (exponential backoff, deterministic -- no jitter).
+        timeout_s: per-task wall-clock budget; a pool task running
+            longer has its worker killed and counts the attempt as a
+            ``hang``.  None disables the timeout.  Serial sweeps cannot
+            preempt a running task, so the timeout only applies under
+            ``workers > 1``.
+        quarantine: when attempts are exhausted, True records a
+            :class:`TaskFailure` placeholder and lets the sweep finish;
+            False re-raises and aborts the sweep.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    timeout_s: float | None = None
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise RetryError("max_attempts must be at least 1")
+        if self.backoff_s < 0:
+            raise RetryError("backoff_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise RetryError("backoff_factor must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise RetryError("timeout_s must be positive (or None)")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before dispatching ``attempt`` (1-based retries).
+
+        Attempt 0 is the first try and never waits; attempt 1 waits
+        ``backoff_s``, attempt 2 ``backoff_s * backoff_factor``, and so
+        on.  Pure function of the attempt number: retry schedules are
+        reproducible.
+        """
+        if attempt <= 0:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` tries used up the budget."""
+        return attempts >= self.max_attempts
+
+
+def attempt_seed(task_seed: int, attempt: int) -> int:
+    """Deterministic RNG seed for one (task, attempt) pair.
+
+    Attempt 0 returns ``task_seed`` unchanged, so retry-aware callers
+    are bit-identical to retry-free runs when nothing fails.  Later
+    attempts spawn statistically independent
+    :class:`numpy.random.SeedSequence` children of the task seed: the
+    schedule depends only on ``(task_seed, attempt)``, never on worker
+    count or timing.
+    """
+    if attempt < 0:
+        raise RetryError("attempt must be non-negative")
+    if attempt == 0:
+        return int(task_seed)
+    children = np.random.SeedSequence(task_seed).spawn(attempt)
+    return int(children[attempt - 1].generate_state(2, np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured placeholder for a task that exhausted its retries.
+
+    Occupies the failed task's slot in the sweep's ordered results (so
+    indices still line up with the task list) and is persisted in the
+    sweep's run-ledger record.
+
+    Attributes:
+        index: the task's position in the sweep's task list.
+        label: the sweep label the task ran under.
+        kind: final failure class, one of :data:`FAILURE_KINDS`.
+        error: human-readable description of the last failure.
+        attempts: attempts consumed before quarantine.
+        reports: structured context (e.g. stall reports) from the
+            failing attempts, newest last.
+    """
+
+    index: int
+    label: str
+    kind: str
+    error: str
+    attempts: int
+    reports: tuple = field(default=())
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "reports": [dict(r) for r in self.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskFailure":
+        return cls(
+            index=int(payload.get("index", -1)),
+            label=str(payload.get("label", "")),
+            kind=str(payload.get("kind", "error")),
+            error=str(payload.get("error", "")),
+            attempts=int(payload.get("attempts", 0)),
+            reports=tuple(payload.get("reports") or ()),
+        )
+
+    def __str__(self) -> str:
+        return (f"task {self.index} quarantined after {self.attempts} "
+                f"attempt(s) [{self.kind}]: {self.error}")
+
+
+def is_task_failure(value: object) -> bool:
+    """Whether a sweep result slot holds a quarantine placeholder."""
+    return isinstance(value, TaskFailure)

@@ -72,6 +72,22 @@ class Diagnostic:
             "hint": self.hint,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Diagnostic":
+        """Rebuild a diagnostic from its :meth:`to_dict` form."""
+        label = str(payload.get("severity", "info")).upper()
+        try:
+            severity = Severity[label]
+        except KeyError:
+            severity = Severity.INFO
+        return cls(
+            code=str(payload.get("code", "")),
+            severity=severity,
+            message=str(payload.get("message", "")),
+            subject=str(payload.get("subject", "")),
+            hint=str(payload.get("hint", "")),
+        )
+
     def __str__(self) -> str:
         subject = f" [{self.subject}]" if self.subject else ""
         return f"{self.severity.label}:{self.code}{subject}: {self.message}"

@@ -1,0 +1,262 @@
+"""Tests for ledger-backed sweep resume and sweep-level run records.
+
+The contracts under test: every completed point leaves a replayable
+``sweep.point`` record keyed by a policy-free design fingerprint; a
+sweep that dies midway keeps its completed points, so a ``resume``
+rerun replays them instead of recomputing; and the sweep-level ledger
+record persists retry/quarantine/stall outcomes for post-mortems.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.flows import AsicFlowOptions, CustomFlowOptions
+from repro.flows.results import FlowError, FlowResult
+from repro.flows.sweep import (
+    load_resume_points,
+    point_fingerprint,
+    run_flow_sweep,
+    run_flow_sweep_report,
+)
+from repro.obs import ledger as run_ledger
+from repro.obs import live
+from repro.par.sweep import SweepStallError
+from repro.robust.retry import RetryPolicy, is_task_failure
+from repro.tech.process import CMOS250_ASIC
+
+
+@pytest.fixture(autouse=True)
+def _clean_layers():
+    live.disable()
+    live.configure_watch()
+    obs.disable()
+    obs.reset()
+    yield
+    live.disable()
+    live.configure_watch()
+    obs.disable()
+    obs.reset()
+
+
+def _points(count=3, **overrides):
+    kwargs = {"sizing_moves": 2, **overrides}
+    return [AsicFlowOptions(bits=4 + 2 * i, **kwargs)
+            for i in range(count)]
+
+
+class TestPointFingerprint:
+    def test_policy_fields_excluded(self):
+        # A point completed under chaos/fault injection must still
+        # match -- and resume -- its clean rerun.
+        clean = AsicFlowOptions(bits=4, sizing_moves=2)
+        faulted = AsicFlowOptions(bits=4, sizing_moves=2, fault="sta",
+                                  on_error="keep_going")
+        assert point_fingerprint(clean) == point_fingerprint(faulted)
+
+    def test_design_knobs_matter(self):
+        base = AsicFlowOptions(bits=4, sizing_moves=2)
+        assert point_fingerprint(base) != point_fingerprint(
+            AsicFlowOptions(bits=8, sizing_moves=2))
+        assert point_fingerprint(base) != point_fingerprint(
+            AsicFlowOptions(bits=4, sizing_moves=3))
+
+    def test_style_and_tech_matter(self):
+        asic = AsicFlowOptions(bits=4, sizing_moves=2)
+        custom = CustomFlowOptions(bits=4, sizing_moves=2)
+        assert point_fingerprint(asic) != point_fingerprint(custom)
+        assert point_fingerprint(asic) != point_fingerprint(
+            asic, tech=CMOS250_ASIC.scaled(name="cmos180"))
+
+    def test_explicit_default_tech_matches_none(self):
+        options = AsicFlowOptions(bits=4, sizing_moves=2)
+        assert (point_fingerprint(options)
+                == point_fingerprint(options, tech=CMOS250_ASIC))
+
+
+class TestPointRecords:
+    def test_each_point_leaves_a_replayable_record(self):
+        run_ledger.set_enabled(True)
+        points = _points(2)
+        results = run_flow_sweep(points, workers=1, label="rec.sweep")
+        records = run_ledger.get_ledger().records(kind="sweep.point")
+        assert len(records) == 2
+        by_fp = {r.fingerprint: r for r in records}
+        for options, result in zip(points, results):
+            rec = by_fp[point_fingerprint(options)]
+            rebuilt = FlowResult.from_dict(rec.result)
+            assert rebuilt.to_dict() == result.to_dict()
+            assert rec.config["bits"] == options.bits
+
+    def test_ledger_off_means_no_records(self):
+        run_flow_sweep(_points(1), workers=1)
+        assert run_ledger.get_ledger().records(kind="sweep.point") == []
+
+
+class TestResume:
+    def test_resume_replays_completed_points(self):
+        run_ledger.set_enabled(True)
+        points = _points(3)
+        first = run_flow_sweep(points, workers=1, label="resume.sweep")
+        report = run_flow_sweep_report(points, workers=1,
+                                       label="resume.sweep", resume=True)
+        assert report.replays == [0, 1, 2]
+        assert [r.to_dict() for r in report.results] == [
+            r.to_dict() for r in first
+        ]
+
+    def test_aborted_sweep_keeps_completed_points_serial(self):
+        # Point 2 trips an injected stage fault and aborts the sweep;
+        # the first two points' records must survive for resume.
+        run_ledger.set_enabled(True)
+        good = _points(2)
+        bad = AsicFlowOptions(bits=12, sizing_moves=2, fault="sta")
+        with pytest.raises(FlowError):
+            run_flow_sweep(good + [bad], workers=1, label="abort.sweep")
+        assert len(
+            run_ledger.get_ledger().records(kind="sweep.point")
+        ) == 2
+        # The faulted point's fingerprint ignores the fault knob, so
+        # the clean rerun resumes nothing for it but replays the rest.
+        clean = good + [AsicFlowOptions(bits=12, sizing_moves=2)]
+        report = run_flow_sweep_report(clean, workers=1,
+                                       label="abort.sweep", resume=True)
+        assert report.replays == [0, 1]
+        assert all(not is_task_failure(r) for r in report.results)
+
+    def test_pool_worker_records_adopted_on_arrival(self):
+        # Workers buffer their ledger writes; the supervisor adopts
+        # them the moment each task reply arrives, so a chaos-killed
+        # worker's completed peers are still on disk afterwards.
+        run_ledger.set_enabled(True)
+        points = _points(4)
+        report = run_flow_sweep_report(
+            points, workers=2, label="pool.sweep",
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            chaos="kill-worker:1",
+        )
+        assert report.ok
+        assert report.workers_lost >= 1
+        point_records = run_ledger.get_ledger().records(kind="sweep.point")
+        assert len(point_records) == 4
+        resumed = load_resume_points(points)
+        assert sorted(resumed) == [0, 1, 2, 3]
+
+    def test_resume_without_ledger_is_a_plain_run(self):
+        report = run_flow_sweep_report(_points(1), workers=1,
+                                       resume=True)
+        assert report.replays == []
+        assert report.ok
+
+    def test_load_resume_points_skips_unknown_tech(self):
+        run_ledger.set_enabled(True)
+        options = _points(1)[0]
+        run_ledger.record(run_ledger.RunRecord(
+            kind="sweep.point", label="bad", tech="no-such-node",
+            fingerprint=point_fingerprint(options),
+            result={"technology": "no-such-node"},
+        ))
+        # Rebuild failure degrades to recompute, never to an error.
+        assert load_resume_points([options]) == {}
+
+
+class TestSweepLedgerRecord:
+    def test_quarantine_outcomes_persisted(self):
+        run_ledger.set_enabled(True)
+        points = _points(3)
+        report = run_flow_sweep_report(
+            points, workers=2, label="q.sweep",
+            retry=RetryPolicy(max_attempts=1, backoff_s=0.0),
+            chaos="crash-task:1",
+        )
+        assert not report.ok
+        sweeps = run_ledger.get_ledger().records(kind="sweep")
+        assert len(sweeps) == 1
+        rec = sweeps[0]
+        assert rec.metrics["quarantined"] == 1
+        assert rec.metrics["points"] == 3
+        assert rec.failures[0]["index"] == 1
+        assert rec.failures[0]["kind"] == "error"
+        codes = [d["code"] for d in rec.diagnostics]
+        assert "sweep.quarantined" in codes
+
+    def test_replay_and_retry_counters_persisted(self):
+        run_ledger.set_enabled(True)
+        points = _points(2)
+        run_flow_sweep(points, workers=1, label="ctr.sweep")
+        run_flow_sweep_report(points, workers=1, label="ctr.sweep",
+                              resume=True)
+        last = run_ledger.get_ledger().records(kind="sweep")[-1]
+        assert last.metrics["replays"] == 2
+        assert last.metrics["retries"] == 0
+        assert last.metrics["workers_lost"] == 0
+
+    def test_stall_abort_writes_post_mortem_record(self):
+        run_ledger.set_enabled(True)
+        points = [AsicFlowOptions(bits=4, sizing_moves=2,
+                                  fault="slow:sta", seed=s)
+                  for s in (1, 2)]
+        live.configure_watch(heartbeat_s=None, stall_timeout_s=0.1)
+        with pytest.raises(SweepStallError):
+            run_flow_sweep(points, workers=2, label="stall.sweep")
+        sweeps = run_ledger.get_ledger().records(kind="sweep")
+        assert len(sweeps) == 1
+        rec = sweeps[0]
+        assert rec.metrics["aborted"] == 1
+        stall_failures = [f for f in rec.failures
+                          if f["kind"] == "stall"]
+        assert stall_failures
+        assert stall_failures[0]["source"].startswith("worker-")
+        codes = [d["code"] for d in rec.diagnostics]
+        assert "sweep.stalled" in codes
+
+
+class TestKillResumeCli:
+    """Acceptance criterion: a sweep killed partway through, rerun with
+    ``--resume-sweep``, replays its completed points from the ledger."""
+
+    def test_sigkill_then_resume_replays_completed_points(self, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env[run_ledger.ENV_DIR] = runs_dir
+        argv = [sys.executable, "-m", "repro.cli", "sweep", "asic",
+                "--bits", "6,8,10,12,14,16", "--sizing-moves", "60",
+                "--seed", "3", "--workers", "1"]
+        proc = subprocess.Popen(argv, cwd="/root/repo", env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        try:
+            # Wait for at least two completed points, then pull the plug.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                done = len(run_ledger.RunLedger(runs_dir).records(
+                    kind="sweep.point"))
+                if done >= 2 or proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        completed = len(run_ledger.RunLedger(runs_dir).records(
+            kind="sweep.point"))
+        assert completed >= 2
+        rerun = subprocess.run(
+            argv + ["--resume-sweep", "--json"], cwd="/root/repo",
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert rerun.returncode == 0, rerun.stderr
+        payload = json.loads(rerun.stdout)
+        assert len(payload["replays"]) >= 2
+        assert len(payload["results"]) == 6
+        assert payload["ok"] is True
+        assert payload["failures"] == []

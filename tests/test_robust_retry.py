@@ -1,0 +1,118 @@
+"""Tests for the deterministic retry policy (repro.robust.retry)."""
+
+import pickle
+
+import pytest
+
+from repro.robust.retry import (
+    FAILURE_KINDS,
+    RetryError,
+    RetryPolicy,
+    TaskFailure,
+    attempt_seed,
+    is_task_failure,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.backoff_s == pytest.approx(0.05)
+        assert policy.backoff_factor == pytest.approx(2.0)
+        assert policy.timeout_s is None
+        assert policy.quarantine is True
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"max_attempts": -1},
+        {"backoff_s": -0.1},
+        {"backoff_factor": 0.5},
+        {"timeout_s": 0.0},
+        {"timeout_s": -1.0},
+    ])
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(RetryError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_schedule_is_exponential_and_deterministic(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=3.0)
+        assert policy.delay_s(0) == 0.0
+        assert policy.delay_s(1) == pytest.approx(0.1)
+        assert policy.delay_s(2) == pytest.approx(0.3)
+        assert policy.delay_s(3) == pytest.approx(0.9)
+        # Pure function of the attempt number: no jitter.
+        assert [policy.delay_s(k) for k in range(4)] == [
+            policy.delay_s(k) for k in range(4)
+        ]
+
+    def test_zero_backoff_retries_immediately(self):
+        policy = RetryPolicy(backoff_s=0.0)
+        assert policy.delay_s(1) == 0.0
+        assert policy.delay_s(5) == 0.0
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert not policy.exhausted(0)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_single_attempt_policy_never_retries(self):
+        policy = RetryPolicy(max_attempts=1, backoff_s=0.0)
+        assert policy.exhausted(1)
+
+
+class TestAttemptSeed:
+    def test_attempt_zero_is_identity(self):
+        # The bit-identity guarantee: fault-free runs see the base seed.
+        for seed in (0, 1, 17, 2**40 + 3):
+            assert attempt_seed(seed, 0) == seed
+
+    def test_later_attempts_deterministic_and_distinct(self):
+        seeds = [attempt_seed(1234, k) for k in range(5)]
+        assert seeds == [attempt_seed(1234, k) for k in range(5)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_different_tasks_diverge(self):
+        assert attempt_seed(1, 1) != attempt_seed(2, 1)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(RetryError):
+            attempt_seed(0, -1)
+
+
+class TestTaskFailure:
+    def _failure(self):
+        return TaskFailure(
+            index=3, label="demo.sweep", kind="crash",
+            error="worker died (exit -9)", attempts=2,
+            reports=({"source": "worker-42", "silent_s": 1.5},),
+        )
+
+    def test_failure_kinds_cover_recovery_paths(self):
+        assert set(FAILURE_KINDS) == {
+            "error", "crash", "hang", "stall", "corrupt",
+        }
+
+    def test_round_trip(self):
+        failure = self._failure()
+        rebuilt = TaskFailure.from_dict(failure.to_dict())
+        assert rebuilt == failure
+
+    def test_picklable(self):
+        failure = self._failure()
+        assert pickle.loads(pickle.dumps(failure)) == failure
+
+    def test_str_names_index_attempts_and_kind(self):
+        text = str(self._failure())
+        assert "task 3" in text
+        assert "2 attempt(s)" in text
+        assert "[crash]" in text
+        assert "worker died" in text
+
+    def test_is_task_failure(self):
+        assert is_task_failure(self._failure())
+        assert not is_task_failure(None)
+        assert not is_task_failure({"kind": "crash"})
+        assert not is_task_failure(3.14)
