@@ -1,0 +1,108 @@
+"""Array STA engine: batched Monte Carlo and analysis throughput.
+
+The vectorized engine's whole claim is wall time without any numeric
+drift: one compiled level sweep replaces a Python propagation, and a
+10k-sample Monte Carlo runs as chunked matrix passes instead of 10k
+sequential propagations.  This benchmark prices both against the object
+engine -- the batched MC must be at least 10x faster AND bit-for-bit
+identical to the sequential sampler, and a 25-clock analysis sweep
+through one compiled ``clock_analyzer`` must beat 25 object analyses.
+
+Wall times land in ``BENCH_paperbench.json`` as
+``bench.sta_array.mc_batched.s`` / ``bench.sta_array.mc_sequential.s``
+/ ``bench.sta_array.analyze_array.s`` / ``bench.sta_array
+.analyze_object.s``.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from paperbench import record_wall, report, row, run_once
+
+from repro.cells import rich_asic_library
+from repro.flows.asic import WORKLOADS
+from repro.sta import (
+    analyze,
+    asic_clock,
+    monte_carlo_min_period,
+    register_boundaries,
+)
+from repro.sta.array import clock_analyzer
+from repro.tech import CMOS250_ASIC
+
+MC_SAMPLES = 10_000
+ANALYSIS_CLOCKS = 25
+
+
+def _measure():
+    library = rich_asic_library(CMOS250_ASIC)
+    module = register_boundaries(WORKLOADS["alu"](8, library), library)
+    clock = asic_clock(2000.0)
+
+    start = time.perf_counter()
+    batched = monte_carlo_min_period(
+        module, library, clock, samples=MC_SAMPLES, seed=17
+    )
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sequential = monte_carlo_min_period(
+        module, library, clock, samples=MC_SAMPLES, seed=17, batched=False
+    )
+    sequential_s = time.perf_counter() - start
+
+    run = clock_analyzer(module, library)
+    periods = [1500.0 + 23.0 * i for i in range(ANALYSIS_CLOCKS)]
+    start = time.perf_counter()
+    array_reports = [run(clock.with_period(p)) for p in periods]
+    analyze_array_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    object_reports = [
+        analyze(module, library, clock.with_period(p)) for p in periods
+    ]
+    analyze_object_s = time.perf_counter() - start
+
+    return (batched, sequential, batched_s, sequential_s,
+            array_reports, object_reports, analyze_array_s,
+            analyze_object_s)
+
+
+def test_sta_array(benchmark):
+    (batched, sequential, batched_s, sequential_s, array_reports,
+     object_reports, analyze_array_s, analyze_object_s) = run_once(
+        benchmark, _measure
+    )
+    record_wall("sta_array.mc_batched", batched_s)
+    record_wall("sta_array.mc_sequential", sequential_s)
+    record_wall("sta_array.analyze_array", analyze_array_s)
+    record_wall("sta_array.analyze_object", analyze_object_s)
+
+    # Speed without drift: the batched population is the sequential one.
+    assert np.array_equal(batched, sequential)
+    for fast, slow in zip(array_reports, object_reports):
+        assert fast.min_period_ps == slow.min_period_ps
+
+    mc_speedup = sequential_s / batched_s
+    analyze_speedup = analyze_object_s / analyze_array_s
+    print()
+    print(f"{MC_SAMPLES}-sample MC: batched {batched_s:.3f} s vs "
+          f"sequential {sequential_s:.3f} s ({mc_speedup:.1f}x, "
+          f"bitwise identical)")
+    print(f"{ANALYSIS_CLOCKS}-clock analysis sweep: compiled "
+          f"{analyze_array_s:.3f} s vs object {analyze_object_s:.3f} s "
+          f"({analyze_speedup:.1f}x)")
+
+    rows = [
+        row("batched 10k-sample Monte Carlo speedup", ">= 10x",
+            mc_speedup, 10.0, 10000.0, fmt="{:.1f}x"),
+        row("compiled multi-clock analysis speedup", ">= 2x",
+            analyze_speedup, 2.0, 10000.0, fmt="{:.1f}x"),
+    ]
+    report("S2  Vectorized array STA (engine)", rows)
+    for entry in rows:
+        assert entry.ok, entry

@@ -190,6 +190,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
             speed_test=args.speed_test,
             on_error=on_error,
             fault=args.inject_fault,
+            use_array=not args.no_array,
+            check_array=args.check_array,
         )
     else:
         from repro.flows import CustomFlowOptions, run_custom_flow
@@ -203,6 +205,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
             sizing_moves=args.sizing_moves,
             on_error=on_error,
             fault=args.inject_fault,
+            use_array=not args.no_array,
+            check_array=args.check_array,
         )
     if args.no_cache:
         stage_cache.set_enabled(False)
@@ -640,6 +644,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves)
         )
         flow_s = time.perf_counter() - start
+
+        # Vectorized STA: batched vs sequential Monte Carlo, and the
+        # reusable-compile analyzer vs per-call object analyses, on the
+        # benchmark workload netlist.
+        import numpy as np
+
+        from repro.cells.builder import rich_asic_library
+        from repro.flows.asic import WORKLOADS
+        from repro.sta.array import clock_analyzer
+        from repro.sta.clocking import asic_clock
+        from repro.sta.engine import analyze as sta_analyze
+        from repro.sta.sequential import register_boundaries
+        from repro.sta.statistical import monte_carlo_min_period
+        from repro.tech.process import CMOS250_ASIC
+
+        lib = rich_asic_library(CMOS250_ASIC)
+        netlist = register_boundaries(
+            WORKLOADS["alu"](args.bits, lib), lib
+        )
+        bclk = asic_clock(2000.0)
+        start = time.perf_counter()
+        mc_batched = monte_carlo_min_period(
+            netlist, lib, bclk, samples=args.mc_samples, seed=args.seed
+        )
+        mc_batched_s = time.perf_counter() - start
+        start = time.perf_counter()
+        mc_seq = monte_carlo_min_period(
+            netlist, lib, bclk, samples=args.mc_samples, seed=args.seed,
+            batched=False,
+        )
+        mc_seq_s = time.perf_counter() - start
+        mc_equal = bool(np.array_equal(mc_batched, mc_seq))
+
+        periods = [1500.0 + 23.0 * i for i in range(25)]
+        run_array = clock_analyzer(netlist, lib)
+        start = time.perf_counter()
+        for period in periods:
+            run_array(bclk.with_period(period))
+        analyze_array_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for period in periods:
+            sta_analyze(netlist, lib, bclk.with_period(period))
+        analyze_obj_s = time.perf_counter() - start
     finally:
         par_memo.set_enabled(True)
         stage_cache.set_enabled(True)
@@ -654,6 +701,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "flow.sizing_moves": args.sizing_moves,
         "flow.s": round(flow_s, 6),
         "cache.enabled": not args.no_cache,
+        "sta.array.mc.samples": args.mc_samples,
+        "sta.array.mc.batched_s": round(mc_batched_s, 6),
+        "sta.array.mc.sequential_s": round(mc_seq_s, 6),
+        "sta.array.mc.speedup": round(mc_seq_s / max(mc_batched_s, 1e-9), 2),
+        "sta.array.mc.bitwise_equal": mc_equal,
+        "sta.array.analyze.batch": len(periods),
+        "sta.array.analyze.array_s": round(analyze_array_s, 6),
+        "sta.array.analyze.object_s": round(analyze_obj_s, 6),
+        "sta.array.analyze.speedup": round(
+            analyze_obj_s / max(analyze_array_s, 1e-9), 2
+        ),
     }
     for rec in result.stage_records:
         payload[f"flow.stage.{rec.name}.s"] = round(rec.wall_s, 6)
@@ -706,6 +764,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{mc_s:.3f} s (median {dist.median_mhz:.1f} MHz)")
     print(f"asic flow   : bits={args.bits}, "
           f"sizing_moves={args.sizing_moves}: {flow_s:.3f} s")
+    print(f"array STA   : {args.mc_samples}-sample MC batched "
+          f"{mc_batched_s:.3f} s vs sequential {mc_seq_s:.3f} s "
+          f"({mc_seq_s / max(mc_batched_s, 1e-9):.1f}x, "
+          f"bitwise_equal={mc_equal}); "
+          f"{len(periods)} analyses {analyze_array_s:.3f} s vs "
+          f"{analyze_obj_s:.3f} s "
+          f"({analyze_obj_s / max(analyze_array_s, 1e-9):.1f}x)")
     print("flow stages :")
     for rec in result.stage_records:
         cached = " (cached)" if rec.cache_hit else ""
@@ -986,6 +1051,12 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--until", metavar="STAGE", default=None,
                       help="stop after this stage and print the stage "
                            "records (checkpointable partial run)")
+    flow.add_argument("--no-array", action="store_true",
+                      help="run STA stages on the object engine instead "
+                           "of the vectorized array engine")
+    flow.add_argument("--check-array", action="store_true",
+                      help="cross-check every array STA result against "
+                           "the object engine (slow)")
     flow.add_argument("--no-cache", action="store_true",
                       help="disable the stage fingerprint cache for "
                            "this run")
@@ -1132,6 +1203,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=17)
     bench.add_argument("--bits", type=int, default=8)
     bench.add_argument("--sizing-moves", type=int, default=20)
+    bench.add_argument("--mc-samples", type=int, default=2000,
+                       help="netlist Monte Carlo samples for the "
+                            "batched-vs-sequential STA comparison")
     bench.add_argument("--no-cache", action="store_true",
                        help="disable the memo caches for this run "
                             "(baseline comparison)")

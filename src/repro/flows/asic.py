@@ -141,7 +141,9 @@ def _stage_size(ctx: FlowContext) -> None:
 
 def _stage_sta(ctx: FlowContext) -> None:
     timing = guarded_solve_min_period(
-        ctx["module"], ctx["library"], ctx["clock"], wire=ctx.get("wire")
+        ctx["module"], ctx["library"], ctx["clock"], wire=ctx.get("wire"),
+        use_array=ctx.options.use_array,
+        check_array=ctx.options.check_array,
     )
     ctx["timing"] = timing
     ctx.span.set(min_period_ps=timing.min_period_ps,

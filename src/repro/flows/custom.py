@@ -156,7 +156,8 @@ def _stage_size(ctx: FlowContext) -> None:
 def _stage_sta(ctx: FlowContext) -> None:
     options = ctx.options
     timing = guarded_solve_min_period(
-        ctx["module"], ctx["library"], ctx["clock"], wire=ctx.get("wire")
+        ctx["module"], ctx["library"], ctx["clock"], wire=ctx.get("wire"),
+        use_array=options.use_array, check_array=options.check_array,
     )
     period_ps = timing.min_period_ps
     logic_ps = timing.logic_delay_ps

@@ -18,7 +18,9 @@ from dataclasses import dataclass
 #: point.  They are excluded from fingerprints: a run interrupted by an
 #: injected fault must still be resumable with the fault disarmed, and a
 #: keep_going re-run of a raise-mode flow shares its cached stages.
-POLICY_FIELDS = ("on_error", "fault")
+#: The array-engine switches are policy too: vectorized and object STA
+#: are proven equivalent, so toggling them must not invalidate caches.
+POLICY_FIELDS = ("on_error", "fault", "use_array", "check_array")
 
 
 @dataclass(frozen=True)
@@ -36,6 +38,11 @@ class FlowOptions:
             diagnostics and degrades gracefully.
         fault: chaos hook -- name of a stage at which to trip an
             injected fault (testing/selftest only; None = off).
+        use_array: run STA stages on the vectorized array engine
+            (``--no-array`` turns this off; the object engine is the
+            oracle either way).
+        check_array: cross-check every array analysis against the
+            object engine (slow; CI smoke and debugging).
     """
 
     workload: str = "alu"
@@ -45,6 +52,8 @@ class FlowOptions:
     seed: int = 1
     on_error: str = "raise"
     fault: str | None = None
+    use_array: bool = True
+    check_array: bool = False
 
 
 @dataclass(frozen=True)

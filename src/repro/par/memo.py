@@ -30,6 +30,7 @@ exported to :mod:`repro.obs` gauges by :func:`publish`, which
 from __future__ import annotations
 
 import functools
+import math
 from typing import Any, Callable
 
 #: Cache-size bound; clearing past it beats unbounded growth under
@@ -91,6 +92,10 @@ def arc_eval(arc: Any, load_ff: float, slew_ps: float) -> tuple[float, float]:
     _misses["sta.arc"] += 1
     delay = arc.delay_ps(load_ff, slew_ps)
     out_slew = arc.output_slew_ps(load_ff, slew_ps)
+    if not (math.isfinite(load_ff) and math.isfinite(slew_ps)):
+        # A NaN key can never hit (NaN != NaN), so storing it would only
+        # grow the cache until the MAX_ENTRIES wipe evicts the hot set.
+        return delay, out_slew
     if len(_arc_cache) >= MAX_ENTRIES:
         _arc_cache.clear()
     _arc_cache[key] = (arc, delay, out_slew)
@@ -100,9 +105,10 @@ def arc_eval(arc: Any, load_ff: float, slew_ps: float) -> tuple[float, float]:
 def memoized(kind: str) -> Callable[[Callable], Callable]:
     """Decorator: cache a pure function of hashable positional args.
 
-    Unhashable arguments fall through to a plain call (counted as a
-    miss), so decorating a function never changes its domain.  Results
-    are shared process-wide under the given counter ``kind``.
+    Unhashable or keyword arguments fall through to a plain call
+    (counted as a miss), so decorating a function never changes its
+    domain.  Results are shared process-wide under the given counter
+    ``kind``.
     """
     if kind not in _hits:
         _hits[kind] = 0
@@ -112,9 +118,16 @@ def memoized(kind: str) -> Callable[[Callable], Callable]:
         cache = _fn_caches.setdefault(f"{kind}:{func.__qualname__}", {})
 
         @functools.wraps(func)
-        def wrapper(*args: Any) -> Any:
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             if not _enabled:
-                return func(*args)
+                return func(*args, **kwargs)
+            if kwargs:
+                # Keyword calls fall through to a plain call (counted as
+                # a miss) rather than raising: positional and keyword
+                # spellings of the same call would need key
+                # normalisation against the signature to share entries.
+                _misses[kind] += 1
+                return func(*args, **kwargs)
             try:
                 entry = cache.get(args, _SENTINEL)
             except TypeError:

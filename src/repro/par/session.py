@@ -25,12 +25,20 @@ journal; :meth:`commit` applies it and returns the resulting
 
 Topology changes (buffering, resynthesis) invalidate a session: build a
 new one.  Sequential cells cannot be resized through a session.
+
+:class:`ArrayTimingSession` is the drop-in vectorized variant: it
+compiles the timing graph once (:mod:`repro.sta.array`) and re-runs the
+whole level sweep per move, refreshing only the swapped instances'
+coefficient slots.  Designs the array engine cannot reproduce exactly
+degrade transparently to a :class:`TimingSession`.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+
+import numpy as np
 
 from repro import obs
 from repro.cells.library import CellLibrary
@@ -188,7 +196,9 @@ class TimingSession:
         out_nets = list(inst.outputs.values())
         if not out_nets:
             return False, 0.0
-        load = self._net_load(out_nets[0])
+        load = 0.0
+        for net in out_nets:
+            load += self._net_load(net)
         arrival = self._arrival
         min_arrival = self._min_arrival
         slew = self._slew
@@ -302,7 +312,9 @@ class TimingSession:
             cell = self._graph.cell_of(name)
             if cell.is_sequential or not inst.outputs:
                 continue
-            load = self._net_load(list(inst.outputs.values())[0])
+            load = 0.0
+            for net in inst.outputs.values():
+                load += self._net_load(net)
             for pin, in_net in inst.inputs.items():
                 at = (
                     self._arrival[in_net]
@@ -492,3 +504,268 @@ def _close(a, b) -> bool:
     if isinstance(a, float) and isinstance(b, float):
         return math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12)
     return a == b
+
+
+class ArrayTimingSession:
+    """:class:`TimingSession` on the compiled array engine.
+
+    Same constructor and move API.  One
+    :class:`~repro.sta.array.CompiledTiming` is paid for up front; a
+    sizing move refreshes only the affected instances' coefficient
+    slots (the swapped cell plus the drivers of its input nets, whose
+    loads changed) and re-runs the vectorized level sweep.  The sweep
+    re-times the whole netlist, but it is a handful of numpy passes
+    rather than a Python cone walk, and the compile -- the expensive
+    part -- is reused across every trial and commit.
+
+    Exactness contract: identical results to :class:`TimingSession`
+    (itself bitwise-equal to :func:`repro.sta.engine.analyze`).  When
+    the array engine cannot guarantee that -- undriven logic, poisoned
+    or unknown arc models, non-finite arithmetic -- the session
+    degrades to a delegate :class:`TimingSession`, so callers see the
+    object engine's exact values and typed errors either way.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        library: CellLibrary,
+        clock: Clock,
+        wire: WireParasitics | None = None,
+        input_slew_ps: float = DEFAULT_INPUT_SLEW_PS,
+        input_arrival_ps: float = 0.0,
+        output_load_ff: float | None = None,
+        delay_derate: float = 1.0,
+        check: bool = False,
+    ) -> None:
+        if not (delay_derate > 0.0) or math.isinf(delay_derate):
+            raise TimingError(
+                f"delay derate must be a positive finite number, "
+                f"got {delay_derate}"
+            )
+        self.module = module
+        self.library = library
+        self.clock = clock
+        self._wire = wire
+        self._input_slew = input_slew_ps
+        self._input_arrival = input_arrival_ps
+        self._output_load = output_load_ff
+        self._derate = delay_derate
+        self._derates = np.array([delay_derate])
+        self._check = check
+        self._delegate: TimingSession | None = None
+        from repro.sta.array import _ArrayFallback, compile_timing
+
+        try:
+            self._compiled = compile_timing(
+                module, library, wire, output_load_ff
+            )
+            self._state = self._compiled.propagate(
+                input_slew_ps, input_arrival_ps, self._derates
+            )
+        except _ArrayFallback:
+            obs.count("sta.array.fallbacks")
+            self._degrade()
+            return
+        self._graph = self._compiled.graph
+        if not self._build_endpoint_rows():
+            # An endpoint net without a defined arrival: the object
+            # engine reports that lazily, so hand the session over.
+            self._degrade()
+            return
+        if self._check:
+            self._verify_against_full()
+
+    def _degrade(self) -> None:
+        """Swap in a TimingSession delegate (exact errors included)."""
+        self._delegate = TimingSession(
+            self.module, self.library, self.clock,
+            wire=self._wire,
+            input_slew_ps=self._input_slew,
+            input_arrival_ps=self._input_arrival,
+            output_load_ff=self._output_load,
+            delay_derate=self._derate,
+            check=self._check,
+        )
+
+    def _build_endpoint_rows(self) -> bool:
+        """Vectorized endpoint accounting; False if any net is undefined."""
+        defined = set(self._compiled._input_ids.tolist())
+        defined.update(self._compiled._reg_ids.tolist())
+        defined.update(self._compiled._out_net.tolist())
+        nets: list[int] = []
+        wire_d: list[float] = []
+        setup: list[float] = []
+        borrow: list[float] = []
+        is_reg: list[bool] = []
+        for kind, detail in self._graph.endpoints():
+            if kind == "port":
+                net = str(detail)
+                s = 0.0
+                br = 0.0
+                reg = False
+            else:
+                inst_name, pin = detail
+                cell = self._graph.cell_of(inst_name)
+                net = self.module.instance(inst_name).inputs[pin]
+                s = cell.sequential.setup_ps * self._derate
+                br = (
+                    self.clock.borrow_window_ps
+                    if cell.sequential.transparent
+                    else 0.0
+                )
+                reg = True
+            nid = self._compiled._net_id(net)
+            if nid is None or nid not in defined:
+                return False
+            nets.append(nid)
+            wire_d.append(self._graph.wire.delay(net) * self._derate)
+            setup.append(s)
+            borrow.append(br)
+            is_reg.append(reg)
+        self._ep_net = np.asarray(nets, dtype=np.int64)
+        self._ep_wire = np.asarray(wire_d)
+        self._ep_setup = np.asarray(setup)
+        self._ep_borrow = np.asarray(borrow)
+        self._ep_isreg = np.asarray(is_reg, dtype=bool)
+        return True
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+
+    def _swap(self, instance: str, cell_name: str) -> tuple[str, ...]:
+        """Replace a cell and refresh coefficients; returns touched names."""
+        old_cell = self._graph.cell_of(instance)
+        new_cell = self.library.get(cell_name)
+        if old_cell.is_sequential or new_cell.is_sequential:
+            raise TimingError(
+                f"cannot resize {instance!r} through a TimingSession: "
+                "sequential cells are fixed for a session's lifetime"
+            )
+        inst = self.module.instance(instance)
+        self.module.replace_cell(instance, cell_name)
+        self._graph.rebind(instance)
+        touched = {instance}
+        for in_net in set(inst.inputs.values()):
+            driver = self.module.driver_of(in_net)
+            if (
+                driver is not None
+                and not is_port_ref(driver)
+                and not self._graph.cell_of(driver[0]).is_sequential
+            ):
+                touched.add(driver[0])
+        self._compiled.refresh(touched)
+        return tuple(touched)
+
+    def _min_period_of(self, state) -> float:
+        if self._ep_net.size == 0:
+            raise TimingError(
+                f"module {self.module.name} has no timing endpoints"
+            )
+        at = state.arr[0, self._ep_net] + self._ep_wire
+        mp = ((at + self._ep_setup) + self.clock.skew_ps) - self._ep_borrow
+        np.maximum(mp, 1e-3, out=mp)
+        return float(np.where(self._ep_isreg, mp, at).max())
+
+    def trial(self, instance: str, cell_name: str) -> float:
+        """Minimum period if the swap were made; session state restored."""
+        if self._delegate is not None:
+            return self._delegate.trial(instance, cell_name)
+        obs.count("par.session.trials")
+        old = self.module.instance(instance).cell_name
+        if old == cell_name:
+            return self._min_period_of(self._state)
+        from repro.sta.array import _ArrayFallback
+
+        touched = self._swap(instance, cell_name)
+        try:
+            try:
+                state = self._compiled.propagate(
+                    self._input_slew, self._input_arrival, self._derates
+                )
+            except _ArrayFallback:
+                obs.count("sta.array.fallbacks")
+                # The object engine is the only faithful evaluator of
+                # this move (poisoned arcs, NaN shadowing with the
+                # finite guard off): a scratch session either raises
+                # its exact typed error or yields the exact period.
+                scratch = TimingSession(
+                    self.module, self.library, self.clock,
+                    wire=self._wire,
+                    input_slew_ps=self._input_slew,
+                    input_arrival_ps=self._input_arrival,
+                    output_load_ff=self._output_load,
+                    delay_derate=self._derate,
+                )
+                return scratch.min_period_ps()
+            return self._min_period_of(state)
+        finally:
+            self.module.replace_cell(instance, old)
+            self._graph.rebind(instance)
+            self._compiled.refresh(touched)
+
+    def commit(self, instance: str, cell_name: str) -> TimingReport:
+        """Apply a swap, re-propagate, return the new report."""
+        if self._delegate is not None:
+            return self._delegate.commit(instance, cell_name)
+        obs.count("par.session.commits")
+        from repro.sta.array import _ArrayFallback
+
+        if self.module.instance(instance).cell_name != cell_name:
+            self._swap(instance, cell_name)
+            try:
+                self._state = self._compiled.propagate(
+                    self._input_slew, self._input_arrival, self._derates
+                )
+            except _ArrayFallback:
+                obs.count("sta.array.fallbacks")
+                self._degrade()
+                return self._delegate.report()
+        report = self.report()
+        if self._check:
+            self._verify_against_full()
+        return report
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def min_period_ps(self) -> float:
+        """Binding minimum period over all endpoints (cheap trial form)."""
+        if self._delegate is not None:
+            return self._delegate.min_period_ps()
+        return self._min_period_of(self._state)
+
+    def report(self) -> TimingReport:
+        """Full :class:`TimingReport` from the session's cached state."""
+        if self._delegate is not None:
+            return self._delegate.report()
+        return self._state.report(self.clock)
+
+    # ------------------------------------------------------------------
+    # Equivalence checking
+    # ------------------------------------------------------------------
+
+    def _verify_against_full(self) -> None:
+        """Assert session state equals a from-scratch full analysis."""
+        from repro.sta.array import ArrayCheckError, assert_reports_match
+
+        full = analyze(
+            self.module, self.library, self.clock,
+            wire=self._wire,
+            input_slew_ps=self._input_slew,
+            input_arrival_ps=self._input_arrival,
+            output_load_ff=self._output_load,
+            delay_derate=self._derate,
+        )
+        try:
+            assert_reports_match(self.report(), full)
+        except ArrayCheckError as exc:
+            raise SessionCheckError(str(exc)) from exc
+        session_period = self.min_period_ps()
+        if not _close(session_period, full.min_period_ps):
+            raise SessionCheckError(
+                f"incremental min period {session_period} but full "
+                f"analyze() gives {full.min_period_ps}"
+            )

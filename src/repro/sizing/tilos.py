@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.cells.library import CellLibrary
 from repro.netlist.module import Module
-from repro.par.session import TimingSession
+from repro.par.session import ArrayTimingSession, TimingSession
 from repro.sizing.logical_effort import SizingError
 from repro.sta.clocking import Clock
 from repro.sta.engine import TimingReport
@@ -105,6 +105,7 @@ def size_for_speed(
     target_period_ps: float | None = None,
     max_moves: int = 500,
     area_limit: float = 3.0,
+    use_array: bool = True,
 ) -> SizingResult:
     """Greedy sensitivity sizing; mutates ``module`` in place.
 
@@ -117,6 +118,8 @@ def size_for_speed(
             until no move helps).
         max_moves: upper bound on accepted changes.
         area_limit: stop when area grows beyond this multiple.
+        use_array: run trials on the compiled array session (identical
+            results; the object session remains the oracle).
 
     Raises:
         SizingError: on invalid budgets.
@@ -125,7 +128,8 @@ def size_for_speed(
         raise SizingError("invalid sizing budget")
     with obs.span("sizing.tilos", budget=max_moves) as sp:
         area_before = total_area_um2(module, library)
-        session = TimingSession(module, library, clock, wire=wire)
+        session_cls = ArrayTimingSession if use_array else TimingSession
+        session = session_cls(module, library, clock, wire=wire)
         report = session.report()
         initial_period = report.min_period_ps
         area_now = area_before

@@ -1,5 +1,14 @@
 """Static timing analysis substrate: clocks, engine, FO4 metrics, reports."""
 
+from repro.sta.array import (
+    ArrayCheckError,
+    CompiledTiming,
+    analyze_array,
+    batch_analyze,
+    clock_analyzer,
+    compile_timing,
+    monte_carlo_min_period_batched,
+)
 from repro.sta.clocking import (
     ASIC_SKEW_FRACTION,
     CUSTOM_SKEW_FRACTION,
@@ -37,6 +46,13 @@ from repro.sta.sequential import register_boundaries, sequential_overhead_ps
 from repro.sta.timing_graph import TimingError, TimingGraph, WireParasitics
 
 __all__ = [
+    "ArrayCheckError",
+    "CompiledTiming",
+    "analyze_array",
+    "batch_analyze",
+    "clock_analyzer",
+    "compile_timing",
+    "monte_carlo_min_period_batched",
     "StatisticalReport",
     "analyze_statistical",
     "clark_max",

@@ -225,8 +225,7 @@ def analyze(
         out_nets = list(inst.outputs.values())
         if not out_nets:
             continue
-        out_net = out_nets[0]
-        load = graph.net_load_ff(out_net)
+        load = graph.instance_load_ff(inst_name)
         best_at = None
         best_pin = None
         worst_slew = 0.0
@@ -265,7 +264,7 @@ def analyze(
             cell = graph.cell_of(inst_name)
             if cell.is_sequential or not inst.outputs:
                 continue
-            load = graph.net_load_ff(list(inst.outputs.values())[0])
+            load = graph.instance_load_ff(inst_name)
             for pin, in_net in inst.inputs.items():
                 at = (
                     arrival[in_net]
@@ -399,6 +398,8 @@ def solve_min_period(
     wire: WireParasitics | None = None,
     tolerance_ps: float = 0.1,
     max_iterations: int = 30,
+    use_array: bool = True,
+    check_array: bool = False,
     **analyze_kwargs,
 ) -> TimingReport:
     """Self-consistent minimum period when skew/borrowing scale with it.
@@ -413,6 +414,13 @@ def solve_min_period(
     converges geometrically because the logic delay does not depend on
     the period.
 
+    ``use_array=True`` (the default) runs the iteration over the
+    vectorized engine (:mod:`repro.sta.array`): arrival propagation is
+    clock-independent, so the fixed point costs one compile+propagate
+    plus a report per step, bitwise equal to the object engine.
+    ``check_array=True`` additionally verifies every step against the
+    object engine.
+
     Raises:
         TimingError: if the constraint cannot close (overheads consume
             the whole cycle) or an accepted period is non-finite.
@@ -423,8 +431,17 @@ def solve_min_period(
         raise TimingError("tolerance must be positive and iterations >= 0")
     profiling = obs.enabled()
     start_s = obs.MONOTONIC() if profiling else 0.0
+    if use_array:
+        from repro.sta.array import clock_analyzer
+
+        run = clock_analyzer(
+            module, library, wire=wire, check=check_array, **analyze_kwargs
+        )
+    else:
+        def run(clk: Clock) -> TimingReport:
+            return analyze(module, library, clk, wire=wire, **analyze_kwargs)
     current = clock
-    report = analyze(module, library, current, wire=wire, **analyze_kwargs)
+    report = run(current)
     iterations = 1
     for _ in range(max_iterations):
         period = report.min_period_ps
@@ -435,7 +452,7 @@ def solve_min_period(
         if clock.skew_fraction + clock.borrow_fraction >= 1.0:
             raise TimingError("skew and borrow fractions consume the cycle")
         current = clock.with_period(period)
-        new_report = analyze(module, library, current, wire=wire, **analyze_kwargs)
+        new_report = run(current)
         iterations += 1
         if abs(new_report.min_period_ps - period) <= tolerance_ps:
             if profiling:

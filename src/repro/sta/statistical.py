@@ -120,10 +120,9 @@ def _gate_delay_stats(
         cell = graph.cell_of(inst.name)
         if cell.is_sequential:
             continue
-        out_net = next(iter(inst.outputs.values()), None)
-        if out_net is None:
+        if not inst.outputs:
             continue
-        load = graph.net_load_ff(out_net)
+        load = graph.instance_load_ff(inst.name)
         for pin in inst.inputs:
             nominal = cell.delay_ps(pin, load, DEFAULT_INPUT_SLEW_PS)
             delays[(inst.name, pin)] = (
@@ -299,15 +298,29 @@ def monte_carlo_min_period(
     samples: int = 200,
     seed: int = 1,
     wire: WireParasitics | None = None,
+    batched: bool = True,
 ) -> np.ndarray:
     """Sample minimum periods with independently perturbed gate delays.
 
     The brute-force cross-check for :func:`analyze_statistical`: each
     sample scales every gate arc's delay by its own Gaussian draw and
     re-runs a deterministic arrival propagation.
+
+    ``batched=True`` (the default) runs all samples as one matrix pass
+    through the vectorized engine (:mod:`repro.sta.array`); the result
+    is bitwise identical to the sequential loop, which remains available
+    as ``batched=False`` and as the oracle the equivalence tests compare
+    against.
     """
     if samples < 1:
         raise TimingError("need at least one sample")
+    if batched:
+        from repro.sta.array import monte_carlo_min_period_batched
+
+        return monte_carlo_min_period_batched(
+            module, library, clock, sigma_fraction=sigma_fraction,
+            samples=samples, seed=seed, wire=wire,
+        )
     graph = TimingGraph(module, library, wire)
     seq_names = graph.sequential_cell_names()
     order = topological_order(module, seq_names)

@@ -105,6 +105,20 @@ class TimingGraph:
             load += self.cell_of(inst_name).input_cap_ff(pin)
         return load
 
+    def instance_load_ff(self, instance_name: str) -> float:
+        """Total load driven by an instance: the sum over its output nets.
+
+        Single-output cells (every cell our builders produce) reduce to
+        ``net_load_ff`` of the one output; multi-output instances charge
+        the driver with every fanout net, matching what the gate
+        physically drives.  Both the deterministic and statistical
+        engines compute gate delay against this load.
+        """
+        load = 0.0
+        for net in self.module.instance(instance_name).outputs.values():
+            load += self.net_load_ff(net)
+        return load
+
     def sequential_instances(self) -> list[str]:
         """Names of flip-flop and latch instances."""
         return [

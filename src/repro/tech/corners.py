@@ -92,6 +92,51 @@ def get_corner(corner_type: CornerType) -> ProcessCorner:
     return STANDARD_CORNERS[corner_type]
 
 
+def evaluate_corners(
+    module,
+    library,
+    clock,
+    corners: dict[CornerType, ProcessCorner] | None = None,
+    wire=None,
+    use_array: bool = True,
+    **analyze_kwargs,
+):
+    """Timing reports across a corner set, one per corner.
+
+    Runs the analysis at every corner's ``delay_derate``.  With
+    ``use_array`` (the default) all corners share a single compiled
+    timing graph and one batched propagation; the object engine runs
+    each corner separately and serves as the exact oracle
+    (``use_array=False``).
+
+    Returns:
+        dict mapping each :class:`CornerType` to its TimingReport.
+    """
+    # Imported lazily: tech is a leaf package the sta/ layers import
+    # from, so a module-level import would create a cycle.
+    if corners is None:
+        corners = STANDARD_CORNERS
+    types = list(corners)
+    derates = [corners[t].delay_derate for t in types]
+    if use_array:
+        from repro.sta.array import batch_analyze
+
+        reports = batch_analyze(
+            module, library, clock, derates, wire=wire, **analyze_kwargs
+        )
+    else:
+        from repro.sta.engine import analyze
+
+        reports = [
+            analyze(
+                module, library, clock, wire=wire,
+                delay_derate=d, **analyze_kwargs,
+            )
+            for d in derates
+        ]
+    return dict(zip(types, reports))
+
+
 def worst_case_to_typical_speedup() -> float:
     """Frequency gain of typical silicon over the worst-case quote.
 

@@ -34,6 +34,7 @@ from repro.variation.montecarlo import (
     SpeedDistribution,
     maturity_trend,
     sample_chip_speeds,
+    sample_chip_speeds_sta,
 )
 
 __all__ = [
@@ -61,5 +62,6 @@ __all__ = [
     "fab_spread",
     "maturity_trend",
     "sample_chip_speeds",
+    "sample_chip_speeds_sta",
     "speed_tested_quote",
 ]

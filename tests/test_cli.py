@@ -158,7 +158,7 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "span" in out
         assert "flow.asic.sta" in out
-        assert "sta.analyze.calls" in out
+        assert "sta.array.analyze.calls" in out
 
     def test_stats_metrics_json(self, tmp_path, capsys):
         target = tmp_path / "m.json"
@@ -167,14 +167,14 @@ class TestObservabilityFlags:
             "--metrics-json", str(target),
         ]) == 0
         flat = json.loads(target.read_text())
-        assert flat["sta.analyze.calls"] > 0
+        assert flat["sta.array.analyze.calls"] > 0
         assert "sta.solve_min_period.iterations.p50" in flat
 
     def test_stats_prom_stdout_and_file(self, tmp_path, capsys):
         assert main(["stats", "--bits", "4", "--sizing-moves", "2",
                      "--prom"]) == 0
         out = capsys.readouterr().out
-        assert "# TYPE sta_analyze_calls_total counter" in out
+        assert "# TYPE sta_array_analyze_calls_total counter" in out
         assert "_bucket{le=" in out
         target = tmp_path / "m.prom"
         assert main(["stats", "--bits", "4", "--sizing-moves", "2",

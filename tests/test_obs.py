@@ -378,7 +378,7 @@ class TestInstrumentedHotPaths:
         assert counts["flow.asic"] == 1
         assert counts["sizing.tilos"] >= 1
         reg = obs.get_metrics()
-        assert reg.counter("sta.analyze.calls").value() > 0
+        assert reg.counter("sta.array.analyze.calls").value() > 0
         assert reg.counter("sta.solve_min_period.calls").value() >= 1
         assert reg.histogram("sta.solve_min_period.iterations").count() >= 1
         assert reg.counter("variation.montecarlo.samples").value() == 4000
