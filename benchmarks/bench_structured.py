@@ -1,0 +1,70 @@
+"""Spectrum -- the structured-ASIC point between ASIC and custom.
+
+The paper's Section 2 survey treats ASIC and custom as the endpoints
+of a methodology spectrum.  The structured backend implements the
+middle point (prefab slot fabric, characterised fixed H-tree,
+speed-binned quoting); this bench asserts it lands *between* the
+endpoints on every timing axis while paying the prefab area penalty,
+and that the classic asic:custom decomposition is unchanged by the
+registry refactor.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from paperbench import report, row, run_once
+
+from repro.core import analyze_multi_gap
+from repro.flows import (
+    AsicFlowOptions,
+    CustomFlowOptions,
+    StructuredFlowOptions,
+    run_asic_flow,
+    run_custom_flow,
+    run_structured_flow,
+)
+
+BITS = 8
+
+
+def _measure():
+    asic = run_asic_flow(AsicFlowOptions(bits=BITS, sizing_moves=15))
+    structured = run_structured_flow(
+        StructuredFlowOptions(bits=BITS, sizing_moves=15)
+    )
+    custom = run_custom_flow(
+        CustomFlowOptions(bits=BITS, target_cycle_fo4=14.0,
+                          sizing_moves=25)
+    )
+    return analyze_multi_gap([asic, structured, custom])
+
+
+def test_structured_between_endpoints(benchmark):
+    gap = run_once(benchmark, _measure)
+    asic, structured, custom = gap.results
+    s = gap.report_for("structured")
+    c = gap.report_for("custom")
+
+    rows = [
+        row("custom over asic, quoted (registry path)", "6-8x observed",
+            c.total_ratio, 5.0, 20.0),
+        row("structured over asic, quoted", "between 1x and custom",
+            s.total_ratio, 1.2, 0.8 * c.total_ratio),
+        row("structured cycle time vs asic", "shorter",
+            structured.min_period_ps / asic.min_period_ps, 0.30, 0.99),
+        row("structured cycle time vs custom", "longer",
+            structured.min_period_ps / custom.min_period_ps, 1.05, 20.0),
+        row("structured quoting factor vs asic", "bins, under custom 1.9x",
+            s.quoting_factor, 1.1, 1.9),
+        row("structured technology access", "same ASIC process",
+            s.technology_factor, 0.99, 1.01),
+        row("prefab area penalty (master vs cells)", ">10x die",
+            structured.area_um2 / asic.area_um2, 10.0, 1000.0),
+    ]
+    report(
+        f"SPECTRUM  structured-ASIC middle point ({BITS}-bit ALU)", rows
+    )
+    for entry in rows:
+        assert entry.ok, entry

@@ -5,8 +5,10 @@ want without writing Python:
 
 * ``survey``    -- the Section 2 chip survey and headline gap;
 * ``factors``   -- the Section 3 factor table and Section 9 residuals;
-* ``flow``      -- run one implementation flow and print its result;
-* ``gap``       -- run both flows and decompose the measured gap;
+* ``flow``      -- run one implementation flow (any registered style:
+  asic, custom, structured, plus plugins) and print its result;
+* ``gap``       -- run several styles (``--styles``, default asic vs
+  custom) and decompose the measured gap against a ``--baseline``;
 * ``roadmap``   -- project the gap over future process generations;
 * ``library``   -- summarise or export a generated cell library;
 * ``variation`` -- sample a die population and print the Section 8
@@ -116,7 +118,7 @@ def _flow_error_exit(exc, as_json: bool) -> int:
     return 2
 
 
-def _flow_until(args: argparse.Namespace, options) -> int:
+def _flow_until(args: argparse.Namespace, backend, options) -> int:
     """Partial flow run (``--until STAGE``): engine-direct, no result.
 
     Stops after the named stage; the remaining stages are recorded as
@@ -125,18 +127,13 @@ def _flow_until(args: argparse.Namespace, options) -> int:
     ``--checkpoint`` the partial context is snapshotted, and a later
     ``--resume`` run without ``--until`` completes the flow.
     """
-    from repro.flows import ASIC_GRAPH, CUSTOM_GRAPH, FlowEngine
+    from repro.flows import FlowEngine
     from repro.flows.asic import check_workload
-    from repro.tech.process import CMOS250_ASIC, CMOS250_CUSTOM
 
     check_workload(options)
-    if args.style == "asic":
-        graph, tech = ASIC_GRAPH, CMOS250_ASIC
-    else:
-        graph, tech = CUSTOM_GRAPH, CMOS250_CUSTOM
-    ctx = FlowEngine(graph).run(
-        options, tech, checkpoint=args.checkpoint, resume=args.resume,
-        from_stage=args.from_stage, until=args.until,
+    ctx = FlowEngine(backend.graph).run(
+        options, backend.default_tech, checkpoint=args.checkpoint,
+        resume=args.resume, from_stage=args.from_stage, until=args.until,
     )
     if args.json:
         print(json.dumps(
@@ -162,60 +159,34 @@ def _flow_until(args: argparse.Namespace, options) -> int:
 def _cmd_flow(args: argparse.Namespace) -> int:
     from repro.flows import FlowError
     from repro.flows import cache as stage_cache
+    from repro.flows.registry import (
+        backend_names,
+        get_backend,
+        run_backend_flow,
+    )
 
     if args.list_stages:
-        from repro.flows import ASIC_GRAPH, CUSTOM_GRAPH
-
-        graphs = {"asic": ASIC_GRAPH, "custom": CUSTOM_GRAPH}
-        chosen = [graphs[args.style]] if args.style else graphs.values()
-        print("\n\n".join(graph.describe() for graph in chosen))
+        chosen = ([get_backend(args.style)] if args.style
+                  else [get_backend(name) for name in backend_names()])
+        print("\n\n".join(b.graph.describe() for b in chosen))
         return 0
     if args.style is None:
-        print("repro-gap: flow requires a style (asic or custom) unless "
-              "--list-stages is given", file=sys.stderr)
+        print("repro-gap: flow requires a style "
+              f"({', '.join(backend_names())}) unless --list-stages is "
+              "given", file=sys.stderr)
         return 2
 
+    backend = get_backend(args.style)
     on_error = "keep_going" if args.keep_going else "raise"
-    if args.style == "asic":
-        from repro.flows import AsicFlowOptions, run_asic_flow
-
-        run = run_asic_flow
-        options = AsicFlowOptions(
-            workload=args.workload,
-            bits=args.bits,
-            pipeline_stages=args.stages,
-            rich_library=not args.poor_library,
-            careful_placement=not args.sloppy_placement,
-            sizing_moves=args.sizing_moves,
-            speed_test=args.speed_test,
-            on_error=on_error,
-            fault=args.inject_fault,
-            use_array=not args.no_array,
-            check_array=args.check_array,
-        )
-    else:
-        from repro.flows import CustomFlowOptions, run_custom_flow
-
-        run = run_custom_flow
-        options = CustomFlowOptions(
-            workload=args.workload,
-            bits=args.bits,
-            pipeline_stages=args.stages,
-            target_cycle_fo4=args.target_fo4,
-            sizing_moves=args.sizing_moves,
-            on_error=on_error,
-            fault=args.inject_fault,
-            use_array=not args.no_array,
-            check_array=args.check_array,
-        )
+    options = backend.cli_options(args, on_error)
     if args.no_cache:
         stage_cache.set_enabled(False)
     try:
         if args.until is not None:
-            return _flow_until(args, options)
-        result = run(
-            options, checkpoint=args.checkpoint, resume=args.resume,
-            from_stage=args.from_stage,
+            return _flow_until(args, backend, options)
+        result = run_backend_flow(
+            backend, options, checkpoint=args.checkpoint,
+            resume=args.resume, from_stage=args.from_stage,
         )
     except FlowError as exc:
         return _flow_error_exit(exc, args.json)
@@ -234,50 +205,62 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
 
 def _cmd_gap(args: argparse.Namespace) -> int:
-    from repro.core import analyze_gap
-    from repro.flows import (
-        AsicFlowOptions,
-        CustomFlowOptions,
-        FlowError,
-        run_asic_flow,
-        run_custom_flow,
-    )
+    """Run N implementation styles and decompose the measured gap.
+
+    The default comparison is the paper's (asic vs custom); ``--styles``
+    picks any subset of the registered backends and ``--baseline`` the
+    denominator of every factor.  The classic two-style output (table
+    wording, JSON top-level factor keys) is preserved whenever exactly
+    asic and custom are compared with the asic baseline.
+    """
+    from repro.core import analyze_multi_gap
+    from repro.flows import FlowError
+    from repro.flows.registry import get_backend, run_backend_flow
 
     on_error = "keep_going" if args.keep_going else "raise"
+    styles = args.styles or ["asic", "custom"]
+    if args.baseline not in styles:
+        print(f"repro-gap: --baseline {args.baseline!r} must be one of "
+              f"the compared styles ({', '.join(styles)})",
+              file=sys.stderr)
+        return 2
+    results = []
     try:
-        asic = run_asic_flow(
-            AsicFlowOptions(bits=args.bits, sizing_moves=args.sizing_moves,
-                            on_error=on_error)
-        )
-        custom = run_custom_flow(
-            CustomFlowOptions(
-                bits=args.bits,
-                target_cycle_fo4=args.target_fo4,
-                sizing_moves=args.sizing_moves,
-                on_error=on_error,
+        for style in styles:
+            backend = get_backend(style)
+            options = backend.gap_options(
+                bits=args.bits, sizing_moves=args.sizing_moves,
+                target_fo4=args.target_fo4, on_error=on_error,
             )
-        )
+            results.append(run_backend_flow(backend, options))
     except FlowError as exc:
         return _flow_error_exit(exc, args.json)
-    gap = analyze_gap(asic, custom)
+    gap = analyze_multi_gap(results, baseline=args.baseline)
+    two_way = (sorted(styles) == ["asic", "custom"]
+               and args.baseline == "asic")
     if args.json:
-        print(json.dumps(
-            {
-                "asic": asic.to_dict(),
-                "custom": custom.to_dict(),
-                "total_ratio": gap.total_ratio,
-                "cycle_depth_factor": gap.cycle_depth_factor,
-                "technology_factor": gap.technology_factor,
-                "quoting_factor": gap.quoting_factor,
-            },
-            indent=2,
-            sort_keys=True,
-        ))
+        payload: dict = {
+            result.style: result.to_dict() for result in results
+        }
+        payload["baseline"] = gap.baseline.style
+        payload["pairwise"] = gap.to_dict()["pairwise"]
+        if two_way:
+            # Legacy top-level factor keys of the original asic-vs-
+            # custom comparison, for existing consumers.
+            report = gap.report_for("custom")
+            payload["total_ratio"] = report.total_ratio
+            payload["cycle_depth_factor"] = report.cycle_depth_factor
+            payload["technology_factor"] = report.technology_factor
+            payload["quoting_factor"] = report.quoting_factor
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    print(asic.summary())
-    print(custom.summary())
+    for result in results:
+        print(result.summary())
     print()
-    print(gap.table())
+    if two_way:
+        print(gap.report_for("custom").table())
+    else:
+        print(gap.table())
     return 0
 
 
@@ -527,29 +510,23 @@ def _chaos_spec(text: str) -> str:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Fault-tolerant design-space sweep over a bits x stages grid."""
-    from repro.flows import AsicFlowOptions, CustomFlowOptions, FlowError
+    from repro.flows import FlowError
+    from repro.flows.registry import get_backend
     from repro.flows.sweep import run_flow_sweep_report
     from repro.robust.retry import RetryError, RetryPolicy, TaskFailure
 
+    backend = get_backend(args.style)
     on_error = "keep_going" if args.keep_going else "raise"
-    workload = args.workload or (
-        "alu_macro" if args.style == "custom" else "alu"
-    )
-    option_sets = []
-    for bits in args.bits:
-        for stages in args.stages:
-            if args.style == "custom":
-                option_sets.append(CustomFlowOptions(
-                    workload=workload, bits=bits, pipeline_stages=stages,
-                    sizing_moves=args.sizing_moves, seed=args.seed,
-                    on_error=on_error,
-                ))
-            else:
-                option_sets.append(AsicFlowOptions(
-                    workload=workload, bits=bits, pipeline_stages=stages,
-                    sizing_moves=args.sizing_moves, seed=args.seed,
-                    on_error=on_error,
-                ))
+    workload = args.workload or backend.default_workload
+    option_sets = [
+        backend.options_cls(
+            workload=workload, bits=bits, pipeline_stages=stages,
+            sizing_moves=args.sizing_moves, seed=args.seed,
+            on_error=on_error, fault=args.inject_fault,
+        )
+        for bits in args.bits
+        for stages in args.stages
+    ]
     retry = None
     if not args.no_retry:
         try:
@@ -913,19 +890,78 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Stage names eligible for --inject-fault (with or without "slow:").
-_FAULT_STAGES = ("map", "place", "cts", "size", "sta", "quote")
-
-
 def _fault_spec(value: str) -> str:
-    """argparse type for ``--inject-fault``: STAGE or ``slow:STAGE``."""
+    """argparse type for ``--inject-fault``: STAGE or ``slow:STAGE``.
+
+    Valid stage names are the union across every registered backend's
+    graph, resolved lazily (the registry imports the flow modules) so
+    plain ``--help`` stays cheap.
+    """
+    from repro.flows.registry import registered_stage_names
+
+    stages = registered_stage_names()
     stage = value[len("slow:"):] if value.startswith("slow:") else value
-    if stage not in _FAULT_STAGES:
+    if stage not in stages:
         raise argparse.ArgumentTypeError(
             f"unknown stage {stage!r} (choose from "
-            f"{', '.join(_FAULT_STAGES)}, optionally as slow:STAGE)"
+            f"{', '.join(stages)}, optionally as slow:STAGE)"
         )
     return value
+
+
+def _style_list(text: str) -> list[str]:
+    """Argparse type: comma-separated registered style names."""
+    from repro.flows.registry import backend_names
+
+    names = backend_names()
+    values = [part.strip() for part in text.split(",") if part.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one style")
+    for value in values:
+        if value not in names:
+            raise argparse.ArgumentTypeError(
+                f"unknown style {value!r} (choose from {', '.join(names)})"
+            )
+    if len(set(values)) != len(values):
+        raise argparse.ArgumentTypeError("styles must be unique")
+    return values
+
+
+def _add_flow_args(parser: argparse.ArgumentParser,
+                   grid: bool = False) -> None:
+    """Register the design-point flags shared by ``flow`` and ``sweep``.
+
+    One definition keeps the two subcommands' shared knobs (and their
+    help wording) from drifting apart.  With ``grid=True`` the bits and
+    stages axes take comma-separated lists (the sweep grid); otherwise
+    they are scalars.
+    """
+    parser.add_argument("--workload", default=None,
+                        help="workload (default: the style's default "
+                             "workload)")
+    if grid:
+        parser.add_argument("--bits", type=_int_list, default=[4, 8],
+                            metavar="N,N,...",
+                            help="comma-separated bit widths (grid axis)")
+        parser.add_argument("--stages", type=_int_list, default=[1],
+                            metavar="N,N,...",
+                            help="comma-separated pipeline depths "
+                                 "(grid axis)")
+    else:
+        parser.add_argument("--bits", type=int, default=8)
+        parser.add_argument("--stages", type=int, default=1)
+    parser.add_argument("--sizing-moves", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=1,
+                        help="placement / Monte Carlo RNG seed (a design-"
+                             "point knob: part of every fingerprint)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="degrade through stage failures instead of "
+                             "aborting; failures land in diagnostics")
+    parser.add_argument("--inject-fault", metavar="STAGE", default=None,
+                        type=_fault_spec,
+                        help="deliberately fail the named stage; "
+                             "slow:STAGE sleeps in it instead of failing "
+                             "(regression-gate testing)")
 
 
 def _obs_flags(parser: argparse.ArgumentParser,
@@ -1015,26 +1051,23 @@ def build_parser() -> argparse.ArgumentParser:
         "factors", help="Section 3 factor table", parents=[obs_parent]
     ).set_defaults(func=_cmd_factors)
 
+    from repro.flows.registry import backend_names
+
+    styles = backend_names()
     flow = sub.add_parser("flow", help="run one implementation flow",
                           parents=[obs_parent])
-    flow.add_argument("style", nargs="?", choices=["asic", "custom"],
+    flow.add_argument("style", nargs="?", choices=styles,
                       help="flow to run (optional with --list-stages)")
-    flow.add_argument("--workload", default="alu")
-    flow.add_argument("--bits", type=int, default=8)
-    flow.add_argument("--stages", type=int, default=1)
-    flow.add_argument("--target-fo4", type=float, default=None)
-    flow.add_argument("--sizing-moves", type=int, default=20)
+    _add_flow_args(flow)
+    flow.add_argument("--target-fo4", type=float, default=None,
+                      help="custom flow: pick the stage count landing "
+                           "the cycle near this FO4 depth")
+    flow.add_argument("--fabric-utilization", type=float, default=0.6,
+                      help="structured flow: target maximum fabric site "
+                           "utilization when picking the master")
     flow.add_argument("--poor-library", action="store_true")
     flow.add_argument("--sloppy-placement", action="store_true")
     flow.add_argument("--speed-test", action="store_true")
-    flow.add_argument("--keep-going", action="store_true",
-                      help="degrade through stage failures instead of "
-                           "aborting; failures land in diagnostics")
-    flow.add_argument("--inject-fault", metavar="STAGE", default=None,
-                      type=_fault_spec,
-                      help="deliberately fail the named stage; "
-                           "slow:STAGE sleeps in it instead of failing "
-                           "(regression-gate testing)")
     flow.add_argument("--list-stages", action="store_true",
                       help="print the flow's stage graph (inputs, "
                            "outputs, params) and exit")
@@ -1064,8 +1097,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the flow result as JSON")
     flow.set_defaults(func=_cmd_flow)
 
-    gap = sub.add_parser("gap", help="run both flows, decompose the gap",
-                         parents=[obs_parent])
+    gap = sub.add_parser(
+        "gap",
+        help="run implementation styles, decompose the measured gap",
+        parents=[obs_parent],
+    )
+    gap.add_argument("--styles", type=_style_list, default=None,
+                     metavar="S1,S2,...",
+                     help="comma-separated styles to compare "
+                          f"(registered: {', '.join(styles)}; "
+                          "default asic,custom)")
+    gap.add_argument("--baseline", default="asic", choices=styles,
+                     help="style every factor is quoted against "
+                          "(default asic)")
     gap.add_argument("--bits", type=int, default=8)
     gap.add_argument("--target-fo4", type=float, default=14.0)
     gap.add_argument("--sizing-moves", type=int, default=20)
@@ -1073,7 +1117,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="degrade through stage failures instead of "
                           "aborting")
     gap.add_argument("--json", action="store_true",
-                     help="print both results and the factors as JSON")
+                     help="print the results and the factors as JSON")
     gap.set_defaults(func=_cmd_gap)
 
     stats = sub.add_parser(
@@ -1120,22 +1164,8 @@ def build_parser() -> argparse.ArgumentParser:
              "points)",
         parents=[obs_parent],
     )
-    sweep.add_argument("style", choices=["asic", "custom"],
-                       help="flow to sweep")
-    sweep.add_argument("--workload", default=None,
-                       help="workload (default: alu, or alu_macro for "
-                            "custom)")
-    sweep.add_argument("--bits", type=_int_list, default=[4, 8],
-                       metavar="N,N,...",
-                       help="comma-separated bit widths (grid axis)")
-    sweep.add_argument("--stages", type=_int_list, default=[1],
-                       metavar="N,N,...",
-                       help="comma-separated pipeline depths (grid axis)")
-    sweep.add_argument("--sizing-moves", type=int, default=20)
-    sweep.add_argument("--seed", type=int, default=1)
-    sweep.add_argument("--keep-going", action="store_true",
-                       help="degrade through stage failures instead of "
-                            "aborting each point")
+    sweep.add_argument("style", choices=styles, help="flow to sweep")
+    _add_flow_args(sweep, grid=True)
     sweep.add_argument("--workers", type=int, default=1)
     sweep.add_argument("--cache-dir", default=None,
                        help="shared on-disk stage cache directory")

@@ -97,8 +97,147 @@ class GapReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class MultiGapReport:
+    """N-way gap decomposition against a chosen baseline style.
+
+    Every non-baseline style gets the full pairwise
+    :class:`GapReport` factor decomposition *versus the baseline*, so
+    the two-style analysis is the N=2 special case and the factor
+    identities (``total == depth x tech x quoting``) hold per column.
+
+    Attributes:
+        baseline: the reference flow result (denominator of every
+            ratio).
+        others: non-baseline flow results, in input order.
+        pairwise: one :class:`GapReport` per entry of ``others``,
+            aligned by index (``asic`` field = baseline, ``custom``
+            field = the other style -- the report's numerator/
+            denominator roles, not the styles' names).
+    """
+
+    baseline: FlowResult
+    others: tuple[FlowResult, ...]
+    pairwise: tuple[GapReport, ...]
+
+    @property
+    def results(self) -> tuple[FlowResult, ...]:
+        """All results, baseline first."""
+        return (self.baseline, *self.others)
+
+    def styles(self) -> list[str]:
+        """Style names, baseline first."""
+        return [result.style for result in self.results]
+
+    def report_for(self, style: str) -> GapReport:
+        """The pairwise report of one non-baseline style vs baseline.
+
+        Raises:
+            GapError: for the baseline itself or an unknown style.
+        """
+        for other, report in zip(self.others, self.pairwise):
+            if other.style == style:
+                return report
+        raise GapError(
+            f"no pairwise report for style {style!r}; have "
+            f"{[o.style for o in self.others]} vs {self.baseline.style!r}"
+        )
+
+    def table(self) -> str:
+        """Text table: per-style summary, then factor columns."""
+        lines = [
+            f"{'style':<12s} {'quoted MHz':>10s} {'FO4':>6s} "
+            f"{'process':>12s} {'area um2':>10s}"
+        ]
+        for result in self.results:
+            lines.append(
+                f"{result.style:<12s} {result.quoted_frequency_mhz:>10.1f} "
+                f"{result.fo4_depth:>6.1f} {result.technology.name:>12s} "
+                f"{result.area_um2:>10.0f}"
+            )
+        lines.append("")
+        header = f"{'component (vs ' + self.baseline.style + ')':<36s}"
+        for other in self.others:
+            header += f" {other.style:>12s}"
+        lines.append(header)
+        rows = [
+            ("total quoted-frequency ratio", "total_ratio"),
+            ("  cycle depth (FO4/cycle)", "cycle_depth_factor"),
+            ("    of which logic depth", "logic_depth_ratio"),
+            ("    of which sequencing overhead", "overhead_depth_ratio"),
+            ("  technology access (FO4 delay)", "technology_factor"),
+            ("  silicon quoting (bins vs WC)", "quoting_factor"),
+        ]
+        for label, attr in rows:
+            line = f"{label:<36s}"
+            for report in self.pairwise:
+                line += f" {getattr(report, attr):>11.2f}x"
+            lines.append(line)
+        line = f"{'equivalent process generations':<36s}"
+        for report in self.pairwise:
+            line += f" {report.gap_in_generations():>11.1f} "
+        lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: per-style results plus pairwise factors."""
+        return {
+            "baseline": self.baseline.style,
+            "styles": {
+                result.style: result.to_dict() for result in self.results
+            },
+            "pairwise": {
+                other.style: {
+                    "total_ratio": report.total_ratio,
+                    "cycle_depth_factor": report.cycle_depth_factor,
+                    "technology_factor": report.technology_factor,
+                    "quoting_factor": report.quoting_factor,
+                    "logic_depth_ratio": report.logic_depth_ratio,
+                    "overhead_depth_ratio": report.overhead_depth_ratio,
+                    "generations": report.gap_in_generations(),
+                }
+                for other, report in zip(self.others, self.pairwise)
+            },
+        }
+
+
+def analyze_multi_gap(
+    results: "list[FlowResult] | tuple[FlowResult, ...]",
+    baseline: str = "asic",
+) -> MultiGapReport:
+    """Decompose the measured gap of N styles against one baseline.
+
+    Args:
+        results: one flow result per style (at least two, unique
+            styles); order is preserved in the report's columns.
+        baseline: style name every other style is compared against.
+
+    Raises:
+        GapError: for fewer than two results, duplicate styles, a
+            missing baseline, or degenerate frequencies.
+    """
+    if len(results) < 2:
+        raise GapError("gap analysis needs at least two flow results")
+    styles = [result.style for result in results]
+    if len(set(styles)) != len(styles):
+        raise GapError(f"duplicate styles in gap analysis: {styles}")
+    by_style = {result.style: result for result in results}
+    if baseline not in by_style:
+        raise GapError(
+            f"baseline style {baseline!r} not among results: {styles}"
+        )
+    base = by_style[baseline]
+    others = tuple(r for r in results if r.style != baseline)
+    pairwise = tuple(analyze_gap(base, other) for other in others)
+    return MultiGapReport(baseline=base, others=others, pairwise=pairwise)
+
+
 def analyze_gap(asic: FlowResult, custom: FlowResult) -> GapReport:
     """Decompose the measured gap between two flow results.
+
+    The two-style core the N-way :func:`analyze_multi_gap` is built
+    from: the first argument is the baseline (denominator), the second
+    the comparison style (numerator), whatever their actual styles.
 
     Raises:
         GapError: if results are degenerate (zero frequencies).

@@ -1,9 +1,12 @@
-"""End-to-end implementation flows: ASIC vs custom methodology.
+"""End-to-end implementation flows: pluggable implementation styles.
 
-Both flows are stage compositions on the declarative
-:mod:`repro.flows.engine`; :mod:`repro.flows.cache` gives them
-fingerprint-keyed stage caching and :mod:`repro.flows.sweep` fans
-option sets across workers with the shared-prefix cache wired in.
+Every flow is a stage composition on the declarative
+:mod:`repro.flows.engine`, registered as a :class:`Backend` in
+:mod:`repro.flows.registry` (``asic``, ``custom`` and ``structured``
+ship built in); :mod:`repro.flows.cache` gives them fingerprint-keyed
+stage caching and :mod:`repro.flows.sweep` fans option sets across
+workers with the shared-prefix cache wired in, resolving each point's
+flow from its options class.
 """
 
 from repro.flows.asic import (
@@ -28,14 +31,31 @@ from repro.flows.options import (
     AsicFlowOptions,
     CustomFlowOptions,
     FlowOptions,
+    StructuredFlowOptions,
     options_fingerprint,
 )
+from repro.flows.registry import (
+    BACKENDS,
+    Backend,
+    backend_for_options,
+    backend_names,
+    get_backend,
+    register_backend,
+    run_backend_flow,
+)
 from repro.flows.results import FlowError, FlowResult, StageRecord
+from repro.flows.structured import (
+    STRUCTURED_GRAPH,
+    run_structured_flow,
+    structured_flow_graph,
+)
 from repro.flows.sweep import run_flow_sweep, run_flow_sweep_report
 
 __all__ = [
     "ASIC_GRAPH",
     "AsicFlowOptions",
+    "BACKENDS",
+    "Backend",
     "CUSTOM_GRAPH",
     "CustomFlowOptions",
     "FlowContext",
@@ -43,16 +63,25 @@ __all__ = [
     "FlowError",
     "FlowOptions",
     "FlowResult",
+    "STRUCTURED_GRAPH",
     "Stage",
     "StageGraph",
     "StageRecord",
+    "StructuredFlowOptions",
     "WORKLOADS",
     "asic_flow_graph",
+    "backend_for_options",
+    "backend_names",
     "custom_flow_graph",
+    "get_backend",
     "options_fingerprint",
+    "register_backend",
     "run_asic_flow",
+    "run_backend_flow",
     "run_custom_flow",
     "run_flow_sweep",
     "run_flow_sweep_report",
+    "run_structured_flow",
     "stage_fingerprint",
+    "structured_flow_graph",
 ]

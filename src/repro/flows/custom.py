@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from repro.cells.builder import custom_library
 from repro.circuit.families import DOMINO_PROFILE
-from repro.flows.asic import WORKLOADS, check_workload
-from repro.flows.engine import FlowContext, FlowEngine, Stage, StageGraph
+from repro.flows.asic import WORKLOADS
+from repro.flows.engine import FlowContext, Stage, StageGraph
 from repro.flows.options import CustomFlowOptions
+from repro.flows.registry import Backend, register_backend, run_backend_flow
 from repro.flows.results import FlowResult
 from repro.physical.placement import place
 from repro.pipeline.pipeliner import pipeline_module
@@ -309,6 +310,44 @@ def finalize_custom(ctx: FlowContext,
     )
 
 
+def _cli_options(args, on_error: str) -> CustomFlowOptions:
+    """Build custom options from parsed ``flow`` subcommand arguments."""
+    return CustomFlowOptions(
+        workload=args.workload or "alu_macro",
+        bits=args.bits,
+        pipeline_stages=args.stages,
+        target_cycle_fo4=args.target_fo4,
+        sizing_moves=args.sizing_moves,
+        seed=args.seed,
+        on_error=on_error,
+        fault=args.inject_fault,
+        use_array=not args.no_array,
+        check_array=args.check_array,
+    )
+
+
+def _gap_options(bits: int, sizing_moves: int, target_fo4: float,
+                 on_error: str) -> CustomFlowOptions:
+    """The custom design point the ``gap`` comparison runs."""
+    return CustomFlowOptions(bits=bits, target_cycle_fo4=target_fo4,
+                             sizing_moves=sizing_moves, on_error=on_error)
+
+
+#: The registered custom backend (also importable for direct engine use).
+CUSTOM_BACKEND = register_backend(Backend(
+    name="custom",
+    graph=CUSTOM_GRAPH,
+    options_cls=CustomFlowOptions,
+    default_tech=CMOS250_CUSTOM,
+    finalize=finalize_custom,
+    default_workload="alu_macro",
+    description="full-custom flow: short-Leff process, continuous "
+                "sizing, domino, flagship silicon",
+    cli_options=_cli_options,
+    gap_options=_gap_options,
+))
+
+
 def run_custom_flow(
     options: CustomFlowOptions = CustomFlowOptions(),
     tech: ProcessTechnology = CMOS250_CUSTOM,
@@ -330,9 +369,7 @@ def run_custom_flow(
             ``on_error="raise"`` -- any stage failure (with the stage
             name attached and the cause chained).
     """
-    check_workload(options)
-    ctx = FlowEngine(CUSTOM_GRAPH).run(
-        options, tech, checkpoint=checkpoint, resume=resume,
+    return run_backend_flow(
+        CUSTOM_BACKEND, options, tech, checkpoint=checkpoint, resume=resume,
         from_stage=from_stage,
     )
-    return finalize_custom(ctx, tech)

@@ -1,10 +1,13 @@
 """Flow option records: the shared base and the per-style extensions.
 
-The ASIC and custom flows share most of their knobs (workload, width,
+The implementation styles share most of their knobs (workload, width,
 pipelining, sizing budget, seed, failure policy, chaos hook); the base
-:class:`FlowOptions` holds that common core so the two option classes
-cannot drift apart again, and so the engine can fingerprint and resume
-any flow generically (see :func:`options_fingerprint`).
+:class:`FlowOptions` holds that common core so the per-style option
+classes cannot drift apart again, and so the engine can fingerprint and
+resume any flow generically (see :func:`options_fingerprint`).  Each
+subclass is the registry key of its backend: the sweep runner resolves
+a point's flow from its options class (see
+:func:`repro.flows.registry.backend_for_options`).
 """
 
 from __future__ import annotations
@@ -70,6 +73,27 @@ class AsicFlowOptions(FlowOptions):
     rich_library: bool = True
     careful_placement: bool = True
     speed_test: bool = False
+
+
+@dataclass(frozen=True)
+class StructuredFlowOptions(FlowOptions):
+    """Knobs of the structured-ASIC flow (prefab fabric, middle ground).
+
+    Attributes:
+        fabric_utilization: target maximum site utilization when picking
+            the master; lower targets buy a bigger die (more prefab area
+            wasted) but route with less congestion detour.
+        careful_assignment: anneal the slot assignment after the greedy
+            seed (the vendor's assignment tool vs a quick seed).
+        speed_test: structured vendors bin-test the personalised parts,
+            so at-speed quoting is the default (Section 8.3's lever,
+            already pulled).
+    """
+
+    pipeline_stages: int = 2
+    fabric_utilization: float = 0.6
+    careful_assignment: bool = True
+    speed_test: bool = True
 
 
 @dataclass(frozen=True)

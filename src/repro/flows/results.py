@@ -74,7 +74,9 @@ class FlowResult:
 
     Attributes:
         name: flow label.
-        style: ``"asic"`` or ``"custom"``.
+        style: name of the implementation style that produced the
+            result -- any key of the backend registry
+            (``"asic"``, ``"custom"``, ``"structured"``, ...).
         technology: process the flow targeted.
         library_name: cell library used.
         typical_frequency_mhz: frequency of median silicon (from STA at

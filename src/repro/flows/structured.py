@@ -1,38 +1,33 @@
-"""The ASIC implementation flow, as a stage composition on the engine.
+"""The structured-ASIC implementation flow: the gap's middle ground.
 
-The standard-cell methodology as the paper describes it: RTL-ish entry,
-mapping onto a fixed library, automatic placement, discrete post-layout
-sizing, a synthesised (10%-class) clock tree, and -- crucially, Section 8
--- a worst-case-corner frequency quote rather than typical-silicon
-performance.  Every lever the paper says ASICs lack is an option here so
-the benchmarks can turn them on one at a time and price them.
+The paper frames a 3-8x spectrum between a default ASIC methodology and
+full custom.  Structured ASICs -- prefabricated slot-grid masters where
+only the personalisation metal is design-specific -- sit between the
+endpoints, and this flow prices exactly where: it keeps the ASIC's
+standard-cell library and discrete sizing, but swaps continuous
+placement for slot assignment on a :class:`~repro.physical.fabric.Fabric`
+(buying prefab die area for reduced NRE), inherits the master's
+characterised H-tree (8%-class skew, between the 10% ASIC and 5% custom
+budgets of Section 4.1), pipelines moderately (2 stages by default),
+and quotes at-speed-tested bins rather than the worst-case corner --
+structured vendors test the personalised parts (Section 8.3's lever,
+already pulled).
 
-The flow itself is a declarative :class:`~repro.flows.engine.StageGraph`
-(:func:`asic_flow_graph`) run by the shared
-:class:`~repro.flows.engine.FlowEngine`: span instrumentation,
-``keep_going`` degradation, fingerprint caching and checkpoint/resume
-all come from the engine, so this module only declares what each stage
-reads, writes and computes.
-
-Failure policy: with the default ``on_error="raise"`` any stage failure
-surfaces as a :class:`FlowError` naming the stage and chaining the root
-cause; with ``on_error="keep_going"`` failed stages are recorded into
-``FlowResult.diagnostics`` and the flow continues on best-effort
-fallbacks (the per-stage ``recover`` hooks below).
+Like its siblings, the flow is a declarative stage graph run by the
+shared engine and registered in :mod:`repro.flows.registry`; caching,
+checkpoint/resume, ``keep_going`` degradation and ledger records come
+for free.
 """
 
 from __future__ import annotations
 
-from repro.cells.builder import poor_asic_library, rich_asic_library
-from repro.datapath.alu import alu
-from repro.datapath.adders import kogge_stone_adder, ripple_carry_adder
-from repro.datapath.cpu import cpu_execute_stage
-from repro.datapath.multiplier import array_multiplier, wallace_multiplier
+from repro.cells.builder import rich_asic_library
 from repro.flows.engine import FlowContext, Stage, StageGraph
-from repro.flows.options import AsicFlowOptions, FlowOptions
+from repro.flows.options import StructuredFlowOptions
 from repro.flows.registry import Backend, register_backend, run_backend_flow
-from repro.flows.results import FlowError, FlowResult
-from repro.physical.placement import place
+from repro.flows.results import FlowResult
+from repro.physical.clocktree import structured_clock_tree
+from repro.physical.fabric import assign_slots, fabric_for
 from repro.pipeline.pipeliner import pipeline_module
 from repro.robust.degrade import StageRunner, fallback_timing
 from repro.robust.guards import (
@@ -42,7 +37,12 @@ from repro.robust.guards import (
 from repro.robust.validate import preflight
 from repro.sizing.buffering import buffer_high_fanout
 from repro.sizing.tilos import total_area_um2
-from repro.sta.clocking import asic_clock
+from repro.sta.clocking import (
+    ASIC_SKEW_FRACTION,
+    STRUCTURED_SKEW_FRACTION,
+    Clock,
+    structured_clock,
+)
 from repro.sta.fo4 import fo4_depth, fo4_logic_depth
 from repro.sta.sequential import register_boundaries
 from repro.tech.process import CMOS250_ASIC, ProcessTechnology
@@ -50,38 +50,14 @@ from repro.variation.binning import asic_worst_case_quote, speed_tested_quote
 from repro.variation.components import MATURE_PROCESS
 from repro.variation.montecarlo import sample_chip_speeds
 
-#: Named workload generators: (callable(bits, library), description).
-WORKLOADS = {
-    "alu": lambda bits, lib: alu(bits, lib, fast_adder=False),
-    "alu_macro": lambda bits, lib: alu(bits, lib, fast_adder=True),
-    "adder_ripple": ripple_carry_adder,
-    "adder_kogge_stone": kogge_stone_adder,
-    "multiplier_array": array_multiplier,
-    "multiplier_wallace": wallace_multiplier,
-    "cpu": lambda bits, lib: cpu_execute_stage(bits, lib, fast_adder=False),
-    "cpu_macro": lambda bits, lib: cpu_execute_stage(
-        bits, lib, fast_adder=True
-    ),
-}
-
-
-def check_workload(options: FlowOptions) -> None:
-    """Reject unknown workloads before any stage runs."""
-    if options.workload not in WORKLOADS:
-        raise FlowError(
-            f"unknown workload {options.workload!r}; "
-            f"known: {sorted(WORKLOADS)}",
-            stage="map",
-        )
-
 
 def _stage_map(ctx: FlowContext) -> None:
+    from repro.flows.asic import WORKLOADS
+
     options = ctx.options
-    library = (
-        rich_asic_library(ctx.tech)
-        if options.rich_library
-        else poor_asic_library(ctx.tech)
-    )
+    # Structured masters are personalised from the vendor's full cell
+    # menu; there is no impoverished-library variant to fall back to.
+    library = rich_asic_library(ctx.tech)
     comb = WORKLOADS[options.workload](options.bits, library)
 
     if options.pipeline_stages > 1:
@@ -94,26 +70,36 @@ def _stage_map(ctx: FlowContext) -> None:
     ctx["library"] = library
     ctx["module"] = module
     ctx["stages"] = stages
-    ctx["clock"] = asic_clock(20.0 * ctx.tech.fo4_delay_ps)
+    ctx["clock"] = structured_clock(20.0 * ctx.tech.fo4_delay_ps)
     ctx.span.set(cells=module.instance_count(), stages=stages,
                  library=library.name)
 
 
 def _stage_place(ctx: FlowContext) -> None:
     options = ctx.options
-    quality = "careful" if options.careful_placement else "sloppy"
-    placement = place(
-        ctx["module"], ctx["library"], quality=quality, seed=options.seed
+    module = ctx["module"]
+    library = ctx["library"]
+    fabric = fabric_for(module, library,
+                        utilization=options.fabric_utilization)
+    assignment = assign_slots(
+        module, library, fabric, seed=options.seed,
+        refine=options.careful_assignment,
     )
-    ctx["placement"] = placement
-    ctx["wire"] = placement.parasitics(ctx["library"])
-    ctx.notes["wirelength_um"] = placement.total_wirelength_um()
-    ctx.span.set(quality=quality,
-                 wirelength_um=placement.total_wirelength_um())
+    ctx["fabric"] = fabric
+    ctx["placement"] = assignment
+    ctx["wire"] = assignment.parasitics(library)
+    ctx.notes["wirelength_um"] = assignment.total_wirelength_um()
+    ctx.notes["fabric_utilization"] = assignment.utilization.overall
+    ctx.notes["fabric_slots"] = float(fabric.slot_count)
+    ctx.notes["detour_factor"] = assignment.detour_factor
+    ctx.span.set(fabric=f"{fabric.rows}x{fabric.cols}",
+                 utilization=assignment.utilization.overall,
+                 wirelength_um=assignment.total_wirelength_um())
 
 
 def _recover_place(ctx: FlowContext) -> None:
-    # Continuing without parasitics: downstream stages read wire=None.
+    # Continuing without parasitics: downstream stages read wire=None,
+    # and the finalizer falls back to cell area with no fabric bought.
     ctx.notes["wirelength_um"] = 0.0
 
 
@@ -124,7 +110,26 @@ def _stage_cts(ctx: FlowContext) -> None:
         buffered = buffer_high_fanout(ctx["module"], library, max_fanout=10)
         ctx.notes["buffers_added"] = float(buffered.buffers_added)
         ctx.span.set(buffers_added=buffered.buffers_added)
-    ctx.span.set(skew_fraction=clock.skew_fraction)
+    fabric = ctx.get("fabric")
+    if fabric is not None:
+        # Skew comes from the master's geometry -- the prefab tree spans
+        # the whole die and taps every sequential site -- clamped to the
+        # characterised 8%-class budget (never worse than a synthesised
+        # ASIC tree: the master was tuned once, for every design).
+        tree = structured_clock_tree(ctx.tech, fabric)
+        fraction = min(
+            ASIC_SKEW_FRACTION,
+            max(STRUCTURED_SKEW_FRACTION,
+                tree.skew_ps / clock.period_ps),
+        )
+        ctx["clock"] = Clock(
+            name=clock.name,
+            period_ps=clock.period_ps,
+            skew_ps=fraction * clock.period_ps,
+        )
+        ctx.notes["clock_tree_skew_ps"] = tree.skew_ps
+        ctx.notes["clock_wirelength_um"] = tree.wirelength_um
+    ctx.span.set(skew_fraction=ctx["clock"].skew_fraction)
 
 
 def _stage_size(ctx: FlowContext) -> None:
@@ -178,8 +183,6 @@ def _recover_quote(ctx: FlowContext) -> None:
 
 
 def _preflight_hook(ctx: FlowContext, runner: StageRunner) -> None:
-    # Pre-flight lint after buffering (so fanout findings are real, not
-    # about-to-be-fixed) but before sizing/STA.
     if runner.keep_going and "module" in ctx:
         runner.diagnostics.extend(preflight(ctx["module"], ctx["library"]))
 
@@ -195,28 +198,28 @@ def _summary_attrs(ctx: FlowContext) -> dict:
     return attrs
 
 
-def asic_flow_graph() -> StageGraph:
-    """The ASIC flow's declarative stage graph."""
+def structured_flow_graph() -> StageGraph:
+    """The structured-ASIC flow's declarative stage graph."""
     return StageGraph(
-        flow="asic",
+        flow="structured",
         stages=(
             Stage(
                 name="map", run=_stage_map, critical=True,
                 outputs=("module", "library", "stages", "clock"),
-                params=("workload", "bits", "pipeline_stages",
-                        "rich_library"),
+                params=("workload", "bits", "pipeline_stages"),
             ),
             Stage(
                 name="place", run=_stage_place,
                 inputs=("module", "library"),
-                outputs=("placement", "wire"),
-                params=("careful_placement", "seed"),
+                outputs=("placement", "wire", "fabric"),
+                params=("fabric_utilization", "careful_assignment",
+                        "seed"),
                 recover=_recover_place,
             ),
             Stage(
                 name="cts", run=_stage_cts,
                 inputs=("module", "library", "clock"),
-                outputs=("module",),
+                outputs=("module", "clock"),
             ),
             Stage(
                 name="size", run=_stage_size,
@@ -246,18 +249,27 @@ def asic_flow_graph() -> StageGraph:
 
 
 #: Module-level graph instance the flow entry point and the CLI share.
-ASIC_GRAPH = asic_flow_graph()
+STRUCTURED_GRAPH = structured_flow_graph()
 
 
-def finalize_asic(ctx: FlowContext,
-                  tech: ProcessTechnology) -> FlowResult:
-    """Build the result record from a completed ASIC flow context."""
+def finalize_structured(ctx: FlowContext,
+                        tech: ProcessTechnology) -> FlowResult:
+    """Build the result record from a completed structured flow context.
+
+    Area is the master bought (:attr:`Fabric.die_area_um2`), not the
+    cells used -- the structured cost model.  When the place stage was
+    degraded away there is no fabric; cell area is the fallback.
+    """
     options = ctx.options
     module = ctx["module"]
     timing = ctx["timing"]
+    fabric = ctx.get("fabric")
+    area = (fabric.die_area_um2 if fabric is not None
+            else total_area_um2(module, ctx["library"]))
     return FlowResult(
-        name=f"asic_{options.workload}{options.bits}_s{ctx['stages']}",
-        style="asic",
+        name=f"structured_{options.workload}{options.bits}"
+             f"_s{ctx['stages']}",
+        style="structured",
         technology=tech,
         library_name=ctx["library"].name,
         typical_frequency_mhz=timing.max_frequency_mhz,
@@ -268,24 +280,26 @@ def finalize_asic(ctx: FlowContext,
         overhead_fraction=timing.overhead_fraction(),
         pipeline_stages=ctx["stages"],
         gate_count=module.instance_count(),
-        area_um2=total_area_um2(module, ctx["library"]),
+        area_um2=area,
         notes=ctx.notes,
         diagnostics=ctx.diagnostics,
         stage_records=ctx.stage_records,
     )
 
 
-def _cli_options(args, on_error: str) -> AsicFlowOptions:
-    """Build ASIC options from parsed ``flow`` subcommand arguments."""
-    return AsicFlowOptions(
+def _cli_options(args, on_error: str) -> StructuredFlowOptions:
+    """Build structured options from parsed ``flow`` arguments.
+
+    ``--speed-test`` is accepted but redundant: structured parts are
+    bin-tested by default (the class default is already True).
+    """
+    return StructuredFlowOptions(
         workload=args.workload or "alu",
         bits=args.bits,
         pipeline_stages=args.stages,
-        rich_library=not args.poor_library,
-        careful_placement=not args.sloppy_placement,
+        fabric_utilization=args.fabric_utilization,
         sizing_moves=args.sizing_moves,
         seed=args.seed,
-        speed_test=args.speed_test,
         on_error=on_error,
         fault=args.inject_fault,
         use_array=not args.no_array,
@@ -294,50 +308,50 @@ def _cli_options(args, on_error: str) -> AsicFlowOptions:
 
 
 def _gap_options(bits: int, sizing_moves: int, target_fo4: float,
-                 on_error: str) -> AsicFlowOptions:
-    """The ASIC design point the ``gap`` comparison runs."""
-    del target_fo4  # the custom flow's knob; ASIC pipelines are fixed
-    return AsicFlowOptions(bits=bits, sizing_moves=sizing_moves,
-                           on_error=on_error)
+                 on_error: str) -> StructuredFlowOptions:
+    """The structured design point the ``gap`` comparison runs."""
+    del target_fo4  # the custom flow's knob; the fabric fixes the pipe
+    return StructuredFlowOptions(bits=bits, sizing_moves=sizing_moves,
+                                 on_error=on_error)
 
 
-#: The registered ASIC backend (also importable for direct engine use).
-ASIC_BACKEND = register_backend(Backend(
-    name="asic",
-    graph=ASIC_GRAPH,
-    options_cls=AsicFlowOptions,
+#: The registered structured backend.
+STRUCTURED_BACKEND = register_backend(Backend(
+    name="structured",
+    graph=STRUCTURED_GRAPH,
+    options_cls=StructuredFlowOptions,
     default_tech=CMOS250_ASIC,
-    finalize=finalize_asic,
+    finalize=finalize_structured,
     default_workload="alu",
-    description="standard-cell flow: discrete sizing, synthesised CTS, "
-                "worst-case quote",
+    description="structured-ASIC flow: prefab slot fabric, characterised "
+                "H-tree, bin-tested quote",
     cli_options=_cli_options,
     gap_options=_gap_options,
 ))
 
 
-def run_asic_flow(
-    options: AsicFlowOptions = AsicFlowOptions(),
+def run_structured_flow(
+    options: StructuredFlowOptions = StructuredFlowOptions(),
     tech: ProcessTechnology = CMOS250_ASIC,
     checkpoint: str | None = None,
     resume: bool = False,
     from_stage: str | None = None,
 ) -> FlowResult:
-    """Run the full ASIC flow and return its result record.
+    """Run the full structured-ASIC flow and return its result record.
 
     Args:
         options: flow knobs.
-        tech: process technology.
+        tech: process technology (the structured master is fabbed on the
+            ASIC process; only the methodology differs).
         checkpoint: snapshot the context here after every stage.
         resume: restore completed stages from ``checkpoint``.
         from_stage: with ``resume``, re-run from this stage onward.
 
     Raises:
-        FlowError: for unknown workloads, inconsistent options, or --
-            under ``on_error="raise"`` -- any stage failure (with the
-            stage name attached and the cause chained).
+        FlowError: for unknown workloads or -- under
+            ``on_error="raise"`` -- any stage failure.
     """
     return run_backend_flow(
-        ASIC_BACKEND, options, tech, checkpoint=checkpoint, resume=resume,
-        from_stage=from_stage,
+        STRUCTURED_BACKEND, options, tech, checkpoint=checkpoint,
+        resume=resume, from_stage=from_stage,
     )

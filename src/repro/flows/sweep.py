@@ -34,7 +34,6 @@ from typing import Sequence
 
 from repro.flows import cache as stage_cache
 from repro.flows.options import (
-    CustomFlowOptions,
     FlowOptions,
     digest,
     options_fingerprint,
@@ -47,7 +46,12 @@ from repro.tech.process import ProcessTechnology
 
 
 def _point_style(options: FlowOptions) -> str:
-    return "custom" if isinstance(options, CustomFlowOptions) else "asic"
+    """Registered style a point's options record resolves to."""
+    # Deferred: registry lookup imports the flow modules; keep the
+    # sweep module importable without paying for the whole flow stack.
+    from repro.flows.registry import backend_for_options
+
+    return backend_for_options(options).name
 
 
 def _point_tech_name(options: FlowOptions,
@@ -55,12 +59,9 @@ def _point_tech_name(options: FlowOptions,
     """The technology a point will actually run under, by name."""
     if tech is not None:
         return tech.name
-    # Mirrors the flow entry points' defaults (run_asic_flow /
-    # run_custom_flow), resolved lazily to keep import cost down.
-    from repro.tech.process import CMOS250_ASIC, CMOS250_CUSTOM
+    from repro.flows.registry import backend_for_options
 
-    return (CMOS250_CUSTOM.name if _point_style(options) == "custom"
-            else CMOS250_ASIC.name)
+    return backend_for_options(options).default_tech.name
 
 
 def point_fingerprint(options: FlowOptions,
@@ -87,12 +88,10 @@ def _sweep_point(task: tuple) -> FlowResult:
         stage_cache.configure(cache_dir)
     # Deferred: the flow modules import par.sweep's sibling machinery;
     # importing them lazily keeps worker startup minimal.
-    from repro.flows.asic import run_asic_flow
-    from repro.flows.custom import run_custom_flow
+    from repro.flows.registry import backend_for_options, run_backend_flow
 
-    run = (run_custom_flow if isinstance(options, CustomFlowOptions)
-           else run_asic_flow)
-    result = run(options) if tech is None else run(options, tech)
+    backend = backend_for_options(options)
+    result = run_backend_flow(backend, options, tech)
     if run_ledger.enabled():
         # The replayable record behind --resume-sweep.  In a worker
         # this lands in the buffer and is adopted by the parent the
@@ -223,9 +222,11 @@ def run_flow_sweep_report(
     """Run one flow per option record; return the full sweep report.
 
     Args:
-        option_sets: flow option records; :class:`CustomFlowOptions`
-            instances run the custom flow, everything else the ASIC
-            flow.  Mixing styles in one sweep is fine.
+        option_sets: flow option records; each point runs the backend
+            its options class is registered under (see
+            :func:`repro.flows.registry.backend_for_options`) -- plain
+            :class:`FlowOptions` records run the ASIC flow.  Mixing
+            styles in one sweep is fine.
         tech: technology override for every point (None = each flow's
             default).
         workers: process count; <= 1 runs serially in-process.

@@ -1,0 +1,9 @@
+"""Backend-neutral combinatorial optimizers shared by the physical layer."""
+
+from repro.optimize.anneal import AnnealMove, AnnealProblem, anneal
+
+__all__ = [
+    "AnnealMove",
+    "AnnealProblem",
+    "anneal",
+]

@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.physical.wires import wire_delay_ps
 from repro.tech.process import ProcessTechnology, TechnologyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.physical.fabric import Fabric
 
 #: Per-segment delay mismatch of an automatically synthesised (ASIC) tree.
 #: Late-90s CTS produced buffered trees with unequal branch depths, load
@@ -28,6 +32,10 @@ ASIC_SEGMENT_MISMATCH = 0.26
 #: Custom trees are hand-balanced and tuned; residual mismatch is small
 #: (the Alpha's 75 ps on a 1.67 ns cycle).
 CUSTOM_SEGMENT_MISMATCH = 0.05
+#: A structured-ASIC master's tree is prefabricated and characterised
+#: once (wide wires, fixed taps), so mismatch sits between synthesised
+#: and hand-tuned: no per-design CTS surprises, no per-design tuning.
+STRUCTURED_SEGMENT_MISMATCH = 0.12
 
 
 @dataclass(frozen=True)
@@ -122,4 +130,23 @@ def custom_clock_tree(
     return build_h_tree(
         tech, die_edge_um, sink_count,
         segment_mismatch=CUSTOM_SEGMENT_MISMATCH, wide_wires=True,
+    )
+
+
+def structured_clock_tree(
+    tech: ProcessTechnology, fabric: "Fabric"
+) -> ClockTree:
+    """Prefabricated master tree: ~8%-of-cycle skew class.
+
+    Unlike the synthesised/custom constructors, geometry comes from the
+    :class:`~repro.physical.fabric.Fabric` itself: the tree spans the
+    whole master (you buy its wires whether you use them or not) and
+    taps every prefab sequential site, not just the occupied ones.
+    """
+    return build_h_tree(
+        tech,
+        die_edge_um=fabric.die_edge_um,
+        sink_count=max(1, fabric.seq_slot_count),
+        segment_mismatch=STRUCTURED_SEGMENT_MISMATCH,
+        wide_wires=True,
     )

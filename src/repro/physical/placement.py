@@ -26,6 +26,7 @@ from repro.cells.library import CellLibrary
 from repro.netlist.graph import topological_order
 from repro.netlist.module import Module
 from repro.netlist.nets import is_port_ref
+from repro.optimize.anneal import anneal
 from repro.physical.geometry import GeometryError, Point
 from repro.physical.wires import optimal_repeater_plan, optimal_segment_um
 from repro.sta.timing_graph import WireParasitics
@@ -115,6 +116,7 @@ def place(
     seed: int = 1,
     utilization: float = 0.7,
     iterations: int | None = None,
+    rng: random.Random | None = None,
 ) -> Placement:
     """Place a netlist on a row grid.
 
@@ -123,9 +125,16 @@ def place(
         library: provides cell areas and the technology.
         quality: ``"careful"`` (topological seed + annealing) or
             ``"sloppy"`` (random scatter, no refinement).
-        seed: RNG seed.
+        seed: RNG seed.  Flows thread ``FlowOptions.seed`` through here,
+            so the seed stays part of the design point (it is a
+            fingerprinted stage param, *not* a policy field -- two
+            seeds are two different placements and must never share a
+            cached stage or a resumed sweep point).
         utilization: cell area over die area.
         iterations: annealing steps (default scales with design size).
+        rng: explicit RNG to draw from instead of ``Random(seed)``;
+            lets callers (e.g. the structured placer's comparisons)
+            share one stream across placement styles.
 
     Raises:
         GeometryError: for empty modules or bad parameters.
@@ -145,7 +154,8 @@ def place(
     cols = max(1, math.ceil(math.sqrt(len(instances))))
     rows = max(1, math.ceil(len(instances) / cols))
     pitch = math.sqrt(die_area / (rows * cols))
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
 
     if quality == "careful":
         seq = library.sequential_cell_names()
@@ -187,32 +197,45 @@ def _instance_nets(module: Module) -> dict[str, list[str]]:
     return touching
 
 
-def _anneal(placement: Placement, rng: random.Random, steps: int) -> None:
-    """Pairwise-swap annealing on total HPWL."""
-    module = placement.module
-    names = list(placement.positions)
-    if len(names) < 2:
-        return
-    touching = _instance_nets(module)
-    temperature = placement.pitch_um * 4.0
-    cooling = math.exp(math.log(0.02) / max(steps, 1))
-    for _ in range(steps):
-        a, b = rng.sample(names, 2)
+class _PositionSwaps:
+    """Annealing problem: pairwise position swaps on total HPWL.
+
+    The move/cost half of the old in-place annealer; the schedule and
+    acceptance rule now live in :func:`repro.optimize.anneal.anneal`.
+    """
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        self.names = list(placement.positions)
+        self.touching = _instance_nets(placement.module)
+
+    def propose(self, rng: random.Random) -> tuple[str, str]:
+        a, b = rng.sample(self.names, 2)
+        return a, b
+
+    def _swap(self, a: str, b: str) -> None:
+        positions = self.placement.positions
+        positions[a], positions[b] = positions[b], positions[a]
+
+    def apply(self, move: tuple[str, str]) -> float:
+        a, b = move
         # Sorted so the float summation order (and with it every
         # accept/reject decision) is independent of PYTHONHASHSEED.
-        nets = sorted(set(touching[a]) | set(touching[b]))
-        before = sum(placement.net_length_um(n) for n in nets)
-        placement.positions[a], placement.positions[b] = (
-            placement.positions[b],
-            placement.positions[a],
-        )
-        after = sum(placement.net_length_um(n) for n in nets)
-        delta = after - before
-        if delta > 0 and rng.random() >= math.exp(
-            -delta / max(temperature, 1e-9)
-        ):
-            placement.positions[a], placement.positions[b] = (
-                placement.positions[b],
-                placement.positions[a],
-            )
-        temperature *= cooling
+        nets = sorted(set(self.touching[a]) | set(self.touching[b]))
+        before = sum(self.placement.net_length_um(n) for n in nets)
+        self._swap(a, b)
+        after = sum(self.placement.net_length_um(n) for n in nets)
+        return after - before
+
+    def revert(self, move: tuple[str, str]) -> None:
+        self._swap(*move)
+
+
+def _anneal(placement: Placement, rng: random.Random, steps: int) -> None:
+    """Pairwise-swap annealing on total HPWL."""
+    if len(placement.positions) < 2:
+        return
+    anneal(
+        _PositionSwaps(placement), rng, steps=steps,
+        temperature=placement.pitch_um * 4.0,
+    )

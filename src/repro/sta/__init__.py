@@ -12,11 +12,13 @@ from repro.sta.array import (
 from repro.sta.clocking import (
     ASIC_SKEW_FRACTION,
     CUSTOM_SKEW_FRACTION,
+    STRUCTURED_SKEW_FRACTION,
     Clock,
     ClockingError,
     asic_clock,
     custom_clock,
     skew_speedup,
+    structured_clock,
 )
 from repro.sta.engine import (
     DEFAULT_INPUT_SLEW_PS,
@@ -59,6 +61,7 @@ __all__ = [
     "monte_carlo_min_period",
     "ASIC_SKEW_FRACTION",
     "CUSTOM_SKEW_FRACTION",
+    "STRUCTURED_SKEW_FRACTION",
     "Clock",
     "ClockingError",
     "ConvergenceError",
@@ -73,6 +76,7 @@ __all__ = [
     "analyze",
     "asic_clock",
     "custom_clock",
+    "structured_clock",
     "depth_for_frequency",
     "fo4_depth",
     "fo4_logic_depth",

@@ -107,6 +107,53 @@ class TestCommands:
         assert payload["asic"]["style"] == "asic"
         assert payload["custom"]["style"] == "custom"
 
+    def test_flow_structured_json(self, capsys):
+        assert main([
+            "flow", "structured", "--bits", "4", "--sizing-moves", "2",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["style"] == "structured"
+        assert payload["gate_count"] > 0
+        assert "fabric_utilization" in payload["notes"]
+
+    def test_gap_three_way_json(self, capsys):
+        assert main([
+            "gap", "--styles", "asic,structured,custom",
+            "--bits", "4", "--sizing-moves", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == "asic"
+        assert set(payload["pairwise"]) == {"structured", "custom"}
+        structured = payload["pairwise"]["structured"]["total_ratio"]
+        custom = payload["pairwise"]["custom"]["total_ratio"]
+        assert 1.0 < structured < custom
+        # The legacy two-way top-level keys only appear for the exact
+        # asic/custom pair.
+        assert "total_ratio" not in payload
+
+    def test_gap_three_way_table(self, capsys):
+        assert main([
+            "gap", "--styles", "asic,structured,custom",
+            "--bits", "4", "--sizing-moves", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total quoted-frequency ratio" in out
+        assert "structured" in out
+
+    def test_gap_baseline_must_be_among_styles(self, capsys):
+        assert main([
+            "gap", "--styles", "asic,structured", "--baseline", "custom",
+            "--bits", "4", "--sizing-moves", "2",
+        ]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_gap_rejects_unknown_or_duplicate_style(self):
+        with pytest.raises(SystemExit):
+            main(["gap", "--styles", "asic,fpga"])
+        with pytest.raises(SystemExit):
+            main(["gap", "--styles", "asic,asic"])
+
 
 class TestObservabilityFlags:
     def test_gap_profile_prints_stage_report(self, capsys):

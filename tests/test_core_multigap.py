@@ -1,0 +1,118 @@
+"""Unit tests for the N-way gap decomposition (synthetic results).
+
+The integration-level three-way analysis (real flows) lives in
+``test_flows_integration.py``; here we pin the algebra and the error
+paths of :func:`analyze_multi_gap` with hand-built
+:class:`FlowResult` values so failures point at the gap code, not at
+the flows.
+"""
+
+import pytest
+
+from repro.core import GapError, analyze_gap, analyze_multi_gap
+from repro.flows import FlowResult
+from repro.tech import CMOS250_ASIC, CMOS250_CUSTOM
+
+
+def _result(style, quote_factor, fo4, logic_fo4, tech=CMOS250_ASIC):
+    # Internally consistent numbers: the exact decomposition rests on
+    # f = quote_factor / (fo4_depth * fo4_delay), which real flows
+    # satisfy by construction.
+    period_ps = fo4 * tech.fo4_delay_ps
+    typical = 1.0e6 / period_ps
+    return FlowResult(
+        name=f"{style}_alu8",
+        style=style,
+        technology=tech,
+        library_name="rich_asic",
+        typical_frequency_mhz=typical,
+        quoted_frequency_mhz=typical * quote_factor,
+        min_period_ps=period_ps,
+        fo4_depth=fo4,
+        logic_fo4=logic_fo4,
+        overhead_fraction=1.0 - logic_fo4 / fo4,
+        pipeline_stages=2,
+        gate_count=100,
+        area_um2=1000.0,
+    )
+
+
+@pytest.fixture()
+def spectrum():
+    asic = _result("asic", quote_factor=0.6, fo4=40.0, logic_fo4=30.0)
+    structured = _result("structured", quote_factor=1.0,
+                         fo4=28.0, logic_fo4=22.0)
+    custom = _result("custom", quote_factor=1.2,
+                     fo4=14.0, logic_fo4=11.0, tech=CMOS250_CUSTOM)
+    return [asic, structured, custom]
+
+
+class TestAnalyzeMultiGap:
+    def test_pairwise_matches_two_arg_core(self, spectrum):
+        gap = analyze_multi_gap(spectrum)
+        for other in spectrum[1:]:
+            direct = analyze_gap(spectrum[0], other)
+            report = gap.report_for(other.style)
+            assert report.total_ratio == direct.total_ratio
+            assert report.cycle_depth_factor == direct.cycle_depth_factor
+            assert report.technology_factor == direct.technology_factor
+            assert report.quoting_factor == direct.quoting_factor
+
+    def test_factor_product_identity_per_column(self, spectrum):
+        gap = analyze_multi_gap(spectrum)
+        for report in gap.pairwise:
+            assert report.factor_product() == pytest.approx(
+                report.total_ratio, rel=1e-9
+            )
+
+    def test_results_ordered_baseline_first(self, spectrum):
+        gap = analyze_multi_gap(spectrum, baseline="structured")
+        assert gap.styles() == ["structured", "asic", "custom"]
+        assert gap.baseline.style == "structured"
+        # An asic-vs-structured column inverts the structured ratio.
+        assert gap.report_for("asic").total_ratio < 1.0
+
+    def test_two_results_is_the_n2_special_case(self, spectrum):
+        asic, _, custom = spectrum
+        gap = analyze_multi_gap([asic, custom])
+        direct = analyze_gap(asic, custom)
+        assert gap.report_for("custom").total_ratio == direct.total_ratio
+        assert gap.styles() == ["asic", "custom"]
+
+    def test_report_for_unknown_or_baseline_style(self, spectrum):
+        gap = analyze_multi_gap(spectrum)
+        with pytest.raises(GapError, match="no pairwise report"):
+            gap.report_for("asic")  # the baseline has no column
+        with pytest.raises(GapError, match="no pairwise report"):
+            gap.report_for("fpga")
+
+    def test_needs_two_results(self, spectrum):
+        with pytest.raises(GapError, match="at least two"):
+            analyze_multi_gap(spectrum[:1])
+
+    def test_rejects_duplicate_styles(self, spectrum):
+        with pytest.raises(GapError, match="duplicate"):
+            analyze_multi_gap([spectrum[0], spectrum[0]])
+
+    def test_rejects_missing_baseline(self, spectrum):
+        with pytest.raises(GapError, match="baseline"):
+            analyze_multi_gap(spectrum[1:], baseline="asic")
+
+    def test_table_has_summary_and_factor_columns(self, spectrum):
+        text = analyze_multi_gap(spectrum).table()
+        assert "total quoted-frequency ratio" in text
+        assert "structured" in text and "custom" in text
+        assert "equivalent process generations" in text
+
+    def test_to_dict_shape(self, spectrum):
+        payload = analyze_multi_gap(spectrum).to_dict()
+        assert payload["baseline"] == "asic"
+        assert set(payload["styles"]) == {"asic", "structured", "custom"}
+        assert set(payload["pairwise"]) == {"structured", "custom"}
+        column = payload["pairwise"]["custom"]
+        assert column["total_ratio"] == pytest.approx(
+            spectrum[2].quoted_frequency_mhz
+            / spectrum[0].quoted_frequency_mhz
+        )
+        assert {"cycle_depth_factor", "technology_factor",
+                "quoting_factor", "generations"} <= set(column)

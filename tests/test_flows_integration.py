@@ -8,13 +8,15 @@ than absolute numbers.
 
 import pytest
 
-from repro.core import GapError, analyze_gap
+from repro.core import GapError, analyze_gap, analyze_multi_gap
 from repro.flows import (
     AsicFlowOptions,
     CustomFlowOptions,
     FlowError,
+    StructuredFlowOptions,
     run_asic_flow,
     run_custom_flow,
+    run_structured_flow,
 )
 
 BITS = 8  # keep runtimes civil; shape is width-independent
@@ -23,6 +25,13 @@ BITS = 8  # keep runtimes civil; shape is width-independent
 @pytest.fixture(scope="module")
 def asic_baseline():
     return run_asic_flow(AsicFlowOptions(bits=BITS, sizing_moves=15))
+
+
+@pytest.fixture(scope="module")
+def structured_mid():
+    return run_structured_flow(
+        StructuredFlowOptions(bits=BITS, sizing_moves=15)
+    )
 
 
 @pytest.fixture(scope="module")
@@ -155,6 +164,35 @@ class TestGapAnalysis:
         text = analyze_gap(asic_baseline, custom_full).table()
         assert "cycle depth" in text
         assert "quoting" in text
+
+    def test_three_way_structured_sits_between(
+        self, asic_baseline, structured_mid, custom_full
+    ):
+        # The paper's spectrum: structured ASICs recover part of the
+        # gap (denser clocking, binning) without custom's logic styles.
+        gap = analyze_multi_gap(
+            [asic_baseline, structured_mid, custom_full]
+        )
+        structured_ratio = gap.report_for("structured").total_ratio
+        custom_ratio = gap.report_for("custom").total_ratio
+        assert 1.0 < structured_ratio < custom_ratio
+        assert (asic_baseline.min_period_ps
+                > structured_mid.min_period_ps
+                > custom_full.min_period_ps)
+
+    def test_three_way_table_renders_all_columns(
+        self, asic_baseline, structured_mid, custom_full
+    ):
+        text = analyze_multi_gap(
+            [asic_baseline, structured_mid, custom_full]
+        ).table()
+        assert "structured" in text and "custom" in text
+        assert "total quoted-frequency ratio" in text
+
+    def test_structured_pays_in_area(self, asic_baseline, structured_mid):
+        # The master bought dwarfs the cells used: the structured
+        # frequency recovery is not free.
+        assert structured_mid.area_um2 > asic_baseline.area_um2
 
     def test_degenerate_rejected(self, asic_baseline, custom_full):
         import dataclasses
