@@ -26,7 +26,7 @@ from dataclasses import dataclass
 BENCH_JSON = "BENCH_paperbench.json"
 
 #: Accumulated state of the current benchmark run.
-_COLLECTED: dict = {"rows": [], "wall_s": {}}
+_COLLECTED: dict = {"rows": [], "wall_s": {}, "values": {}}
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,15 @@ def record_wall(name: str, seconds: float) -> None:
     _COLLECTED["wall_s"][name] = seconds
 
 
+def record_value(name: str, value: float) -> None:
+    """Collect a non-wall-time scalar (CPU seconds, peak KiB, counts).
+
+    Lands as ``bench.<name>`` -- no ``.s`` suffix, and excluded from
+    the ``wall_time_s`` total, which must stay a sum of wall clocks.
+    """
+    _COLLECTED["values"][name] = float(value)
+
+
 def summary() -> dict:
     """Flat scalar dict of the run so far (the BENCH_*.json payload)."""
     rows = _COLLECTED["rows"]
@@ -123,11 +132,13 @@ def summary() -> dict:
     }
     for name in sorted(_COLLECTED["wall_s"]):
         flat[f"bench.{name}.s"] = round(_COLLECTED["wall_s"][name], 6)
+    for name in sorted(_COLLECTED["values"]):
+        flat[f"bench.{name}"] = round(_COLLECTED["values"][name], 6)
     return flat
 
 
 def _prior_wall_times(path: str) -> dict:
-    """Per-benchmark wall times already recorded in the artifact.
+    """Per-benchmark measurements already recorded in the artifact.
 
     A partial benchmark selection (``pytest benchmarks/bench_e8...``)
     should refine its own rows without deleting everyone else's; a
@@ -142,8 +153,9 @@ def _prior_wall_times(path: str) -> dict:
         return {}
     return {
         key: value for key, value in previous.items()
-        if key.startswith("bench.") and key.endswith(".s")
+        if key.startswith("bench.")
         and isinstance(value, (int, float))
+        and not isinstance(value, bool)
     }
 
 
@@ -156,7 +168,8 @@ def finalize(path: str = BENCH_JSON) -> dict | None:
     merged in rather than clobbered, with this run's rows winning any
     collision.
     """
-    if not _COLLECTED["rows"] and not _COLLECTED["wall_s"]:
+    if not _COLLECTED["rows"] and not _COLLECTED["wall_s"] \
+            and not _COLLECTED["values"]:
         return None
     flat = _prior_wall_times(path)
     flat.update(summary())

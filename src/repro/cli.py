@@ -267,10 +267,10 @@ def _cmd_gap(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run an instrumented ASIC-vs-custom comparison, print the profile.
 
-    With ``--top N`` nothing is run: the N slowest spans (by self time)
-    of the most recent ledger record that carries a span tree are
-    printed instead, so the hot-spot question does not need a live
-    tracer.
+    With ``--top N`` or ``--self`` nothing is run: the most recent
+    ledger record that carries a span tree answers instead (the N
+    slowest spans, or the self-time hotspot rollup plus critical
+    path), so the hot-spot question does not need a live tracer.
     """
     import time as _time
 
@@ -278,12 +278,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import ledger as run_ledger
     from repro.obs import render
 
-    if args.top is not None:
+    if args.top is not None or args.hotspots:
+        from repro.obs import profile as obs_profile
+
         for record in reversed(run_ledger.get_ledger().records()):
             if record.spans:
                 print(f"run {record.run_id} ({record.kind}, "
                       f"{record.label}):")
-                print(render.render_top_spans(record.spans, args.top))
+                if args.top is not None:
+                    print(render.render_top_spans(record.spans,
+                                                  args.top))
+                if args.hotspots:
+                    print(obs_profile.render_self_report(record.spans))
                 return 0
         print("repro-gap: no ledger record with a span tree found "
               f"under {run_ledger.runs_dir()!r}; run e.g. "
@@ -890,6 +896,47 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_budget(args: argparse.Namespace) -> int:
+    """Check benchmark numbers against their PERF_BUDGETS.toml ceilings.
+
+    A measurement over its ceiling is a fail finding; ``--gate`` turns
+    that into exit 3 (same code as ``runs regress --gate`` -- both are
+    performance gates).
+    """
+    from repro.obs import profile as obs_profile
+    from repro.obs.trace import ObsError
+
+    try:
+        budgets = obs_profile.load_budgets(args.budgets)
+    except OSError as exc:
+        print(f"repro-gap: cannot read budget file: {exc}",
+              file=sys.stderr)
+        return 1
+    except ObsError as exc:
+        print(f"repro-gap: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with open(args.bench) as handle:
+            bench = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"repro-gap: cannot read bench file {args.bench!r}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    if not isinstance(bench, dict):
+        print(f"repro-gap: bench file {args.bench!r} is not a JSON "
+              "object", file=sys.stderr)
+        return 1
+    report = obs_profile.check_budgets(budgets, bench, label=args.bench)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"perf budgets: {args.budgets} vs {args.bench}")
+        print(report.render())
+    if args.gate and not report.ok:
+        return 3
+    return 0
+
+
 def _fault_spec(value: str) -> str:
     """argparse type for ``--inject-fault``: STAGE or ``slow:STAGE``.
 
@@ -1017,6 +1064,31 @@ def _obs_flags(parser: argparse.ArgumentParser,
         **none_default,
     )
     parser.add_argument(
+        "--profile-cpu", action="store_true",
+        help="attribute CPU seconds to every flow stage "
+             "(time.process_time; lands in stage records and the "
+             "ledger, including sweep workers)",
+        **kwargs,
+    )
+    parser.add_argument(
+        "--profile-mem", nargs="?", const="sampled",
+        choices=("sampled", "trace"), metavar="MODE",
+        help="attribute peak memory (KiB) to every flow stage. "
+             "MODE 'sampled' (the default) polls the process RSS from "
+             "a background thread at negligible cost; 'trace' uses "
+             "tracemalloc for exact traced-heap peaks but instruments "
+             "every allocation (roughly 10x slower)",
+        **none_default,
+    )
+    parser.add_argument(
+        "--flame", metavar="FILE",
+        help="write a collapsed-stack flame graph of the command's "
+             "spans to FILE (Brendan Gregg format; open in speedscope)."
+             "  With --profile-cpu a cProfile-derived FILE.cpu rides "
+             "along",
+        **none_default,
+    )
+    parser.add_argument(
         "--heartbeat-s", type=float, metavar="S",
         help="sweep worker heartbeat interval in seconds "
              "(default 1.0)",
@@ -1134,6 +1206,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the N slowest spans (by self time) "
                             "from the last recorded run instead of "
                             "running anything")
+    stats.add_argument("--self", dest="hotspots", action="store_true",
+                       help="print the self-time hotspot rollup and "
+                            "critical path of the last recorded run "
+                            "instead of running anything")
     stats.add_argument("--prom", nargs="?", const="-", default=None,
                        metavar="FILE",
                        help="also emit the metrics registry in "
@@ -1308,6 +1384,27 @@ def build_parser() -> argparse.ArgumentParser:
     runs_regress.add_argument("--json", action="store_true",
                               help="print the report as JSON")
     runs.set_defaults(func=_cmd_runs)
+
+    budget = sub.add_parser(
+        "budget",
+        help="check benchmark numbers against PERF_BUDGETS.toml "
+             "ceilings (exit 3 with --gate on a blown budget)",
+        parents=[obs_parent],
+    )
+    budget.add_argument("--budgets", default="PERF_BUDGETS.toml",
+                        metavar="FILE",
+                        help="budget ceilings (default "
+                             "PERF_BUDGETS.toml)")
+    budget.add_argument("--bench", default="BENCH_paperbench.json",
+                        metavar="FILE",
+                        help="measured numbers (default "
+                             "BENCH_paperbench.json)")
+    budget.add_argument("--gate", action="store_true",
+                        help="exit 3 when any measurement is over its "
+                             "ceiling")
+    budget.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    budget.set_defaults(func=_cmd_budget)
     return parser
 
 
@@ -1331,13 +1428,21 @@ def main(argv: list[str] | None = None) -> int:
     trace_path = getattr(args, "trace", None)
     chrome_path = getattr(args, "trace_chrome", None)
     profile = getattr(args, "profile", False)
+    profile_cpu = bool(getattr(args, "profile_cpu", False))
+    profile_mem = getattr(args, "profile_mem", None)  # None, sampled, trace
+    flame_path = getattr(args, "flame", None)
     events_path = getattr(args, "events", None)
     live_flag = bool(getattr(args, "live", False))
     heartbeat_s = getattr(args, "heartbeat_s", None)
     stall_timeout = getattr(args, "stall_timeout", None)
     run_ledger.configure(getattr(args, "runs_dir", None))
     run_ledger.set_enabled(not getattr(args, "no_ledger", False))
-    capture = bool(trace_path or chrome_path or profile)
+    if profile_cpu or profile_mem:
+        from repro.obs import profile as obs_profile
+
+        obs_profile.configure(cpu=profile_cpu,
+                              mem=profile_mem if profile_mem else None)
+    capture = bool(trace_path or chrome_path or profile or flame_path)
     streaming = bool(live_flag or events_path is not None
                      or heartbeat_s is not None
                      or stall_timeout is not None)
@@ -1363,7 +1468,14 @@ def main(argv: list[str] | None = None) -> int:
             from repro import obs
 
             obs.enable()
+        cpu_profiler = None
+        if flame_path and profile_cpu:
+            import cProfile
+
+            cpu_profiler = cProfile.Profile()
         try:
+            if cpu_profiler is not None:
+                cpu_profiler.enable()
             code = args.func(args)
         except stall_errors as exc:
             # A worker went silent past --stall-timeout: report the
@@ -1377,6 +1489,8 @@ def main(argv: list[str] | None = None) -> int:
                       file=sys.stderr)
             return 4
         finally:
+            if cpu_profiler is not None:
+                cpu_profiler.disable()
             if capture:
                 from repro import obs
 
@@ -1397,6 +1511,35 @@ def main(argv: list[str] | None = None) -> int:
                     return 1
                 print(f"wrote {spans} spans to {chrome_path} "
                       "(chrome://tracing)", file=sys.stderr)
+            if flame_path:
+                from repro.obs import profile as obs_profile
+
+                try:
+                    stacks = obs_profile.write_collapsed(
+                        obs_profile.spans_to_collapsed(
+                            obs.get_tracer().finished()),
+                        flame_path,
+                    )
+                except OSError as exc:
+                    print(f"repro-gap: cannot write flame graph: {exc}",
+                          file=sys.stderr)
+                    return 1
+                print(f"wrote {stacks} flame stacks to {flame_path} "
+                      "(collapsed; open in speedscope)", file=sys.stderr)
+                if cpu_profiler is not None:
+                    try:
+                        stacks = obs_profile.write_collapsed(
+                            obs_profile.cprofile_to_collapsed(
+                                cpu_profiler),
+                            flame_path + ".cpu",
+                        )
+                    except OSError as exc:
+                        print(f"repro-gap: cannot write CPU flame "
+                              f"graph: {exc}", file=sys.stderr)
+                        return 1
+                    print(f"wrote {stacks} CPU flame stacks to "
+                          f"{flame_path}.cpu (cProfile)",
+                          file=sys.stderr)
             if profile:
                 print()
                 print(obs.render_report())
@@ -1415,6 +1558,10 @@ def main(argv: list[str] | None = None) -> int:
             if sink:
                 print(f"wrote live events to {sink}", file=sys.stderr)
             obs_live.disable()
+        if profile_cpu or profile_mem:
+            from repro.obs import profile as obs_profile
+
+            obs_profile.reset_state()
         run_ledger.set_enabled(False)
         run_ledger.configure(None)
 

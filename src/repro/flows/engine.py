@@ -43,6 +43,7 @@ import os
 from repro import obs
 from repro.obs import ledger as run_ledger
 from repro.obs import live as obs_live
+from repro.obs import profile as obs_profile
 from repro.flows import cache as stage_cache
 from repro.flows.options import FlowOptions, digest, options_fingerprint
 from repro.flows.results import FlowError, StageRecord
@@ -627,12 +628,16 @@ class FlowEngine:
         diagnostics_before = len(runner.diagnostics)
         notes_before = dict(ctx.notes)
         ctx._stage = stage.name
+        probe = obs_profile.stage_probe()
         try:
             with runner.stage(stage.name, critical=stage.critical):
                 with obs.span(f"flow.{ctx.flow}.{stage.name}") as sp:
                     ctx.span = sp
-                    maybe_trip(options.fault, stage.name)
-                    stage.run(ctx)
+                    with probe:
+                        maybe_trip(options.fault, stage.name)
+                        stage.run(ctx)
+                    if probe.active:
+                        sp.set(**probe.span_attrs())
         finally:
             ctx.span = obs.NOOP_SPAN
             ctx._stage = None
@@ -644,6 +649,7 @@ class FlowEngine:
             record = StageRecord(
                 name=stage.name, status="failed", wall_s=wall_s,
                 cache_hit=False, fingerprint=fp,
+                cpu_s=probe.cpu_s, peak_mem_kb=probe.peak_mem_kb,
             )
             ctx.stage_records.append(record)
             return record
@@ -651,6 +657,7 @@ class FlowEngine:
         record = StageRecord(
             name=stage.name, status="ok", wall_s=wall_s,
             cache_hit=False, fingerprint=fp,
+            cpu_s=probe.cpu_s, peak_mem_kb=probe.peak_mem_kb,
         )
         ctx.stage_records.append(record)
         clean = len(runner.diagnostics) == diagnostics_before

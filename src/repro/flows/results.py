@@ -39,6 +39,11 @@ class StageRecord:
         cache_hit: whether the stage's work was reused rather than done.
         fingerprint: input fingerprint the stage ran (or would run)
             under; the stage-cache key.
+        cpu_s: CPU seconds the stage burned (``time.process_time``
+            delta), or None when profiling was off.  Only populated by
+            ``obs.profile``; never part of the fingerprint.
+        peak_mem_kb: peak traced heap (KiB) inside the stage, or None
+            when memory profiling was off.
     """
 
     name: str
@@ -46,25 +51,40 @@ class StageRecord:
     wall_s: float
     cache_hit: bool
     fingerprint: str = ""
+    cpu_s: float | None = None
+    peak_mem_kb: float | None = None
 
     def to_dict(self) -> dict:
-        return {
+        # Profile fields are emitted only when measured, so with
+        # profiling off the serialized form is byte-identical to the
+        # pre-profiling schema (goldens, sweep-resume ledgers).
+        payload = {
             "name": self.name,
             "status": self.status,
             "wall_s": self.wall_s,
             "cache_hit": self.cache_hit,
             "fingerprint": self.fingerprint,
         }
+        if self.cpu_s is not None:
+            payload["cpu_s"] = self.cpu_s
+        if self.peak_mem_kb is not None:
+            payload["peak_mem_kb"] = self.peak_mem_kb
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "StageRecord":
         """Rebuild a stage record from its :meth:`to_dict` form."""
+        cpu_s = payload.get("cpu_s")
+        peak_mem_kb = payload.get("peak_mem_kb")
         return cls(
             name=str(payload.get("name", "")),
             status=str(payload.get("status", "")),
             wall_s=float(payload.get("wall_s", 0.0)),
             cache_hit=bool(payload.get("cache_hit", False)),
             fingerprint=str(payload.get("fingerprint", "")),
+            cpu_s=None if cpu_s is None else float(cpu_s),
+            peak_mem_kb=(None if peak_mem_kb is None
+                         else float(peak_mem_kb)),
         )
 
 

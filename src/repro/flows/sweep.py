@@ -180,6 +180,22 @@ def _record_sweep(option_sets: Sequence[FlowOptions],
         })
         failures.extend(f.to_dict() for f in report.failures)
         failures.extend({"kind": "stall", **r} for r in report.stalls)
+        # Profile attribution aggregated across all points/workers:
+        # total CPU burned and the worst per-stage heap peak.  Only
+        # present when obs.profile was on, so plain sweep records are
+        # unchanged.
+        cpu_total, peak_kb, profiled = 0.0, 0.0, False
+        for result in report.results:
+            for stage in getattr(result, "stage_records", None) or []:
+                if stage.cpu_s is not None:
+                    cpu_total += stage.cpu_s
+                    profiled = True
+                if stage.peak_mem_kb is not None:
+                    peak_kb = max(peak_kb, stage.peak_mem_kb)
+                    profiled = True
+        if profiled:
+            metrics["profile.cpu_s"] = round(cpu_total, 6)
+            metrics["profile.peak_mem_kb"] = round(peak_kb, 3)
         diagnostics.extend(
             {"code": "sweep.quarantined", "severity": "error",
              "message": str(f), "subject": f"task {f.index}", "hint": ""}

@@ -57,6 +57,19 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    Hotspot,
+    StageProbe,
+    check_budgets,
+    cprofile_to_collapsed,
+    critical_path,
+    load_budgets,
+    render_self_report,
+    self_time_rollup,
+    spans_to_collapsed,
+    stage_probe,
+    write_collapsed,
+)
 from repro.obs.regress import (
     Finding,
     RegressionReport,
@@ -82,6 +95,7 @@ __all__ = [
     "Gauge",
     "Heartbeat",
     "Histogram",
+    "Hotspot",
     "MetricsRegistry",
     "ObsError",
     "RegressionReport",
@@ -89,6 +103,7 @@ __all__ = [
     "RunRecord",
     "Span",
     "SpanStats",
+    "StageProbe",
     "StallDetector",
     "StallReport",
     "Subscription",
@@ -98,13 +113,17 @@ __all__ = [
     "Tracer",
     "WatchConfig",
     "aggregate_spans",
+    "check_budgets",
     "count",
+    "cprofile_to_collapsed",
+    "critical_path",
     "disable",
     "enable",
     "enabled",
     "gauge",
     "get_metrics",
     "get_tracer",
+    "load_budgets",
     "metrics_to_flat",
     "metrics_to_prom",
     "observe",
@@ -112,16 +131,21 @@ __all__ = [
     "read_events",
     "render_report",
     "render_run",
+    "render_self_report",
     "render_span_tree",
     "render_waterfall",
     "report",
     "reset",
+    "self_time_rollup",
     "span",
     "span_to_dict",
+    "spans_to_collapsed",
+    "stage_probe",
     "trace_to_chrome",
     "trace_to_jsonl",
     "traced",
     "write_chrome_trace",
+    "write_collapsed",
     "write_metrics",
     "write_prom",
     "write_trace",

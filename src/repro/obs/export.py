@@ -78,12 +78,15 @@ def write_trace(tracer: Tracer, path: str) -> int:
 def trace_to_chrome(source: Tracer | Sequence[Span]) -> str:
     """Finished spans in Chrome Trace Event Format (JSON object form).
 
-    The output loads directly into ``chrome://tracing`` and Perfetto:
-    each finished span becomes one complete (``"ph": "X"``) event with
-    microsecond timestamps, and each thread gets a ``thread_name``
-    metadata event so worker lanes are labelled.  Built from the same
-    span tree as :func:`trace_to_jsonl` -- adopted pool-worker spans
-    appear on their original thread lanes.
+    The output loads directly into ``chrome://tracing``, Perfetto and
+    speedscope: each finished span becomes one complete (``"ph": "X"``)
+    event with microsecond timestamps and self-describing args (span
+    depth, exclusive self-time, then the span's own attributes), the
+    process is named, and each thread gets ``thread_name`` /
+    ``thread_sort_index`` metadata events so worker lanes are labelled
+    and stable.  Built from the same span tree as
+    :func:`trace_to_jsonl` -- adopted pool-worker spans appear on
+    their original thread lanes.
 
     Args:
         source: a tracer, or an explicit finished-span list.
@@ -105,22 +108,44 @@ def trace_to_chrome(source: Tracer | Sequence[Span]) -> str:
             "tid": tid,
         }
         args = {
+            "depth": span.depth,
+            "self_ms": _round(span.self_s * 1e3),
+        }
+        args.update({
             key: (_round(val) if isinstance(val, float) else val)
             for key, val in sorted(span.attributes.items())
-        }
-        if args:
-            event["args"] = args
+        })
+        event["args"] = args
         events.append(event)
-    meta = [
+    meta: list[dict] = [
         {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "repro-gap"},
+        },
+        {
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": 0,
+            "args": {"sort_index": 0},
+        },
+    ]
+    for thread, tid in sorted(threads.items(), key=lambda kv: kv[1]):
+        meta.append({
             "name": "thread_name",
             "ph": "M",
             "pid": 0,
             "tid": tid,
             "args": {"name": thread},
-        }
-        for thread, tid in sorted(threads.items(), key=lambda kv: kv[1])
-    ]
+        })
+        meta.append({
+            "name": "thread_sort_index",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"sort_index": tid},
+        })
     return json.dumps(
         {"traceEvents": meta + events, "displayTimeUnit": "ms"},
         sort_keys=True,

@@ -73,6 +73,10 @@ class RunRecord:
         run_id: sortable unique id, assigned at append time.
         created_s: Unix timestamp, assigned at append time.
         git_rev: short git revision of the working tree, if available.
+        host: execution environment (python/numpy versions, platform,
+            cpu count, git-dirty flag) captured at append time, so
+            cross-machine comparisons can be flagged instead of
+            silently mixed (see :func:`host_context`).
         tech: process technology name ("" when not applicable).
         config: the run's full option/parameter dict.
         wall_s: end-to-end wall time of the run.
@@ -108,6 +112,7 @@ class RunRecord:
     run_id: str = ""
     created_s: float = 0.0
     git_rev: str | None = None
+    host: dict = field(default_factory=dict)
     tech: str = ""
     config: dict = field(default_factory=dict)
     wall_s: float = 0.0
@@ -130,6 +135,7 @@ class RunRecord:
             "fingerprint": self.fingerprint,
             "created_s": self.created_s,
             "git_rev": self.git_rev,
+            "host": self.host,
             "tech": self.tech,
             "config": self.config,
             "wall_s": self.wall_s,
@@ -162,6 +168,7 @@ class RunRecord:
             run_id=str(payload.get("run_id", "")),
             created_s=float(payload.get("created_s", 0.0)),
             git_rev=payload.get("git_rev"),
+            host=dict(payload.get("host") or {}),
             tech=str(payload.get("tech", "")),
             config=dict(payload.get("config") or {}),
             wall_s=float(payload.get("wall_s", 0.0)),
@@ -310,6 +317,7 @@ _explicit_dir: str | None = None
 _buffer: list[dict] | None = None
 _seq = 0
 _git_rev: tuple[str | None] | None = None  # 1-tuple cache; None = unprobed
+_host: tuple[dict] | None = None  # 1-tuple cache; None = unprobed
 
 
 def runs_dir() -> str:
@@ -378,8 +386,51 @@ def git_revision() -> str | None:
     return _git_rev[0]
 
 
+def _git_dirty() -> bool | None:
+    """Whether the working tree has uncommitted changes (None: unknown)."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            capture_output=True, text=True, timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return bool(proc.stdout.strip())
+
+
+def host_context() -> dict:
+    """Execution-environment fingerprint, cached per process.
+
+    Wall-time baselines from one machine are meaningless on another;
+    every record carries this so :func:`repro.obs.regress.compare` can
+    warn on cross-host comparisons instead of silently mixing them.
+    """
+    global _host
+    if _host is None:
+        import platform
+        import sys as _sys
+
+        try:
+            import numpy
+            numpy_version = numpy.__version__
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            numpy_version = None
+        _host = ({
+            "python": platform.python_version(),
+            "numpy": numpy_version,
+            "platform": _sys.platform,
+            "machine": platform.machine(),
+            "node": platform.node(),
+            "cpu_count": os.cpu_count(),
+            "git_dirty": _git_dirty(),
+        },)
+    return dict(_host[0])
+
+
 def finalize_identity(record: RunRecord) -> RunRecord:
-    """Assign run_id / created_s / git_rev if the record lacks them."""
+    """Assign run_id / created_s / git_rev / host if the record lacks them."""
     global _seq
     if not record.run_id:
         _seq += 1
@@ -390,6 +441,8 @@ def finalize_identity(record: RunRecord) -> RunRecord:
         record.created_s = time.time()
     if record.git_rev is None:
         record.git_rev = git_revision()
+    if not record.host:
+        record.host = host_context()
     return record
 
 

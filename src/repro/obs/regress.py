@@ -201,6 +201,35 @@ def compare(current: RunRecord, baselines: Sequence[RunRecord],
         return report
     findings: list[Finding] = []
 
+    # Host context: wall-time baselines from a different machine or
+    # interpreter are noise, so cross-host comparisons warn instead of
+    # silently mixing (git_dirty churns within one machine; ignored).
+    identity = ("python", "numpy", "platform", "machine", "node",
+                "cpu_count")
+    cur_host = {k: current.host.get(k) for k in identity}
+    if any(v is not None for v in cur_host.values()):
+        report.checks += 1
+        foreign = []
+        for baseline in baselines:
+            base_host = {k: baseline.host.get(k) for k in identity}
+            if any(v is not None for v in base_host.values()) \
+                    and base_host != cur_host:
+                moved = sorted(k for k in identity
+                               if base_host[k] != cur_host[k])
+                foreign.append((baseline.run_id, moved))
+        if foreign:
+            moved = sorted({k for _, keys in foreign for k in keys})
+            findings.append(Finding(
+                kind="host_mismatch", key=",".join(moved),
+                severity="warn",
+                current=float(len(foreign)),
+                baseline=float(len(baselines)),
+                detail=f"{len(foreign)} of {len(baselines)} baseline "
+                       f"run(s) came from a different host "
+                       f"({', '.join(moved)} changed); wall-time "
+                       f"comparisons are unreliable",
+            ))
+
     # Total wall time.
     base_wall = _median([b.wall_s for b in baselines])
     report.checks += 1

@@ -23,6 +23,7 @@ ordered by call path.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.obs.trace import Span
@@ -150,19 +151,28 @@ def top_spans(entries: Sequence[dict], n: int) -> list[dict]:
 
 
 def render_top_spans(entries: Sequence[dict], n: int) -> str:
-    """``repro-gap stats --top N``: hottest spans by self time."""
+    """``repro-gap stats --top N``: hottest spans by self time.
+
+    The ``self %`` column is each entry's share of the whole run's
+    exclusive time (all entries, not just the displayed slice), so the
+    displayed rows report how much of the run they explain.
+    """
     hottest = top_spans(entries, n)
     if not hottest:
         return "(no spans recorded)"
+    grand_self = sum(float(e.get("self_ms", 0.0)) for e in entries)
     lines = [
         f"{'span (by self time)':<44s} {'calls':>6s} "
-        f"{'self ms':>10s} {'total ms':>10s}"
+        f"{'self ms':>10s} {'self %':>7s} {'total ms':>10s}"
     ]
     for entry in hottest:
+        self_ms = float(entry.get("self_ms", 0.0))
+        pct = (f"{100.0 * self_ms / grand_self:>6.1f}%"
+               if grand_self > 0 else f"{'--':>7s}")
         lines.append(
             f"{entry.get('name', '?'):<44.44s} "
             f"{entry.get('calls', 0):>6d} "
-            f"{entry.get('self_ms', 0.0):>10.2f} "
+            f"{self_ms:>10.2f} {pct} "
             f"{entry.get('total_ms', 0.0):>10.2f}"
         )
     return "\n".join(lines)
@@ -173,13 +183,18 @@ def render_waterfall(stages: Sequence[dict], width: int = 32) -> str:
 
     Args:
         stages: stage-record dicts (``name``, ``status``, ``wall_s``,
-            ``cache_hit``) in run order.
+            ``cache_hit``, optionally the profiler's ``cpu_s`` /
+            ``peak_mem_kb``) in run order.  Profile columns render
+            only when at least one stage carries them, so unprofiled
+            runs keep the original layout.
         width: bar column width in characters.
     """
     if not stages:
         return "(no stage records)"
     walls = [max(float(s.get("wall_s", 0.0)), 0.0) for s in stages]
     total = sum(walls)
+    profiled = any(s.get("cpu_s") is not None
+                   or s.get("peak_mem_kb") is not None for s in stages)
     lines = [f"stage waterfall (total {total:.4f} s):"]
     scale = width / total if total > 0 else 0.0
     offset = 0.0
@@ -189,10 +204,18 @@ def render_waterfall(stages: Sequence[dict], width: int = 32) -> str:
         bar_len = min(bar_len, width - lead) if lead < width else 0
         bar = " " * lead + "#" * bar_len
         mark = " hit" if stage.get("cache_hit") else ""
+        profile = ""
+        if profiled:
+            cpu = stage.get("cpu_s")
+            peak = stage.get("peak_mem_kb")
+            cpu_text = f"{cpu:>8.4f}" if cpu is not None else f"{'--':>8s}"
+            peak_text = (f"{peak:>9.1f}" if peak is not None
+                         else f"{'--':>9s}")
+            profile = f"  cpu {cpu_text} s  peak {peak_text} KiB"
         lines.append(
             f"  {str(stage.get('name', '?')):<10.10s} "
             f"{str(stage.get('status', '?')):<8.8s} "
-            f"{wall:>9.4f} s  |{bar:<{width}s}|{mark}"
+            f"{wall:>9.4f} s  |{bar:<{width}s}|{profile}{mark}"
         )
         offset += wall
     return "\n".join(lines)
@@ -205,8 +228,12 @@ def render_metrics(flat: dict) -> str:
     lines = [f"{'metric':<52s} {'value':>12s}"]
     for key in sorted(flat):
         value = flat[key]
-        rendered = (f"{value:.3f}" if isinstance(value, float)
-                    else str(value))
+        if isinstance(value, float):
+            # Empty histograms export NaN percentiles; print a clean
+            # placeholder instead of a bare "nan".
+            rendered = "--" if math.isnan(value) else f"{value:.3f}"
+        else:
+            rendered = str(value)
         lines.append(f"{key:<52.52s} {rendered:>12s}")
     return "\n".join(lines)
 
@@ -266,6 +293,10 @@ def render_run(record: "object") -> str:
     if rec.get("stages"):
         sections.append(render_waterfall(rec["stages"]))
     if rec.get("spans"):
+        # Lazy import: profile builds on this module's aggregates.
+        from repro.obs import profile as _profile
+
+        sections.append(_profile.render_critical_path(rec["spans"]))
         sections.append(render_span_entries(rec["spans"]))
     if rec.get("metrics"):
         sections.append(render_metrics(rec["metrics"]))

@@ -85,6 +85,7 @@ from repro import obs
 from repro.obs import instrument as _instrument
 from repro.obs import ledger as _ledger
 from repro.obs import live as _live
+from repro.obs import profile as _profile
 from repro.obs.events import Event
 from repro.robust import faults as _faults
 from repro.robust.retry import RetryPolicy, TaskFailure
@@ -272,15 +273,20 @@ def _worker_main(conn: Any, fn: Callable[[Any], Any],
                  summarize: Callable[[Any], dict] | None,
                  event_queue: Any, heartbeat_s: float | None,
                  capture: bool, ledger_on: bool,
-                 chaos_spec: str | None, label: str) -> None:
+                 chaos_spec: str | None, label: str,
+                 profile_cfg: tuple[bool, str | None] | None = None) -> None:
     """Worker process main loop: receive tasks, run, reply.
 
     Replicates the per-task behaviour of the old pool path -- fresh
     span capture and ledger buffering per task, task.start/task.done
     events, heartbeat task tagging -- but stays resident across tasks
-    so the supervisor can re-dispatch work to it.
+    so the supervisor can re-dispatch work to it.  The parent's
+    profiling config rides along so per-stage CPU/memory attribution
+    keeps working inside pool workers (a spawn-context worker does not
+    inherit the parent's module switches).
     """
     global _current_attempt
+    _profile.apply(profile_cfg)
     heartbeat = None
     if event_queue is not None:
         bus = _live.enable(source=f"worker-{os.getpid()}", fresh=True)
@@ -509,6 +515,7 @@ class _Supervisor:
         self.monitor = monitor
         self.retry = retry
         self.chaos_spec = chaos_spec
+        self.profile_cfg = _profile.snapshot()
         self.workers: list[_Worker] = []
         self.results: dict[int, Any] = {}
         self.failures: dict[int, TaskFailure] = {}
@@ -529,7 +536,7 @@ class _Supervisor:
             target=_worker_main,
             args=(child_conn, self.fn, self.summarize, self.event_queue,
                   self.heartbeat_s, self.capture, self.ledger_on,
-                  self.chaos_spec, self.label),
+                  self.chaos_spec, self.label, self.profile_cfg),
             daemon=True,
         )
         process.start()

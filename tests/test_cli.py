@@ -387,3 +387,120 @@ class TestFlowEngineFlags:
             assert payload[f"flow.stage.{stage}.s"] >= 0.0
             assert payload[f"flow.stage.{stage}.cached"] is False
         assert "cache.stage.hit_rate" in payload
+
+
+class TestDeepProfiling:
+    FLOW = ["flow", "asic", "--bits", "4", "--sizing-moves", "2"]
+
+    def test_profiled_flow_lands_in_ledger(self, capsys):
+        from repro.obs import ledger as run_ledger
+
+        assert main(self.FLOW + ["--profile-cpu", "--profile-mem"]) == 0
+        records = run_ledger.get_ledger().records(kind="flow")
+        assert records
+        stages = records[-1].stages
+        assert stages
+        for stage in stages:
+            assert stage["cpu_s"] is not None
+            assert stage["peak_mem_kb"] is not None
+
+    def test_profile_flags_reset_after_command(self):
+        from repro.obs import profile as obs_profile
+
+        assert main(self.FLOW + ["--profile-cpu", "--profile-mem"]) == 0
+        assert not obs_profile.enabled()
+
+    def test_unprofiled_flow_stays_bare(self, capsys):
+        assert main(self.FLOW + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for stage in payload["stages"]:
+            assert "cpu_s" not in stage
+            assert "peak_mem_kb" not in stage
+
+    def test_flame_export(self, tmp_path, capsys):
+        target = tmp_path / "flame.txt"
+        assert main(self.FLOW + ["--profile-cpu",
+                                 "--flame", str(target)]) == 0
+        err = capsys.readouterr().err
+        assert "flame stacks" in err
+        lines = target.read_text().splitlines()
+        assert lines
+        assert any(line.startswith("flow.asic;") for line in lines)
+        # cProfile sidecar rides along with --profile-cpu.
+        cpu_lines = (tmp_path / "flame.txt.cpu").read_text().splitlines()
+        assert cpu_lines
+        for line in lines + cpu_lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) > 0
+
+    def test_stats_self_prints_hotspots(self, capsys):
+        # --profile turns the tracer on, so the ledger record carries
+        # the span tree `stats --self` reads back.
+        assert main(self.FLOW + ["--profile"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "span (by self time)" in out
+        assert "critical path" in out
+        assert "flow.asic" in out
+
+    def test_stats_self_without_records_errors(self, capsys):
+        assert main(["stats", "--self"]) == 1
+        assert "no ledger record" in capsys.readouterr().err
+
+
+class TestBudgetCommand:
+    def _write(self, tmp_path, budgets, bench):
+        budget_path = tmp_path / "PERF_BUDGETS.toml"
+        budget_path.write_text(budgets)
+        bench_path = tmp_path / "BENCH.json"
+        bench_path.write_text(json.dumps(bench))
+        return str(budget_path), str(bench_path)
+
+    def test_budget_ok(self, tmp_path, capsys):
+        budgets, bench = self._write(
+            tmp_path, '[wall]\n"bench.x.s" = 2.0\n', {"bench.x.s": 0.5})
+        assert main(["budget", "--budgets", budgets,
+                     "--bench", bench]) == 0
+        assert "no finding" in capsys.readouterr().out
+
+    def test_budget_gate_exits_3_on_blown_ceiling(self, tmp_path,
+                                                  capsys):
+        budgets, bench = self._write(
+            tmp_path, '[wall]\n"bench.x.s" = 1.0\n', {"bench.x.s": 5.0})
+        assert main(["budget", "--budgets", budgets,
+                     "--bench", bench, "--gate"]) == 3
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "budget_wall" in out
+
+    def test_budget_without_gate_reports_but_exits_0(self, tmp_path):
+        budgets, bench = self._write(
+            tmp_path, '[wall]\n"bench.x.s" = 1.0\n', {"bench.x.s": 5.0})
+        assert main(["budget", "--budgets", budgets,
+                     "--bench", bench]) == 0
+
+    def test_budget_json_output(self, tmp_path, capsys):
+        budgets, bench = self._write(
+            tmp_path, '[wall]\n"bench.x.s" = 1.0\n', {"bench.x.s": 5.0})
+        assert main(["budget", "--budgets", budgets,
+                     "--bench", bench, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["kind"] == "budget_wall"
+        assert payload["findings"][0]["severity"] == "fail"
+
+    def test_budget_missing_files_exit_1(self, tmp_path, capsys):
+        assert main(["budget", "--budgets",
+                     str(tmp_path / "none.toml")]) == 1
+        assert "cannot read budget file" in capsys.readouterr().err
+        budgets, _ = self._write(tmp_path, "[wall]\n", {})
+        assert main(["budget", "--budgets", budgets,
+                     "--bench", str(tmp_path / "none.json")]) == 1
+        assert "cannot read bench file" in capsys.readouterr().err
+
+    def test_budget_invalid_toml_exit_1(self, tmp_path, capsys):
+        budgets, bench = self._write(
+            tmp_path, '[disk]\n"bench.x.s" = 1.0\n', {})
+        assert main(["budget", "--budgets", budgets,
+                     "--bench", bench]) == 1
+        assert "unknown section" in capsys.readouterr().err

@@ -275,9 +275,16 @@ class TestExport:
         flow = complete[0]
         assert flow["ts"] == 0
         assert flow["dur"] == pytest.approx(5e6)  # 5 s in microseconds
-        assert flow["args"] == {"bits": 8}
+        assert flow["args"]["bits"] == 8
+        # Self-describing args: depth and exclusive self time ride
+        # every event (flow holds 5 s total, children 2 s).
+        assert flow["args"]["depth"] == 0
+        assert flow["args"]["self_ms"] == pytest.approx(3e3)
         assert all(e["pid"] == 0 for e in complete)
-        assert meta and meta[0]["name"] == "thread_name"
+        meta_names = {e["name"] for e in meta}
+        assert {"process_name", "process_sort_index", "thread_name",
+                "thread_sort_index"} <= meta_names
+        assert meta[0]["args"] == {"name": "repro-gap"}
 
     def test_chrome_trace_deterministic_and_written(self, tmp_path):
         first = obs.trace_to_chrome(self._traced_run()[0])
